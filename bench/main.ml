@@ -1,0 +1,476 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   (§6) plus the ablations DESIGN.md calls out, printing measured values
+   next to the paper's. Also registers one Bechamel microbenchmark per
+   table measuring the host cost of regenerating it.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything (default sizes)
+     dune exec bench/main.exe -- table1       -- only Table 1
+     dune exec bench/main.exe -- table2 ablation-watermarks ...
+     dune exec bench/main.exe -- quick        -- everything at reduced size
+   Targets: table1 table1-natural table2 ablation-watermarks
+            ablation-lockstep sweep-size table-udp bechamel quick all *)
+
+open Kpath_workloads
+
+let mb = 1024 * 1024
+
+let line = String.make 78 '-'
+
+let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* {1 Table 1} *)
+
+(* The paper's Table 1 values. F_cp and F_scp follow from the quoted
+   "percentage of the IDLE rate" figures in §6.2. *)
+let paper_table1 = function
+  | `Ram -> (2.00, 1.25, 1.60, 60.0)
+  | `Rz56 -> (1.67, 1.43, 1.17, 17.0)
+  | `Rz58 -> (1.67, 1.25, 1.33, 33.0)
+
+let print_table1 ?(file_bytes = 8 * mb) ?(ops = 2000) ~pace () =
+  (match pace with
+   | Some rate ->
+     header
+       (Printf.sprintf
+          "Table 1: CPU availability factors (copying %d MB file, both \
+           copiers paced to %.1f MB/s)"
+          (file_bytes / mb) (rate /. 1e6))
+   | None ->
+     header
+       (Printf.sprintf
+          "Table 1 (natural-rate variant): copiers run at device maximum (%d \
+           MB file)"
+          (file_bytes / mb)));
+  Printf.printf "%-6s | %8s %8s | %8s %8s | %8s %8s | %8s %8s\n" "Disk" "F_cp"
+    "paper" "F_scp" "paper" "I" "paper" "%impr" "paper";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun r ->
+      let p_fcp, p_fscp, p_i, p_pct = paper_table1 r.Experiments.av_disk in
+      Printf.printf
+        "%-6s | %8.2f %8.2f | %8.2f %8.2f | %8.2f %8.2f | %7.0f%% %7.0f%%\n"
+        (Experiments.disk_name r.Experiments.av_disk)
+        r.Experiments.av_f_cp p_fcp r.Experiments.av_f_scp p_fscp
+        r.Experiments.av_improvement p_i r.Experiments.av_pct p_pct)
+    (Experiments.table1 ~file_bytes ~ops ~pace ());
+  print_newline ()
+
+(* {1 Table 2} *)
+
+let paper_table2 = function
+  | `Ram -> (Some 3343.0, Some 1884.0, Some 77.0)
+  | `Rz56 | `Rz58 ->
+    (* The RZ rows' numeric cells were lost in the source transcription
+       of the paper; §6.3 says only that "the benefit of splice is
+       minor" for real disks. *)
+    (None, None, None)
+
+let opt_cell = function Some v -> Printf.sprintf "%8.0f" v | None -> "  (lost)"
+
+let print_table2 ?(file_bytes = 8 * mb) () =
+  header
+    (Printf.sprintf "Table 2: mean throughput (copying %d MB file, KB/s)"
+       (file_bytes / mb));
+  Printf.printf "%-6s | %8s %8s | %8s %8s | %8s %8s | %s\n" "Disk" "SCP"
+    "paper" "CP" "paper" "%impr" "paper" "verified";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun r ->
+      let p_scp, p_cp, p_pct = paper_table2 r.Experiments.tp_disk in
+      Printf.printf "%-6s | %8.0f %s | %8.0f %s | %7.0f%% %s | %s\n"
+        (Experiments.disk_name r.Experiments.tp_disk)
+        r.Experiments.tp_scp_kbps (opt_cell p_scp) r.Experiments.tp_cp_kbps
+        (opt_cell p_cp) r.Experiments.tp_pct_improvement
+        (match p_pct with
+         | Some v -> Printf.sprintf "%7.0f%%" v
+         | None -> "(minor)")
+        "yes")
+    (Experiments.table2 ~file_bytes ());
+  print_newline ()
+
+(* {1 Ablations} *)
+
+let print_watermarks ?(file_bytes = 4 * mb) () =
+  header
+    (Printf.sprintf
+       "Ablation (s5.5): flow-control watermarks, splice throughput, RZ58, \
+        %d MB file  [paper: lo=3 hi=5 burst=5 'adequate']"
+       (file_bytes / mb));
+  let open Kpath_core in
+  let configs =
+    [
+      Flowctl.lockstep;
+      Flowctl.make ~read_lo:2 ~write_hi:2 ~read_burst:2;
+      Flowctl.default;
+      Flowctl.make ~read_lo:6 ~write_hi:10 ~read_burst:10;
+      Flowctl.make ~read_lo:12 ~write_hi:20 ~read_burst:20;
+    ]
+  in
+  Printf.printf "%-24s | %10s | %s\n" "config (lo/hi/burst)" "KB/s" "verified";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun (c, m) ->
+      Printf.printf "%-24s | %10.0f | %b\n"
+        (Printf.sprintf "%d/%d/%d" c.Flowctl.read_lo c.Flowctl.write_hi
+           c.Flowctl.read_burst)
+        m.Experiments.cm_kb_per_sec m.Experiments.cm_verified)
+    (Experiments.watermark_sweep ~disk:`Rz58 ~file_bytes configs);
+  print_newline ()
+
+let print_lockstep ?(file_bytes = 4 * mb) () =
+  header
+    "Ablation (s5.4): callout decoupling -- pipelined splice vs lock-step \
+     (one block in flight)";
+  let open Kpath_core in
+  Printf.printf "%-6s | %14s | %14s | %s\n" "Disk" "pipelined KB/s"
+    "lockstep KB/s" "speedup";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun disk ->
+      let pipe = Experiments.measure_copy ~mode:`Scp ~disk ~file_bytes () in
+      let lock =
+        Experiments.measure_copy ~mode:`Scp ~disk ~file_bytes
+          ~config:Flowctl.lockstep ()
+      in
+      Printf.printf "%-6s | %14.0f | %14.0f | %5.2fx\n"
+        (Experiments.disk_name disk) pipe.Experiments.cm_kb_per_sec
+        lock.Experiments.cm_kb_per_sec
+        (pipe.Experiments.cm_kb_per_sec /. lock.Experiments.cm_kb_per_sec))
+    [ `Ram; `Rz56; `Rz58 ];
+  print_newline ()
+
+let print_size_sweep () =
+  header
+    "Sweep (s6.2): file-size sensitivity, RZ58  [paper: 'alternative sizes \
+     statistically indistinguishable']";
+  Printf.printf "%-8s | %10s | %10s | %8s\n" "size" "SCP KB/s" "CP KB/s"
+    "%impr";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun (size, scp, cp) ->
+      Printf.printf "%5d MB | %10.0f | %10.0f | %7.0f%%\n" (size / mb)
+        scp.Experiments.cm_kb_per_sec cp.Experiments.cm_kb_per_sec
+        ((scp.Experiments.cm_kb_per_sec -. cp.Experiments.cm_kb_per_sec)
+        /. cp.Experiments.cm_kb_per_sec *. 100.0))
+    (Experiments.size_sweep ~disk:`Rz58
+       [ 1 * mb; 2 * mb; 4 * mb; 8 * mb; 16 * mb ]);
+  print_newline ()
+
+let print_blocksize_sweep ?(file_bytes = 4 * mb) () =
+  header
+    "Sweep (substrate): filesystem/cache block size, RZ58, cp vs scp      [paper used the 8 KB FFS block]";
+  Printf.printf "%-8s | %10s | %10s | %8s\n" "block" "SCP KB/s" "CP KB/s"
+    "%impr";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun block_size ->
+      let machine_config =
+        { Kpath_kernel.Config.decstation_5000_200 with
+          Kpath_kernel.Config.block_size;
+          ramdisk_blocks = 16 * mb / block_size;
+        }
+      in
+      let scp =
+        Experiments.measure_copy ~mode:`Scp ~disk:`Rz58 ~file_bytes
+          ~machine_config ()
+      in
+      let cp =
+        Experiments.measure_copy ~mode:`Cp ~disk:`Rz58 ~file_bytes
+          ~machine_config ()
+      in
+      Printf.printf "%5d KB | %10.0f | %10.0f | %7.0f%%\n" (block_size / 1024)
+        scp.Experiments.cm_kb_per_sec cp.Experiments.cm_kb_per_sec
+        ((scp.Experiments.cm_kb_per_sec -. cp.Experiments.cm_kb_per_sec)
+        /. cp.Experiments.cm_kb_per_sec *. 100.0))
+    [ 4096; 8192; 16384 ];
+  print_newline ()
+
+let print_cachesize_sweep ?(file_bytes = 8 * mb) () =
+  header
+    "Sweep (substrate): buffer cache size, RZ58, 8 MB copy [paper: 3.2 MB      cache, file deliberately larger]";
+  Printf.printf "%-8s | %10s | %10s\n" "cache" "SCP KB/s" "CP KB/s";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun cache_kb ->
+      let machine_config =
+        { Kpath_kernel.Config.decstation_5000_200 with
+          Kpath_kernel.Config.cache_bytes = cache_kb * 1024;
+        }
+      in
+      let scp =
+        Experiments.measure_copy ~mode:`Scp ~disk:`Rz58 ~file_bytes
+          ~machine_config ()
+      in
+      let cp =
+        Experiments.measure_copy ~mode:`Cp ~disk:`Rz58 ~file_bytes
+          ~machine_config ()
+      in
+      Printf.printf "%5d KB | %10.0f | %10.0f\n" cache_kb
+        scp.Experiments.cm_kb_per_sec cp.Experiments.cm_kb_per_sec)
+    [ 1600; 3200; 6400 ];
+  print_newline ()
+
+let print_udp () =
+  header
+    "Extension (s5.1): UDP socket-to-socket splice vs recvfrom/sendto relay \
+     (500 x 4 KB datagrams)";
+  Printf.printf "%-10s | %10s | %8s | %10s\n" "relay" "delivered" "dropped"
+    "CPU busy";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun (name, mode) ->
+      let r = Experiments.measure_relay ~mode () in
+      Printf.printf "%-10s | %10d | %8d | %9.1f%%\n" name
+        r.Experiments.rm_datagrams r.Experiments.rm_dropped
+        (r.Experiments.rm_cpu_busy_frac *. 100.0))
+    [ ("process", `Process); ("splice", `Splice) ];
+  print_newline ()
+
+let print_elevator ?(file_bytes = 4 * mb) () =
+  header
+    "Ablation (substrate): disk queue discipline, same-disk copy, RZ56 --      FIFO vs C-LOOK elevator";
+  Printf.printf "%-6s | %12s | %14s | %s\n" "copier" "FIFO KB/s"
+    "elevator KB/s" "speedup";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun (name, mode) ->
+      let fifo =
+        Experiments.measure_copy ~mode ~disk:`Rz56 ~file_bytes ~same_disk:true
+          ~disk_queue:Kpath_dev.Disk.Fifo ()
+      in
+      let elev =
+        Experiments.measure_copy ~mode ~disk:`Rz56 ~file_bytes ~same_disk:true
+          ~disk_queue:Kpath_dev.Disk.Elevator ()
+      in
+      Printf.printf "%-6s | %12.0f | %14.0f | %5.2fx\n" name
+        fifo.Experiments.cm_kb_per_sec elev.Experiments.cm_kb_per_sec
+        (elev.Experiments.cm_kb_per_sec /. fifo.Experiments.cm_kb_per_sec))
+    [ ("cp", `Cp); ("scp", `Scp) ];
+  print_newline ()
+
+let print_media () =
+  header
+    "Extension (s1/s4): continuous-media playback under CPU load (5 s movie,      15 fps + 64 KB/s audio, RZ58)";
+  Printf.printf "%-8s | %4s | %8s | %6s | %10s | %10s | %s\n" "player" "load"
+    "frames" "late" "underruns" "player CPU" "fps";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun (name, player) ->
+      List.iter
+        (fun load ->
+          let r = Experiments.measure_media ~player ~load () in
+          Printf.printf "%-8s | %4d | %8d | %6d | %10d | %9.2fs | %.1f\n" name
+            load r.Experiments.md_frames r.Experiments.md_late_frames
+            r.Experiments.md_audio_underruns r.Experiments.md_player_cpu_sec
+            r.Experiments.md_fps)
+        [ 0; 2; 4 ])
+    [ ("process", `Process); ("splice", `Splice) ];
+  print_newline ()
+
+let print_relatedwork ?(file_bytes = 4 * mb) () =
+  header
+    "Related work (s7): copy mechanisms compared -- read/write (cp),      memory-mapped (mcp, Govindan/Anderson-style), splice (scp)";
+  Printf.printf "%-6s | %-5s | %10s | %s\n" "Disk" "mode" "KB/s" "verified";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun disk ->
+      List.iter
+        (fun (name, mode) ->
+          let r = Experiments.measure_copy ~mode ~disk ~file_bytes () in
+          Printf.printf "%-6s | %-5s | %10.0f | %b\n"
+            (Experiments.disk_name disk) name r.Experiments.cm_kb_per_sec
+            r.Experiments.cm_verified)
+        [ ("cp", `Cp); ("mcp", `Mcp); ("scp", `Scp) ])
+    [ `Ram; `Rz58 ];
+  print_newline ()
+
+let print_sendfile () =
+  header
+    "Extension (sendfile): file served over TCP, server CPU -- read/write      loop vs file-to-TCP splice (4 MB, RZ58 server disk)";
+  Printf.printf "%-10s | %6s | %10s | %10s | %12s | %6s\n" "server" "loss"
+    "verified" "KB/s" "server CPU" "retx";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun loss ->
+      List.iter
+        (fun (name, mode) ->
+          let r = Experiments.measure_sendfile ~mode ~loss () in
+          Printf.printf "%-10s | %5.0f%% | %10b | %10.0f | %11.2fs | %6d\n"
+            name (loss *. 100.) r.Experiments.sf_verified
+            r.Experiments.sf_kb_per_sec r.Experiments.sf_server_cpu_sec
+            r.Experiments.sf_retransmits)
+        [ ("readwrite", `ReadWrite); ("sendfile", `Sendfile) ])
+    [ 0.0; 0.01 ];
+  print_newline ()
+
+let print_timeline () =
+  header
+    "Figure-equivalent: test-program progress over time (ops per 250 ms,      RAM disk, 1 MB/s paced copy; idle rate = 250)";
+  let render mode_name mode =
+    let buckets =
+      Experiments.availability_timeline ~mode ~disk:`Ram ~pace:1.0e6 ~ops:1500 ()
+    in
+    let cells =
+      List.map
+        (fun n ->
+          (* 0-250 ops per bucket, rendered on an 8-level scale. *)
+          let level = min 7 (n * 8 / 251) in
+          String.make 1 (String.get " .:-=+*#" level))
+        buckets
+    in
+    Printf.printf "%-4s |%s| (%d buckets; mean %.0f ops)\n" mode_name
+      (String.concat "" cells) (List.length buckets)
+      (float_of_int (List.fold_left ( + ) 0 buckets)
+      /. float_of_int (max 1 (List.length buckets)))
+  in
+  render "cp" `Cp;
+  render "scp" `Scp;
+  Printf.printf
+    "(denser = more CPU left for the test program; scp rows should be      darker and shorter)\n";
+  print_newline ()
+
+let print_cpuspeed_sweep ?(file_bytes = 4 * mb) () =
+  header
+    "What-if: CPU speed scaling (RAM + RZ58 throughput, 4 MB copy) -- how      the splice advantage moves as processors outpace devices";
+  Printf.printf "%-22s | %-5s | %9s | %9s | %6s\n" "machine" "disk" "SCP KB/s"
+    "CP KB/s" "%impr";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun (label, machine_config) ->
+      List.iter
+        (fun disk ->
+          let scp =
+            Experiments.measure_copy ~mode:`Scp ~disk ~file_bytes
+              ~machine_config ()
+          in
+          let cp =
+            Experiments.measure_copy ~mode:`Cp ~disk ~file_bytes
+              ~machine_config ()
+          in
+          Printf.printf "%-22s | %-5s | %9.0f | %9.0f | %5.0f%%\n" label
+            (Experiments.disk_name disk) scp.Experiments.cm_kb_per_sec
+            cp.Experiments.cm_kb_per_sec
+            ((scp.Experiments.cm_kb_per_sec -. cp.Experiments.cm_kb_per_sec)
+            /. cp.Experiments.cm_kb_per_sec *. 100.0))
+        [ `Ram; `Rz58 ])
+    [
+      ("5000/200 (25MHz)", Kpath_kernel.Config.decstation_5000_200);
+      ("5000/240 (40MHz)", Kpath_kernel.Config.decstation_5000_240);
+      ( "4x what-if",
+        Kpath_kernel.Config.scaled Kpath_kernel.Config.decstation_5000_200
+          ~cpu_factor:4.0 );
+    ];
+  print_newline ()
+
+(* {1 Bechamel microbenchmarks: one per table} *)
+
+let bechamel () =
+  header
+    "Bechamel: host cost of regenerating each table (reduced problem sizes)";
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    [
+      Test.make ~name:"table1-row-ram-paced"
+        (Staged.stage (fun () ->
+             ignore
+               (Experiments.slowdown ~mode:`Scp ~disk:`Ram
+                  ~file_bytes:(256 * 1024) ~pace:1.0e6 ~ops:50 ())));
+      Test.make ~name:"table2-row-ram"
+        (Staged.stage (fun () ->
+             ignore
+               (Experiments.measure_copy ~mode:`Scp ~disk:`Ram
+                  ~file_bytes:(256 * 1024) ())));
+      Test.make ~name:"table2-row-rz58"
+        (Staged.stage (fun () ->
+             ignore
+               (Experiments.measure_copy ~mode:`Scp ~disk:`Rz58
+                  ~file_bytes:(256 * 1024) ())));
+      Test.make ~name:"udp-relay-splice"
+        (Staged.stage (fun () ->
+             ignore (Experiments.measure_relay ~mode:`Splice ~datagrams:50 ())));
+    ]
+  in
+  List.iter
+    (fun test ->
+      let instances = Instance.[ monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 2.0) ~kde:None () in
+      let results = Benchmark.all cfg instances test in
+      let analysis =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-28s %12.3f ms/run\n" name (est /. 1e6)
+          | _ -> Printf.printf "%-28s (no estimate)\n" name)
+        analysis)
+    tests;
+  print_newline ()
+
+(* {1 Driver} *)
+
+let all_targets ~quick =
+  let file_bytes = if quick then mb else 8 * mb in
+  let ops = if quick then 500 else 2000 in
+  print_table1 ~file_bytes ~ops ~pace:(Some 1.0e6) ();
+  print_table2 ~file_bytes ();
+  print_watermarks ~file_bytes:(min file_bytes (4 * mb)) ();
+  print_lockstep ~file_bytes:(min file_bytes (4 * mb)) ();
+  if not quick then begin
+    print_size_sweep ();
+    print_blocksize_sweep ();
+    print_cachesize_sweep ()
+  end;
+  print_udp ();
+  print_media ();
+  print_sendfile ();
+  print_relatedwork ();
+  if not quick then print_cpuspeed_sweep ();
+  print_timeline ();
+  print_elevator ~file_bytes:(min file_bytes (4 * mb)) ();
+  if not quick then print_table1 ~file_bytes ~ops ~pace:None ();
+  bechamel ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  Printf.printf
+    "kpath bench -- reproduction of Fall & Pasquale, USENIX Winter 1993\n";
+  Printf.printf "machine model: %s\n"
+    (Format.asprintf "%a" Kpath_kernel.Config.pp
+       Kpath_kernel.Config.decstation_5000_200);
+  match args with
+  | [] -> all_targets ~quick:false
+  | [ "quick" ] -> all_targets ~quick:true
+  | targets ->
+    List.iter
+      (function
+        | "table1" -> print_table1 ~pace:(Some 1.0e6) ()
+        | "table1-natural" -> print_table1 ~pace:None ()
+        | "table2" -> print_table2 ()
+        | "ablation-watermarks" -> print_watermarks ()
+        | "ablation-lockstep" -> print_lockstep ()
+        | "sweep-size" -> print_size_sweep ()
+        | "sweep-blocksize" -> print_blocksize_sweep ()
+        | "sweep-cachesize" -> print_cachesize_sweep ()
+        | "table-udp" -> print_udp ()
+        | "table-media" -> print_media ()
+        | "ablation-elevator" -> print_elevator ()
+        | "table-sendfile" -> print_sendfile ()
+        | "table-relatedwork" -> print_relatedwork ()
+        | "sweep-cpuspeed" -> print_cpuspeed_sweep ()
+        | "timeline" -> print_timeline ()
+        | "bechamel" -> bechamel ()
+        | "all" -> all_targets ~quick:false
+        | other ->
+          Printf.eprintf
+            "unknown target %s (try: table1 table1-natural table2 \
+             ablation-watermarks ablation-lockstep sweep-size table-udp \
+             table-media bechamel quick all)\n"
+            other;
+          exit 1)
+      targets

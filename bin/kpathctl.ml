@@ -1,0 +1,252 @@
+(* kpathctl: command-line driver for the kpath simulator.
+
+   Subcommands:
+     kpathctl info                         machine cost model
+     kpathctl copy   [--disk ...] ...      one measured copy
+     kpathctl table1 [--ops N] [--natural] CPU availability rows
+     kpathctl table2 [--size-mb N]         throughput rows
+     kpathctl relay  [--datagrams N]       UDP relay comparison *)
+
+open Cmdliner
+open Kpath_kernel
+open Kpath_workloads
+
+let mb = 1024 * 1024
+
+let disk_conv =
+  let parse = function
+    | "ram" -> Ok `Ram
+    | "rz56" -> Ok `Rz56
+    | "rz58" -> Ok `Rz58
+    | s -> Error (`Msg (Printf.sprintf "unknown disk %S (ram|rz56|rz58)" s))
+  in
+  let print fmt d = Format.pp_print_string fmt (String.lowercase_ascii (Experiments.disk_name d)) in
+  Arg.conv (parse, print)
+
+let disk_arg =
+  Arg.(value & opt disk_conv `Rz58 & info [ "disk" ] ~docv:"DISK" ~doc:"Disk model: ram, rz56 or rz58.")
+
+let size_arg =
+  Arg.(value & opt int 8 & info [ "size-mb" ] ~docv:"MB" ~doc:"File size in megabytes.")
+
+(* info *)
+
+let info_cmd =
+  let run () =
+    Format.printf "%a@." Kpath_kernel.Config.pp
+      Kpath_kernel.Config.decstation_5000_200;
+    Format.printf
+      "flow control: read watermark %d, write watermark %d, burst %d@."
+      Kpath_core.Flowctl.default.Kpath_core.Flowctl.read_lo
+      Kpath_core.Flowctl.default.Kpath_core.Flowctl.write_hi
+      Kpath_core.Flowctl.default.Kpath_core.Flowctl.read_burst
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print the machine cost model.")
+    Term.(const run $ const ())
+
+(* copy *)
+
+let copy_cmd =
+  let mode_conv =
+    let parse = function
+      | "cp" -> Ok `Cp
+      | "scp" -> Ok `Scp
+      | "mcp" -> Ok `Mcp
+      | s -> Error (`Msg (Printf.sprintf "unknown mode %S (cp|scp|mcp)" s))
+    in
+    Arg.conv
+      ( parse,
+        fun fmt m ->
+          Format.pp_print_string fmt
+            (match m with `Cp -> "cp" | `Scp -> "scp" | `Mcp -> "mcp") )
+  in
+  let mode_arg =
+    Arg.(value & opt mode_conv `Scp
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"cp (read/write), scp (splice) or mcp (memory-mapped).")
+  in
+  let same_disk_arg =
+    Arg.(value & flag & info [ "same-disk" ] ~doc:"Source and destination on one drive.")
+  in
+  let watermarks_arg =
+    Arg.(value & opt (some (t3 ~sep:',' int int int)) None
+         & info [ "watermarks" ] ~docv:"LO,HI,BURST" ~doc:"splice flow-control watermarks.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some int) None
+         & info [ "trace" ] ~docv:"N"
+             ~doc:"Record splice events; print the last $(docv) afterwards.")
+  in
+  let run disk size_mb mode same_disk watermarks trace =
+    let config =
+      Option.map
+        (fun (lo, hi, burst) ->
+          Kpath_core.Flowctl.make ~read_lo:lo ~write_hi:hi ~read_burst:burst)
+        watermarks
+    in
+    match trace with
+    | None ->
+      let m =
+        Experiments.measure_copy ~mode ~disk ~file_bytes:(size_mb * mb)
+          ~same_disk ?config ()
+      in
+      Format.printf "%s %d MB on %s%s: %.0f KB/s in %.2fs, verified=%b@."
+        (match mode with `Cp -> "cp" | `Scp -> "scp" | `Mcp -> "mcp")
+        size_mb
+        (Experiments.disk_name disk)
+        (if same_disk then " (same disk)" else "")
+        m.Experiments.cm_kb_per_sec m.Experiments.cm_seconds
+        m.Experiments.cm_verified
+    | Some last_n ->
+      (* Traced run: drive the setup by hand so the trace ring can be
+         enabled before the copy starts. *)
+      let s =
+        Experiments.make_setup ~disk ~file_bytes:(size_mb * mb) ~same_disk ()
+      in
+      Experiments.cold_caches s;
+      let machine = s.Experiments.machine in
+      Kpath_sim.Trace.enable (Machine.trace machine) "splice";
+      let stats = Programs.fresh_copy_stats () in
+      let _copier =
+        match mode with
+        | `Cp ->
+          Programs.spawn_cp machine ~src:s.Experiments.src_path
+            ~dst:s.Experiments.dst_path stats
+        | `Mcp ->
+          Programs.spawn_mcp machine ~src:s.Experiments.src_path
+            ~dst:s.Experiments.dst_path stats
+        | `Scp ->
+          Programs.spawn_scp machine ~src:s.Experiments.src_path
+            ~dst:s.Experiments.dst_path ?config stats
+      in
+      Machine.run machine;
+      let events = Kpath_sim.Trace.events (Machine.trace machine) in
+      let skip = max 0 (List.length events - last_n) in
+      List.iteri
+        (fun i ev ->
+          if i >= skip then
+            Format.printf "%a@." Kpath_sim.Trace.pp_event ev)
+        events;
+      Format.printf "(%d events recorded, %d shown)@."
+        (Kpath_sim.Trace.recorded (Machine.trace machine))
+        (min last_n (List.length events));
+      let h =
+        Kpath_sim.Stats.histogram
+          (Kpath_core.Splice.ctx_stats (Machine.splice_ctx machine))
+          "splice.block_latency_us"
+      in
+      if Kpath_sim.Histogram.count h > 0 then
+        Format.printf "block latency (us): %a@." Kpath_sim.Histogram.pp h
+  in
+  Cmd.v (Cmd.info "copy" ~doc:"Measure one cold file copy.")
+    Term.(const run $ disk_arg $ size_arg $ mode_arg $ same_disk_arg
+          $ watermarks_arg $ trace_arg)
+
+(* table1 *)
+
+let table1_cmd =
+  let ops_arg =
+    Arg.(value & opt int 2000 & info [ "ops" ] ~docv:"N" ~doc:"Test-program operations (1 ms each).")
+  in
+  let natural_arg =
+    Arg.(value & flag & info [ "natural" ] ~doc:"Run copiers at device maximum instead of pacing to 1 MB/s.")
+  in
+  let run size_mb ops natural =
+    let pace = if natural then None else Some 1.0e6 in
+    List.iter
+      (fun r ->
+        Format.printf "%-5s F_cp=%.2f F_scp=%.2f I=%.2f (+%.0f%%)@."
+          (Experiments.disk_name r.Experiments.av_disk)
+          r.Experiments.av_f_cp r.Experiments.av_f_scp
+          r.Experiments.av_improvement r.Experiments.av_pct)
+      (Experiments.table1 ~file_bytes:(size_mb * mb) ~ops ~pace ())
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate Table 1 (CPU availability).")
+    Term.(const run $ size_arg $ ops_arg $ natural_arg)
+
+(* table2 *)
+
+let table2_cmd =
+  let run size_mb =
+    List.iter
+      (fun r ->
+        Format.printf "%-5s scp=%.0f KB/s cp=%.0f KB/s (+%.0f%%)@."
+          (Experiments.disk_name r.Experiments.tp_disk)
+          r.Experiments.tp_scp_kbps r.Experiments.tp_cp_kbps
+          r.Experiments.tp_pct_improvement)
+      (Experiments.table2 ~file_bytes:(size_mb * mb) ())
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Regenerate Table 2 (throughput).")
+    Term.(const run $ size_arg)
+
+(* relay *)
+
+let relay_cmd =
+  let n_arg =
+    Arg.(value & opt int 500 & info [ "datagrams" ] ~docv:"N" ~doc:"Datagrams to relay.")
+  in
+  let run n =
+    List.iter
+      (fun (name, mode) ->
+        let r = Experiments.measure_relay ~mode ~datagrams:n () in
+        Format.printf "%-8s: %d/%d delivered, %d dropped, CPU %.1f%%@." name
+          r.Experiments.rm_datagrams n r.Experiments.rm_dropped
+          (r.Experiments.rm_cpu_busy_frac *. 100.))
+      [ ("process", `Process); ("splice", `Splice) ]
+  in
+  Cmd.v (Cmd.info "relay" ~doc:"Compare UDP relays: process vs splice.")
+    Term.(const run $ n_arg)
+
+(* media *)
+
+let media_cmd =
+  let load_arg =
+    Arg.(value & opt int 0 & info [ "load" ] ~docv:"N" ~doc:"Competing compute-bound processes.")
+  in
+  let seconds_arg =
+    Arg.(value & opt int 5 & info [ "seconds" ] ~docv:"S" ~doc:"Movie length in simulated seconds.")
+  in
+  let run load seconds =
+    List.iter
+      (fun (name, player) ->
+        let r = Experiments.measure_media ~player ~load ~seconds () in
+        Format.printf
+          "%-8s: %d frames (%d late), %d underruns, %.1f fps, player CPU %.2fs@."
+          name r.Experiments.md_frames r.Experiments.md_late_frames
+          r.Experiments.md_audio_underruns r.Experiments.md_fps
+          r.Experiments.md_player_cpu_sec)
+      [ ("process", `Process); ("splice", `Splice) ]
+  in
+  Cmd.v
+    (Cmd.info "media" ~doc:"Compare movie players: read/write vs splice (s4).")
+    Term.(const run $ load_arg $ seconds_arg)
+
+(* sendfile *)
+
+let sendfile_cmd =
+  let loss_arg =
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Frame loss probability (0-0.9).")
+  in
+  let run size_mb loss =
+    List.iter
+      (fun (name, mode) ->
+        let r =
+          Experiments.measure_sendfile ~mode ~file_bytes:(size_mb * mb) ~loss ()
+        in
+        Format.printf
+          "%-9s: verified=%b %.0f KB/s server-cpu %.2fs retransmits %d@." name
+          r.Experiments.sf_verified r.Experiments.sf_kb_per_sec
+          r.Experiments.sf_server_cpu_sec r.Experiments.sf_retransmits)
+      [ ("readwrite", `ReadWrite); ("sendfile", `Sendfile) ]
+  in
+  Cmd.v
+    (Cmd.info "sendfile" ~doc:"Serve a file over TCP: read/write vs splice.")
+    Term.(const run $ size_arg $ loss_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "kpathctl" ~version:"1.0.0"
+      ~doc:"Drive the kpath in-kernel data path simulator."
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ info_cmd; copy_cmd; table1_cmd; table2_cmd; relay_cmd; media_cmd; sendfile_cmd ]))

@@ -1,0 +1,432 @@
+open Kpath_sim
+open Kpath_dev
+open Kpath_proc
+
+type t = {
+  block_size : int;
+  n : int;
+  bufs : Buf.t array;
+  hash : (int * int, Buf.t) Hashtbl.t;
+  mutable free_waiters : (unit -> unit) list;
+  mutable stamp : int;
+  mutable next_hdr_id : int;
+  mutable hdr_pool : Buf.t list;
+  mutable hdrs_out : int;
+  stats : Stats.t;
+}
+
+let create ~block_size ~nbufs () =
+  if block_size <= 0 || nbufs <= 0 then invalid_arg "Cache.create: bad sizes";
+  {
+    block_size;
+    n = nbufs;
+    bufs = Array.init nbufs (fun i -> Buf.make ~id:i ~data_size:block_size);
+    hash = Hashtbl.create (nbufs * 2);
+    free_waiters = [];
+    stamp = 0;
+    next_hdr_id = nbufs;
+    hdr_pool = [];
+    hdrs_out = 0;
+    stats = Stats.create ();
+  }
+
+let block_size t = t.block_size
+
+let nbufs t = t.n
+
+let stats t = t.stats
+
+let count name t = Stats.incr (Stats.counter t.stats name)
+
+let touch t (b : Buf.t) =
+  t.stamp <- t.stamp + 1;
+  b.b_stamp <- t.stamp
+
+let unhash t (b : Buf.t) =
+  if b.b_in_hash then begin
+    (match b.b_dev with
+     | Some dev -> Hashtbl.remove t.hash (dev.Blkdev.dv_id, b.b_blkno)
+     | None -> ());
+    b.b_in_hash <- false
+  end
+
+let rehash t (b : Buf.t) (dev : Blkdev.t) blkno =
+  unhash t b;
+  b.b_dev <- Some dev;
+  b.b_blkno <- blkno;
+  Hashtbl.replace t.hash (dev.Blkdev.dv_id, blkno) b;
+  b.b_in_hash <- true
+
+let wake_list l = List.iter (fun w -> w ()) (List.rev l)
+
+let wake_free t =
+  let ws = t.free_waiters in
+  t.free_waiters <- [];
+  wake_list ws
+
+(* Start the device operation described by the buffer. Completion is
+   delivered through [biodone]. *)
+let rec start_io t (b : Buf.t) ~write =
+  let dev = match b.b_dev with Some d -> d | None -> invalid_arg "start_io" in
+  count (if write then "cache.dev_writes" else "cache.dev_reads") t;
+  if write then Buf.clear b Buf.b_read else Buf.set b Buf.b_read;
+  Buf.clear b (Buf.b_done lor Buf.b_error_flag);
+  b.b_error <- None;
+  dev.Blkdev.dv_strategy
+    {
+      Blkdev.r_blkno = b.b_blkno;
+      r_data = b.b_data;
+      r_count = b.b_bcount;
+      r_write = write;
+      r_done = (fun err -> biodone_ref t b err);
+    }
+
+and brelse t (b : Buf.t) =
+  if not (Buf.has b Buf.b_busy) then invalid_arg "brelse: buffer not busy";
+  let ws = b.b_waiters in
+  b.b_waiters <- [];
+  if Buf.has b Buf.b_inval || Buf.has b Buf.b_error_flag then begin
+    unhash t b;
+    b.b_flags <- 0;
+    b.b_error <- None;
+    b.b_splice <- -1;
+    b.b_lblkno <- -1
+  end
+  else
+    Buf.clear b (Buf.b_busy lor Buf.b_async lor Buf.b_call lor Buf.b_read);
+  b.b_iodone <- None;
+  touch t b;
+  wake_list ws;
+  wake_free t
+
+and biodone_ref t (b : Buf.t) err =
+  (match err with
+   | Some e ->
+     Buf.set b Buf.b_error_flag;
+     b.b_error <- Some e;
+     count "cache.io_errors" t
+   | None -> ());
+  Buf.set b Buf.b_done;
+  if Buf.has b Buf.b_call then begin
+    Buf.clear b Buf.b_call;
+    match b.b_iodone with
+    | Some f ->
+      b.b_iodone <- None;
+      f b
+    | None -> ()
+  end
+  else if Buf.has b Buf.b_async then brelse t b
+  else begin
+    let ws = b.b_waiters in
+    b.b_waiters <- [];
+    wake_list ws
+  end
+
+let biodone = biodone_ref
+
+(* Pick a reusable buffer, classic 4.2BSD free-list style: walk the
+   non-busy buffers from least to most recently used; delayed-write
+   buffers reaching the head are pushed to their device asynchronously
+   and skipped, and the first clean one is the victim. This is what
+   keeps a copy's destination disk continuously fed while its source
+   disk streams reads. *)
+let victim t =
+  (* Pass 1: the least-recently-used non-busy clean buffer. *)
+  let clean = ref None in
+  Array.iter
+    (fun (b : Buf.t) ->
+      if (not (Buf.has b Buf.b_busy)) && not (Buf.has b Buf.b_delwri) then
+        match !clean with
+        | Some (c : Buf.t) when c.b_stamp <= b.b_stamp -> ()
+        | _ -> clean := Some b)
+    t.bufs;
+  let horizon = match !clean with Some c -> c.b_stamp | None -> max_int in
+  (* Pass 2: push out every delayed write older than that victim — the
+     dirty buffers that reached the head of the free list. *)
+  let flushed = ref false in
+  Array.iter
+    (fun (b : Buf.t) ->
+      if
+        (not (Buf.has b Buf.b_busy))
+        && Buf.has b Buf.b_delwri
+        && b.b_stamp < horizon
+      then begin
+        flushed := true;
+        Buf.set b Buf.b_busy;
+        Buf.clear b Buf.b_delwri;
+        Buf.set b Buf.b_async;
+        count "cache.delwri_flushes" t;
+        start_io t b ~write:true
+      end)
+    t.bufs;
+  match !clean with
+  | Some b -> `Clean b
+  | None -> if !flushed then `Flushing else `None
+
+let reassign t (b : Buf.t) dev blkno =
+  rehash t b dev blkno;
+  b.b_flags <- Buf.b_busy;
+  b.b_error <- None;
+  b.b_iodone <- None;
+  b.b_bcount <- t.block_size;
+  b.b_lblkno <- -1;
+  b.b_splice <- -1;
+  touch t b
+
+let rec getblk t (dev : Blkdev.t) blkno =
+  match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
+  | Some b when Buf.has b Buf.b_busy ->
+    count "cache.sleeps" t;
+    Process.block "getblk" (fun w -> b.b_waiters <- w :: b.b_waiters);
+    getblk t dev blkno
+  | Some b ->
+    Buf.set b Buf.b_busy;
+    touch t b;
+    b
+  | None -> (
+    match victim t with
+    | `Clean b ->
+      reassign t b dev blkno;
+      b
+    | `Flushing ->
+      (* Flushes were started; they may already have completed (the
+         RAM disk copies synchronously in our context), so re-scan
+         rather than sleeping past the wakeup. *)
+      getblk t dev blkno
+    | `None ->
+      count "cache.sleeps" t;
+      Process.block "getblk-free" (fun w ->
+          t.free_waiters <- w :: t.free_waiters);
+      getblk t dev blkno)
+
+let getblk_nb t (dev : Blkdev.t) blkno =
+  match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
+  | Some b when Buf.has b Buf.b_busy -> None
+  | Some b ->
+    Buf.set b Buf.b_busy;
+    touch t b;
+    Some b
+  | None -> (
+    match victim t with
+    | `Clean b ->
+      reassign t b dev blkno;
+      Some b
+    | `Flushing | `None -> None)
+
+let rec biowait (b : Buf.t) =
+  if Buf.has b Buf.b_done then
+    match b.b_error with Some e -> Error e | None -> Ok ()
+  else begin
+    Process.block "biowait" (fun w -> b.b_waiters <- w :: b.b_waiters);
+    biowait b
+  end
+
+let bread t dev blkno =
+  let b = getblk t dev blkno in
+  if Buf.valid b then begin
+    count "cache.hits" t;
+    b
+  end
+  else begin
+    count "cache.misses" t;
+    start_io t b ~write:false;
+    ignore (biowait b);
+    b
+  end
+
+let breada t dev blkno ~ahead =
+  (* Fire the read-ahead first so the device can pipeline it behind the
+     demand read. *)
+  (if ahead >= 0
+   && ahead < dev.Blkdev.dv_nblocks
+   && not (Hashtbl.mem t.hash (dev.Blkdev.dv_id, ahead))
+   then
+     match getblk_nb t dev ahead with
+     | Some ab ->
+       count "cache.readaheads" t;
+       Buf.set ab Buf.b_async;
+       start_io t ab ~write:false
+     | None -> ());
+  bread t dev blkno
+
+let bwrite t (b : Buf.t) =
+  if not (Buf.has b Buf.b_busy) then invalid_arg "bwrite: buffer not busy";
+  count "cache.bwrites" t;
+  Buf.clear b Buf.b_delwri;
+  start_io t b ~write:true;
+  ignore (biowait b);
+  brelse t b
+
+let bawrite t (b : Buf.t) =
+  if not (Buf.has b Buf.b_busy) then invalid_arg "bawrite: buffer not busy";
+  count "cache.bawrites" t;
+  Buf.clear b Buf.b_delwri;
+  Buf.set b Buf.b_async;
+  start_io t b ~write:true
+
+let bdwrite t (b : Buf.t) =
+  if not (Buf.has b Buf.b_busy) then invalid_arg "bdwrite: buffer not busy";
+  count "cache.bdwrites" t;
+  Buf.set b (Buf.b_delwri lor Buf.b_done);
+  brelse t b
+
+let cached t (dev : Blkdev.t) blkno =
+  match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
+  | Some b -> Buf.has b Buf.b_done || Buf.has b Buf.b_delwri
+  | None -> false
+
+(* fsync back end, pipelined: start every delayed write asynchronously,
+   then wait for each block to come to rest (the device services the
+   whole batch back to back instead of one biowait round trip per
+   block). *)
+let flush_start t (dev : Blkdev.t) blkno =
+  match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
+  | Some b when (not (Buf.has b Buf.b_busy)) && Buf.has b Buf.b_delwri ->
+    Buf.set b Buf.b_busy;
+    Buf.clear b Buf.b_delwri;
+    Buf.set b Buf.b_async;
+    count "cache.fsync_writes" t;
+    start_io t b ~write:true
+  | Some _ | None -> ()
+
+let rec flush_await t (dev : Blkdev.t) blkno =
+  match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
+  | None -> ()
+  | Some b when Buf.has b Buf.b_busy ->
+    Process.block "fsync" (fun w -> b.b_waiters <- w :: b.b_waiters);
+    flush_await t dev blkno
+  | Some b when Buf.has b Buf.b_delwri ->
+    (* Re-dirtied while we waited: write it synchronously. *)
+    Buf.set b Buf.b_busy;
+    bwrite t b;
+    flush_await t dev blkno
+  | Some _ -> ()
+
+let flush_blocks t dev blknos =
+  List.iter (flush_start t dev) blknos;
+  List.iter (flush_await t dev) blknos
+
+let flush_dev t (dev : Blkdev.t) =
+  let blknos =
+    Hashtbl.fold
+      (fun (d, blkno) _ acc -> if d = dev.Blkdev.dv_id then blkno :: acc else acc)
+      t.hash []
+  in
+  flush_blocks t dev (List.sort compare blknos)
+
+let invalidate_dev t (dev : Blkdev.t) =
+  Array.iter
+    (fun (b : Buf.t) ->
+      match b.b_dev with
+      | Some d when d.Blkdev.dv_id = dev.Blkdev.dv_id ->
+        if Buf.has b Buf.b_busy then
+          invalid_arg "Cache.invalidate_dev: device has busy buffers";
+        unhash t b;
+        b.b_flags <- 0;
+        b.b_error <- None;
+        b.b_dev <- None;
+        b.b_blkno <- -1
+      | Some _ | None -> ())
+    t.bufs
+
+let bread_nb t dev blkno ~iodone =
+  match getblk_nb t dev blkno with
+  | None -> `Busy
+  | Some b ->
+    if Buf.valid b then begin
+      count "cache.hits" t;
+      `Hit b
+    end
+    else begin
+      count "cache.misses" t;
+      Buf.set b Buf.b_call;
+      b.b_iodone <- Some iodone;
+      start_io t b ~write:false;
+      `Started b
+    end
+
+let awrite_call t (b : Buf.t) ~iodone =
+  if not (Buf.has b Buf.b_busy) then invalid_arg "awrite_call: buffer not busy";
+  count "cache.awrite_calls" t;
+  Buf.set b Buf.b_call;
+  b.b_iodone <- Some iodone;
+  Buf.clear b Buf.b_delwri;
+  start_io t b ~write:true
+
+let rec invalidate_cached t (dev : Blkdev.t) blkno =
+  match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
+  | None -> ()
+  | Some b when Buf.has b Buf.b_busy ->
+    Process.block "inval" (fun w -> b.b_waiters <- w :: b.b_waiters);
+    invalidate_cached t dev blkno
+  | Some b ->
+    Buf.set b (Buf.b_busy lor Buf.b_inval);
+    Buf.clear b Buf.b_delwri;
+    brelse t b
+
+let getblk_hdr t (dev : Blkdev.t) blkno =
+  let b =
+    match t.hdr_pool with
+    | b :: rest ->
+      t.hdr_pool <- rest;
+      b
+    | [] ->
+      let b = Buf.make ~id:t.next_hdr_id ~data_size:0 in
+      t.next_hdr_id <- t.next_hdr_id + 1;
+      b
+  in
+  t.hdrs_out <- t.hdrs_out + 1;
+  b.b_dev <- Some dev;
+  b.b_blkno <- blkno;
+  b.b_flags <- Buf.b_busy;
+  b.b_error <- None;
+  b.b_iodone <- None;
+  b.b_bcount <- 0;
+  b.b_data <- Bytes.empty;
+  b.b_lblkno <- -1;
+  b.b_splice <- -1;
+  b
+
+let release_hdr t (b : Buf.t) =
+  if b.b_in_hash then invalid_arg "Cache.release_hdr: cache-owned buffer";
+  t.hdrs_out <- t.hdrs_out - 1;
+  b.b_flags <- 0;
+  b.b_data <- Bytes.empty;
+  b.b_dev <- None;
+  b.b_iodone <- None;
+  b.b_waiters <- [];
+  t.hdr_pool <- b :: t.hdr_pool
+
+let busy_count t =
+  Array.fold_left
+    (fun acc b -> if Buf.has b Buf.b_busy then acc + 1 else acc)
+    0 t.bufs
+
+let dirty_count t =
+  Array.fold_left
+    (fun acc b -> if Buf.has b Buf.b_delwri then acc + 1 else acc)
+    0 t.bufs
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  (* Hash entries point at buffers with the matching identity. *)
+  Hashtbl.iter
+    (fun (dev_id, blkno) (b : Buf.t) ->
+      if not b.b_in_hash then fail "hash entry for un-hashed %a" Buf.pp b;
+      match b.b_dev with
+      | Some d when d.Blkdev.dv_id = dev_id && b.b_blkno = blkno -> ()
+      | _ -> fail "hash key mismatch for %a" Buf.pp b)
+    t.hash;
+  (* Hashed buffers are present in the hash under their own key. *)
+  Array.iter
+    (fun (b : Buf.t) ->
+      if b.b_in_hash then begin
+        match Hashtbl.find_opt t.hash (Buf.key b) with
+        | Some b' when b' == b -> ()
+        | _ -> fail "buffer %a missing from hash" Buf.pp b
+      end;
+      if Buf.has b Buf.b_delwri && not (Buf.has b Buf.b_done) then
+        fail "dirty but invalid: %a" Buf.pp b)
+    t.bufs;
+  if Hashtbl.length t.hash > t.n then fail "hash larger than pool";
+  if t.hdrs_out < 0 then fail "negative outstanding header count"

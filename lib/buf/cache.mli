@@ -1,0 +1,148 @@
+(** The buffer cache.
+
+    A fixed pool of block buffers indexed by (device, physical block),
+    with LRU reuse and delayed writes — the 4.2BSD design ([LMK89]) the
+    paper's splice implementation plugs into. Two families of entry
+    points coexist:
+
+    - the classic process-context calls ([getblk], [bread], [breada],
+      [bwrite], [bawrite], [bdwrite], [biowait]) which may put the caller
+      to sleep and therefore must run inside a process coroutine;
+
+    - the splice variants (§5.3): [getblk_nb] and [bread_nb] never sleep
+      (splice handlers run without a process context), and [getblk_hdr]
+      hands out a bare header whose data pointer will alias another
+      buffer's data area — the paper's modified [getblk] "which avoids
+      allocating any real memory to the buffer".
+
+    I/O completion arrives through {!biodone}, in interrupt context. *)
+
+open Kpath_sim
+open Kpath_dev
+
+type t
+(** A buffer cache. *)
+
+val create : block_size:int -> nbufs:int -> unit -> t
+(** [create ~block_size ~nbufs ()] builds a cache of [nbufs] buffers of
+    [block_size] bytes (the paper's machine: 3.2 MB of 8 KB buffers). *)
+
+val block_size : t -> int
+
+val nbufs : t -> int
+
+val stats : t -> Stats.t
+(** Counters: [cache.hits], [cache.misses], [cache.reads],
+    [cache.writes], [cache.delwri_flushes], [cache.sleeps]... *)
+
+(** {1 Process-context operations} *)
+
+val getblk : t -> Blkdev.t -> int -> Buf.t
+(** [getblk t dev blkno] returns the buffer for [(dev, blkno)], marked
+    busy. Sleeps while the buffer is busy or no buffer can be recycled.
+    Contents are valid iff [Buf.valid]. Must run in a process. *)
+
+val bread : t -> Blkdev.t -> int -> Buf.t
+(** [bread t dev blkno] is [getblk] plus, on a miss, a read from the
+    device and a [biowait]. Check [b_error] on return. *)
+
+val breada : t -> Blkdev.t -> int -> ahead:int -> Buf.t
+(** [breada t dev blkno ~ahead] is [bread] plus an asynchronous
+    read-ahead of block [ahead] (ignored when [ahead] is cached, busy or
+    out of range) — the FFS sequential read-ahead [cp] benefits from. *)
+
+val bwrite : t -> Buf.t -> unit
+(** Synchronous write: starts the I/O and sleeps until completion, then
+    releases the buffer. *)
+
+val bawrite : t -> Buf.t -> unit
+(** Asynchronous write: starts the I/O and returns; the buffer is
+    released by {!biodone}. *)
+
+val bdwrite : t -> Buf.t -> unit
+(** Delayed write: mark dirty and valid, release without I/O. The block
+    is written when its buffer is about to be recycled, or by
+    {!flush_blocks} / {!flush_dev}. *)
+
+val brelse : t -> Buf.t -> unit
+(** Release a busy buffer back to the free list (MRU position), waking
+    anyone sleeping on it. [B_INVAL] buffers lose their identity. *)
+
+val biowait : Buf.t -> (unit, Blkdev.error) result
+(** Sleep until the buffer's I/O completes; report its outcome. *)
+
+val flush_blocks : t -> Blkdev.t -> int list -> unit
+(** Synchronously write out any delayed-write buffers among the given
+    physical blocks (the [fsync] back end). Process context. *)
+
+val flush_dev : t -> Blkdev.t -> unit
+(** {!flush_blocks} over every cached block of the device. *)
+
+val invalidate_dev : t -> Blkdev.t -> unit
+(** Forget every non-busy cached block of the device — used to ensure the
+    cold-cache start of the paper's measurements. Raises
+    [Invalid_argument] if the device has busy buffers. *)
+
+val cached : t -> Blkdev.t -> int -> bool
+(** Is [(dev, blkno)] present (valid or dirty) in the cache? *)
+
+(** {1 Interrupt-context operations} *)
+
+val biodone : t -> Buf.t -> Blkdev.error option -> unit
+(** I/O completion: records the outcome, then runs the [B_CALL] handler
+    if installed, else auto-releases [B_ASYNC] buffers, else wakes
+    [biowait] sleepers. *)
+
+(** {1 splice support (never sleep)} *)
+
+val getblk_nb : t -> Blkdev.t -> int -> Buf.t option
+(** Non-blocking [getblk]: [None] when the buffer is busy or nothing can
+    be recycled right now (a delayed write may have been started to make
+    progress). *)
+
+val bread_nb :
+  t ->
+  Blkdev.t ->
+  int ->
+  iodone:(Buf.t -> unit) ->
+  [ `Hit of Buf.t | `Started of Buf.t | `Busy ]
+(** Non-blocking [bread] with the [biowait] removed (§5.3): on a cache
+    hit returns the valid busy buffer; otherwise installs [iodone] as the
+    [B_CALL] handler and starts the read, or reports [`Busy] when no
+    buffer is available. With [`Started b], [b] is the in-flight buffer —
+    the caller may tag [b_splice]/[b_lblkno] immediately (completion is
+    never synchronous). *)
+
+val awrite_call : t -> Buf.t -> iodone:(Buf.t -> unit) -> unit
+(** Asynchronous write whose completion invokes [iodone] instead of
+    auto-releasing ([B_CALL] wins over [B_ASYNC] in {!biodone}) — the
+    splice write side: install the write handler in the header, then
+    [bawrite] (§5.4). Works on cache buffers and {!getblk_hdr} headers. *)
+
+val invalidate_cached : t -> Blkdev.t -> int -> unit
+(** If [(dev, blkno)] is cached, discard it (sleeping while it is busy).
+    Unlike [getblk]-then-invalidate, a block that is absent is left
+    absent. Used by splice to keep the cache coherent with its
+    write-around of the destination blocks. Process context. *)
+
+val getblk_hdr : t -> Blkdev.t -> int -> Buf.t
+(** A bare buffer header for the splice write side (§5.4): not indexed in
+    the cache, owning no data area of its own — the caller points
+    [b_data] at the read-side buffer's data. Release with
+    {!release_hdr}. *)
+
+val release_hdr : t -> Buf.t -> unit
+(** Return a {!getblk_hdr} header to the header pool. *)
+
+(** {1 Introspection} *)
+
+val busy_count : t -> int
+(** Buffers currently busy. *)
+
+val dirty_count : t -> int
+(** Buffers currently marked delayed-write. *)
+
+val check_invariants : t -> unit
+(** Validate structural invariants (unique identities, busy buffers off
+    the free list, hash consistency); raises [Failure] on violation.
+    Testing aid. *)

@@ -1,0 +1,17 @@
+type config = { read_lo : int; write_hi : int; read_burst : int }
+
+let make ~read_lo ~write_hi ~read_burst =
+  if read_lo < 1 || write_hi < 1 || read_burst < 1 then
+    invalid_arg "Flowctl.make: watermarks must be positive";
+  { read_lo; write_hi; read_burst }
+
+let default = { read_lo = 3; write_hi = 5; read_burst = 5 }
+
+let lockstep = { read_lo = 1; write_hi = 1; read_burst = 1 }
+
+let reads_to_issue cfg ~pending_reads ~pending_writes =
+  if pending_reads < cfg.read_lo && pending_writes < cfg.write_hi then
+    cfg.read_burst
+  else 0
+
+let max_in_flight cfg = cfg.read_lo - 1 + cfg.read_burst

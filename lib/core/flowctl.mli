@@ -1,0 +1,35 @@
+(** splice rate-based flow control (§5.5).
+
+    The calling program cannot be blocked — it is not the one issuing
+    reads and writes — so splice paces itself on the completion rate of
+    writes: each descriptor counts pending reads and pending writes, and
+    when both drop below their watermarks the write handler issues a
+    burst of additional reads. The paper's values: read watermark 3,
+    write watermark 5, burst 5 — "adequate to prevent both the source
+    from being underutilized and the destination from being
+    overwhelmed". *)
+
+type config = {
+  read_lo : int;  (** issue more reads when pending reads drop below this *)
+  write_hi : int;  (** ... and pending writes are below this *)
+  read_burst : int;  (** how many reads to issue then *)
+}
+
+val default : config
+(** The paper's [{read_lo = 3; write_hi = 5; read_burst = 5}]. *)
+
+val lockstep : config
+(** [{1; 1; 1}]: at most one block in flight — the behaviour splice's
+    callout decoupling exists to avoid (§5.4 ablation). *)
+
+val make : read_lo:int -> write_hi:int -> read_burst:int -> config
+(** Validated constructor; all fields must be positive. *)
+
+val reads_to_issue : config -> pending_reads:int -> pending_writes:int -> int
+(** How many new reads the write handler should start right now: the
+    burst size when both counts are below their watermarks, 0
+    otherwise. *)
+
+val max_in_flight : config -> int
+(** Upper bound on simultaneously pending reads, implied by the policy:
+    reads are only issued below [read_lo], in bursts of [read_burst]. *)

@@ -1,0 +1,138 @@
+(** splice() — in-kernel data paths between I/O objects.
+
+    The paper's contribution: move data between two I/O objects entirely
+    inside the kernel, asynchronously, with no user-space buffer and no
+    per-block process context. For a file-to-file splice the
+    implementation follows §5 exactly:
+
+    + setup (process context): determine the size from the source inode,
+      allocate a splice descriptor, build the complete physical block
+      tables of source and destination by successive [bmap] calls (the
+      destination through the special allocating bmap that skips
+      zero-fill delayed writes), then return to the caller;
+    + read side: a non-blocking [bread] schedules a device read whose
+      [B_CALL] handler is the read handler;
+    + the read handler schedules the write side at the head of the
+      callout list, decoupling source and destination devices;
+    + the write side takes a bare buffer header, points its data area at
+      the read buffer's data (no copy), installs the write handler and
+      issues an asynchronous write;
+    + the write handler releases both buffers and applies rate-based
+      flow control: when pending reads and writes are below their
+      watermarks, it issues a burst of new reads;
+    + when the last block completes the descriptor fires its completion
+      callbacks (the syscall layer turns these into SIGIO for [FASYNC]
+      splices or a wakeup for synchronous ones).
+
+    Datagram (socket-to-socket), framebuffer-to-socket and
+    file-to-character-device splices are pumped analogously; see
+    {!start} for the supported endpoint matrix. *)
+
+open Kpath_sim
+open Kpath_buf
+
+type ctx
+(** Shared splice machinery: buffer cache, callout list, CPU-interrupt
+    injection and cost parameters. One per machine. *)
+
+val make_ctx :
+  engine:Engine.t ->
+  callout:Callout.t ->
+  cache:Cache.t ->
+  intr:(service:Time.span -> (unit -> unit) -> unit) ->
+  ?handler_cost:Time.span ->
+  ?trace:Trace.t ->
+  unit ->
+  ctx
+(** [make_ctx ()] wires the splice machinery. [handler_cost] is the CPU
+    charged per read/write handler activation (default 25 us — a few
+    hundred R3000 instructions). Pass [trace] to record per-block events
+    under the ["splice"] category. *)
+
+val ctx_stats : ctx -> Stats.t
+(** Machinery-wide counters: [splice.started], [splice.reads_issued],
+    [splice.writes_issued], [splice.retries], [splice.completed],
+    [splice.aborted]; plus the [splice.block_latency_us] histogram of
+    read-issue to write-completion times per block. *)
+
+type state =
+  | Running
+  | Completed
+  | Aborted of string  (** I/O error or caller interruption *)
+
+type t
+(** A splice descriptor. *)
+
+val eof : int
+(** Size sentinel: splice until end-of-file (files, framebuffer) or until
+    aborted (sockets). *)
+
+val start :
+  ctx ->
+  src:Endpoint.source ->
+  dst:Endpoint.sink ->
+  ?config:Flowctl.config ->
+  size:int ->
+  unit ->
+  t
+(** [start ctx ~src ~dst ~size ()] sets up and launches a splice of
+    [size] bytes ({!eof} for end-of-file semantics). Process context
+    (the block maps are built here); returns as soon as the transfer is
+    self-sustaining.
+
+    Supported endpoint pairs: file→file, file→chardev, file→socket
+    (UDP or TCP), socket→socket, socket→chardev, framebuffer→socket,
+    and input-device→file (recording; bounded size required, with
+    real-time overrun semantics — see {!overruns}). Anything else
+    raises [Invalid_argument]. File offsets must be block-aligned
+    (enforced by {!Endpoint}); sparse sources and same-file overlapping
+    ranges raise [Fs_error.Error (Einval _)]; destination allocation may
+    raise [Fs_error.Error Enospc]. *)
+
+val state : t -> state
+
+val id : t -> int
+
+val bytes_moved : t -> int
+(** Bytes fully transferred (source read, sink accepted). *)
+
+val total_bytes : t -> int
+(** The resolved transfer size; [max_int] for unbounded splices. *)
+
+val pending_reads : t -> int
+
+val pending_writes : t -> int
+
+val peak_pending_reads : t -> int
+(** High-water mark of in-flight reads — bounded by
+    [Flowctl.max_in_flight] (tested invariant). *)
+
+val peak_pending_writes : t -> int
+
+val overruns : t -> int
+(** Recording splices only: bytes dropped because the sink could not
+    keep up with the device (pending writes at the watermark when a
+    block filled). *)
+
+val on_complete : t -> (t -> unit) -> unit
+(** Register a callback fired (in interrupt context) exactly once, when
+    the splice completes or aborts. Fires immediately if already done. *)
+
+val wait : t -> (int, string) result
+(** Block the calling process until the splice finishes; [Ok bytes] or
+    [Error reason] with the abort reason. Process context. *)
+
+val abort : t -> reason:string -> unit
+(** Interrupt the transfer; in-flight blocks are drained, then the
+    descriptor completes as [Aborted]. Idempotent. *)
+
+val release : t -> unit
+(** Detach a finished datagram/framebuffer splice from its source
+    (uninstall upcalls). File splices release resources automatically;
+    calling this on them is a no-op. *)
+
+(** {1 Introspection for tests} *)
+
+val inflight_buffers : t -> Buf.t list
+(** Source-side buffers currently held (read done, write not yet
+    complete). *)

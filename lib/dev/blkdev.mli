@@ -1,0 +1,50 @@
+(** Block-device interface.
+
+    Drivers expose the classic [strategy] entry point: the caller hands
+    over a request and gets a completion callback in interrupt context,
+    exactly the discipline the buffer cache (and, through it, splice)
+    builds on. Devices never block the caller.
+
+    Devices do not know about the buffer cache; the cache translates
+    buffer headers into requests. This keeps the dependency pointing the
+    same way as in the BSD kernel sources. *)
+
+open Kpath_sim
+
+type error = Io_error of string  (** Hard I/O error, propagated to [B_ERROR]. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type req = {
+  r_blkno : int;  (** device block number *)
+  r_data : bytes;  (** data area (read target / write source) *)
+  r_count : int;  (** bytes to transfer, [<= Bytes.length r_data] *)
+  r_write : bool;  (** direction *)
+  r_done : error option -> unit;  (** completion, called in interrupt context *)
+}
+
+type intr = service:Time.span -> (unit -> unit) -> unit
+(** How a driver raises an interrupt: the scheduler's
+    [Sched.interrupt] partially applied, kept abstract here so devices
+    depend only on [kpath_sim]. *)
+
+type t = {
+  dv_name : string;
+  dv_id : int;  (** unique id, used by the buffer cache hash *)
+  dv_block_size : int;  (** bytes per device block *)
+  dv_nblocks : int;  (** device capacity in blocks *)
+  dv_strategy : req -> unit;  (** queue a request; returns immediately *)
+  dv_pending : unit -> int;  (** requests queued or in flight *)
+  dv_stats : Stats.t;  (** per-device counters *)
+}
+
+val next_id : unit -> int
+(** Allocate a device id (monotonic, deterministic per creation order). *)
+
+val check_req : t -> req -> unit
+(** Validate a request against the device geometry: block in range, count
+    positive, a whole number of blocks, and within the data area. Raises
+    [Invalid_argument] otherwise. Drivers call this first in strategy. *)
+
+val blocks_of_req : t -> req -> int
+(** Number of device blocks the request spans. *)

@@ -1,0 +1,337 @@
+open Kpath_sim
+
+type geometry = {
+  avg_seek : Time.span;
+  avg_rot_latency : Time.span;
+  media_rate : float;
+  bus_rate : float;
+  readahead_bytes : int;
+  readahead_segments : int;
+}
+
+(* Figures from DEC's RZ-series documentation as quoted in the paper's
+   §6.1. Bus rate is a conservative synchronous-SCSI figure for the
+   DECstation's 5394 controller. *)
+let rz56 =
+  {
+    avg_seek = Time.ms 16;
+    avg_rot_latency = Time.of_us_f 8300.0;
+    media_rate = 1.66e6;
+    bus_rate = 4.0e6;
+    readahead_bytes = 64 * 1024;
+    readahead_segments = 1;
+  }
+
+let rz58 =
+  {
+    avg_seek = Time.of_us_f 12500.0;
+    avg_rot_latency = Time.of_us_f 5600.0;
+    media_rate = 2.1e6;
+    bus_rate = 4.0e6;
+    readahead_bytes = 256 * 1024;
+    readahead_segments = 4;
+  }
+
+(* One on-board cache segment: a sequential read stream the drive is
+   following. [next_blk] is the block the host is expected to ask for
+   next; [media_clock] is when the media head will have finished reading
+   that block under the streaming pipeline. *)
+type segment = {
+  mutable seg_next : int;
+  mutable seg_media_clock : Time.t;
+  mutable seg_stamp : int; (* LRU *)
+}
+
+type queue_discipline = Fifo | Elevator
+
+type t = {
+  name : string;
+  geometry : geometry;
+  block_size : int;
+  nblocks : int;
+  intr_service : Time.span;
+  discipline : queue_discipline;
+  engine : Engine.t;
+  intr : Blkdev.intr;
+  segments : segment array;
+  mutable head_pos : int; (* block following the last media access *)
+  mutable stamp : int;
+  mutable queue : Blkdev.req list; (* pending, arrival order *)
+  mutable in_service : bool;
+  store : (int, bytes) Hashtbl.t;
+  mutable poisoned : int list; (* one-shot error injection *)
+  mutable serviced : int;
+  mutable cache_hits : int;
+  mutable seeks : int;
+  stats : Stats.t;
+  mutable dev : Blkdev.t option;
+}
+
+let geometry t = t.geometry
+
+let busy t = t.in_service || t.queue <> []
+
+let serviced t = t.serviced
+
+let cache_hits t = t.cache_hits
+
+let seeks t = t.seeks
+
+let ra_blocks t =
+  max 1 (t.geometry.readahead_bytes / t.geometry.readahead_segments / t.block_size)
+
+(* Per-segment prefetch window expressed as streaming time. *)
+let ra_time t =
+  Time.span_of_bytes ~bytes_per_sec:t.geometry.media_rate
+    (ra_blocks t * t.block_size)
+
+let media_time t count = Time.span_of_bytes ~bytes_per_sec:t.geometry.media_rate count
+
+let bus_time t count = Time.span_of_bytes ~bytes_per_sec:t.geometry.bus_rate count
+
+(* Seek-time curve: roughly linear in distance, normalised so that the
+   published average is reached at a third of the stroke (the classical
+   random-seek average). *)
+let seek_time t ~from ~to_ =
+  let dist = abs (to_ - from) in
+  let frac = float_of_int dist /. float_of_int (max 1 t.nblocks) in
+  let factor = 0.3 +. (2.1 *. frac) in
+  Time.of_us_f (Time.to_us_f t.geometry.avg_seek *. factor)
+
+let find_segment t blkno =
+  let found = ref None in
+  Array.iter (fun seg -> if seg.seg_next = blkno then found := Some seg) t.segments;
+  !found
+
+let lru_segment t =
+  Array.fold_left
+    (fun acc seg -> if seg.seg_stamp < acc.seg_stamp then seg else acc)
+    t.segments.(0) t.segments
+
+let touch t seg =
+  t.stamp <- t.stamp + 1;
+  seg.seg_stamp <- t.stamp
+
+(* Drop cache segments plausibly covering the written range (write-through
+   coherency). *)
+let invalidate_around t blkno nblk =
+  let ra = ra_blocks t in
+  Array.iter
+    (fun seg ->
+      if abs (seg.seg_next - blkno) <= ra + nblk then begin
+        seg.seg_next <- -1;
+        seg.seg_media_clock <- Time.zero
+      end)
+    t.segments
+
+(* Completion instant for a request issued at [now], updating head and
+   segment state. *)
+let completion_time t (req : Blkdev.req) now =
+  let nblk = req.r_count / t.block_size in
+  let mt = media_time t req.r_count in
+  if req.r_write then begin
+    invalidate_around t req.r_blkno nblk;
+    let done_at =
+      if req.r_blkno = t.head_pos then Time.add now mt
+      else begin
+        t.seeks <- t.seeks + 1;
+        Time.add now
+          (Time.add
+             (Time.add (seek_time t ~from:t.head_pos ~to_:req.r_blkno)
+                t.geometry.avg_rot_latency)
+             mt)
+      end
+    in
+    t.head_pos <- req.r_blkno + nblk;
+    done_at
+  end
+  else
+    match find_segment t req.r_blkno with
+    | Some seg ->
+      (* Read-ahead cache hit: bus transfer, bounded by the media
+         pipeline. The drive cannot have prefetched more than one
+         segment window ahead of the host. *)
+      t.cache_hits <- t.cache_hits + 1;
+      let stall_floor =
+        let w = ra_time t in
+        if Time.(w > now) then Time.zero else Time.sub now w
+      in
+      seg.seg_media_clock <- Time.max seg.seg_media_clock stall_floor;
+      seg.seg_media_clock <- Time.add seg.seg_media_clock mt;
+      seg.seg_next <- req.r_blkno + nblk;
+      touch t seg;
+      t.head_pos <- req.r_blkno + nblk;
+      Time.add (Time.max now seg.seg_media_clock) (bus_time t req.r_count)
+    | None ->
+      let start_cost =
+        if req.r_blkno = t.head_pos then Time.zero
+        else begin
+          t.seeks <- t.seeks + 1;
+          Time.add
+            (seek_time t ~from:t.head_pos ~to_:req.r_blkno)
+            t.geometry.avg_rot_latency
+        end
+      in
+      let done_at = Time.add now (Time.add start_cost mt) in
+      let seg = lru_segment t in
+      seg.seg_next <- req.r_blkno + nblk;
+      seg.seg_media_clock <- done_at;
+      touch t seg;
+      t.head_pos <- req.r_blkno + nblk;
+      done_at
+
+let store_write t blkno data off =
+  let b =
+    match Hashtbl.find_opt t.store blkno with
+    | Some b -> b
+    | None ->
+      let b = Bytes.make t.block_size '\000' in
+      Hashtbl.add t.store blkno b;
+      b
+  in
+  Bytes.blit data off b 0 t.block_size
+
+let store_read t blkno data off =
+  match Hashtbl.find_opt t.store blkno with
+  | Some b -> Bytes.blit b 0 data off t.block_size
+  | None -> Bytes.fill data off t.block_size '\000'
+
+let transfer t (req : Blkdev.req) =
+  let nblk = req.r_count / t.block_size in
+  for i = 0 to nblk - 1 do
+    let blkno = req.r_blkno + i and off = i * t.block_size in
+    if req.r_write then store_write t blkno req.r_data off
+    else store_read t blkno req.r_data off
+  done
+
+let poisoned_hit t (req : Blkdev.req) =
+  let nblk = req.r_count / t.block_size in
+  let hit =
+    List.exists (fun b -> b >= req.r_blkno && b < req.r_blkno + nblk) t.poisoned
+  in
+  if hit then
+    t.poisoned <-
+      List.filter (fun b -> b < req.r_blkno || b >= req.r_blkno + nblk) t.poisoned;
+  hit
+
+(* Pick the next request per the queue discipline. *)
+let pop_next t =
+  match t.queue with
+  | [] -> None
+  | [ only ] ->
+    t.queue <- [];
+    Some only
+  | reqs -> (
+    match t.discipline with
+    | Fifo ->
+      (match reqs with
+       | first :: rest ->
+         t.queue <- rest;
+         Some first
+       | [] -> None)
+    | Elevator ->
+      (* C-LOOK: the lowest block at or above the head, else the lowest
+         overall (wrap). Stable for equal blocks (arrival order). *)
+      let better (a : Blkdev.req) (b : Blkdev.req) =
+        let above r = r.Blkdev.r_blkno >= t.head_pos in
+        match (above a, above b) with
+        | true, false -> true
+        | false, true -> false
+        | _ -> a.Blkdev.r_blkno < b.Blkdev.r_blkno
+      in
+      let best =
+        List.fold_left (fun acc r -> if better r acc then r else acc)
+          (List.hd reqs) (List.tl reqs)
+      in
+      t.queue <- List.filter (fun r -> r != best) t.queue;
+      Some best)
+
+let rec service_next t =
+  if not t.in_service then begin
+    match pop_next t with
+    | None -> ()
+    | Some req ->
+    t.in_service <- true;
+    let done_at = completion_time t req (Engine.now t.engine) in
+    ignore
+      (Engine.schedule t.engine ~at:done_at (fun () ->
+           let error =
+             if poisoned_hit t req then
+               Some (Blkdev.Io_error (Printf.sprintf "%s: hard error" t.name))
+             else begin
+               transfer t req;
+               None
+             end
+           in
+           t.serviced <- t.serviced + 1;
+           t.in_service <- false;
+           t.intr ~service:t.intr_service (fun () -> req.r_done error);
+           service_next t))
+  end
+
+let create ~name ~geometry ~block_size ~nblocks ~intr_service
+    ?(queue = Fifo) ~engine ~intr () =
+  if block_size <= 0 || nblocks <= 0 then invalid_arg "Disk.create: bad geometry";
+  let t =
+    {
+      name;
+      geometry;
+      block_size;
+      nblocks;
+      intr_service;
+      discipline = queue;
+      engine;
+      intr;
+      segments =
+        Array.init (max 1 geometry.readahead_segments) (fun _ ->
+            { seg_next = -1; seg_media_clock = Time.zero; seg_stamp = 0 });
+      head_pos = 0;
+      stamp = 0;
+      queue = [];
+      in_service = false;
+      store = Hashtbl.create 1024;
+      poisoned = [];
+      serviced = 0;
+      cache_hits = 0;
+      seeks = 0;
+      stats = Stats.create ();
+      dev = None;
+    }
+  in
+  let rec dev =
+    {
+      Blkdev.dv_name = name;
+      dv_id = Blkdev.next_id ();
+      dv_block_size = block_size;
+      dv_nblocks = nblocks;
+      dv_strategy =
+        (fun req ->
+          Blkdev.check_req dev req;
+          Stats.incr
+            (Stats.counter t.stats
+               (if req.r_write then "disk.writes" else "disk.reads"));
+          t.queue <- t.queue @ [ req ];
+          service_next t);
+      dv_pending =
+        (fun () -> List.length t.queue + if t.in_service then 1 else 0);
+      dv_stats = t.stats;
+    }
+  in
+  t.dev <- Some dev;
+  t
+
+let blkdev t = Option.get t.dev
+
+let read_block_direct t blkno =
+  if blkno < 0 || blkno >= t.nblocks then invalid_arg "Disk.read_block_direct";
+  match Hashtbl.find_opt t.store blkno with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.make t.block_size '\000'
+
+let write_block_direct t blkno data =
+  if blkno < 0 || blkno >= t.nblocks then invalid_arg "Disk.write_block_direct";
+  if Bytes.length data <> t.block_size then
+    invalid_arg "Disk.write_block_direct: wrong block length";
+  Hashtbl.replace t.store blkno (Bytes.copy data)
+
+let inject_error t ~blkno = t.poisoned <- blkno :: t.poisoned

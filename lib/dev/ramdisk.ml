@@ -1,0 +1,116 @@
+open Kpath_sim
+
+type arbiter = { mutable busy_until : Time.t }
+
+let arbiter () = { busy_until = Time.zero }
+
+type t = {
+  name : string;
+  copy_rate : float;
+  block_size : int;
+  nblocks : int;
+  engine : Engine.t;
+  intr : Blkdev.intr;
+  store : bytes; (* the "BSS region": one flat arena *)
+  arb : arbiter; (* bcopies are serialised on the one CPU *)
+  charge_in_context : Time.span -> bool;
+  mutable poisoned : int list;
+  mutable serviced : int;
+  stats : Stats.t;
+  mutable dev : Blkdev.t option;
+}
+
+let transfer t (req : Blkdev.req) =
+  let off = req.r_blkno * t.block_size in
+  if req.r_write then Bytes.blit req.r_data 0 t.store off req.r_count
+  else Bytes.blit t.store off req.r_data 0 req.r_count
+
+let poisoned_hit t (req : Blkdev.req) =
+  let nblk = req.r_count / t.block_size in
+  let hit =
+    List.exists (fun b -> b >= req.r_blkno && b < req.r_blkno + nblk) t.poisoned
+  in
+  if hit then
+    t.poisoned <-
+      List.filter (fun b -> b < req.r_blkno || b >= req.r_blkno + nblk) t.poisoned;
+  hit
+
+let create ~name ~copy_rate ~block_size ~nblocks ?arbiter:arb
+    ?(charge_in_context = fun _ -> false) ~engine ~intr () =
+  if block_size <= 0 || nblocks <= 0 then invalid_arg "Ramdisk.create: bad geometry";
+  let t =
+    {
+      name;
+      copy_rate;
+      block_size;
+      nblocks;
+      engine;
+      intr;
+      store = Bytes.make (block_size * nblocks) '\000';
+      arb = (match arb with Some a -> a | None -> arbiter ());
+      charge_in_context;
+      poisoned = [];
+      serviced = 0;
+      stats = Stats.create ();
+      dev = None;
+    }
+  in
+  let rec dev =
+    {
+      Blkdev.dv_name = name;
+      dv_id = Blkdev.next_id ();
+      dv_block_size = block_size;
+      dv_nblocks = nblocks;
+      dv_strategy =
+        (fun req ->
+          Blkdev.check_req dev req;
+          Stats.incr
+            (Stats.counter t.stats
+               (if req.r_write then "ramdisk.writes" else "ramdisk.reads"));
+          let copy_time =
+            Time.span_of_bytes ~bytes_per_sec:t.copy_rate req.r_count
+          in
+          let finish () =
+            let error =
+              if poisoned_hit t req then
+                Some (Blkdev.Io_error (t.name ^ ": hard error"))
+              else begin
+                transfer t req;
+                None
+              end
+            in
+            t.serviced <- t.serviced + 1;
+            req.r_done error
+          in
+          if t.charge_in_context copy_time then
+            (* The bcopy ran synchronously in the calling process (time
+               already consumed). Deliver the completion from the event
+               loop so that r_done is never called re-entrantly from
+               within strategy — callers may still be tagging the
+               request (the bread_nb contract). *)
+            ignore (Engine.schedule t.engine ~at:(Engine.now t.engine) finish)
+          else begin
+            (* Interrupt-level bcopy: steals the CPU; overlapping
+               requests queue behind the one in progress. *)
+            let start = Time.max (Engine.now t.engine) t.arb.busy_until in
+            let done_at = Time.add start copy_time in
+            t.arb.busy_until <- done_at;
+            t.intr ~service:copy_time (fun () -> ());
+            ignore (Engine.schedule t.engine ~at:done_at finish)
+          end);
+      dv_pending = (fun () -> 0);
+      dv_stats = t.stats;
+    }
+  in
+  t.dev <- Some dev;
+  t
+
+let blkdev t = Option.get t.dev
+
+let read_block_direct t blkno =
+  if blkno < 0 || blkno >= t.nblocks then invalid_arg "Ramdisk.read_block_direct";
+  Bytes.sub t.store (blkno * t.block_size) t.block_size
+
+let inject_error t ~blkno = t.poisoned <- blkno :: t.poisoned
+
+let serviced t = t.serviced

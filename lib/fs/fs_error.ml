@@ -1,0 +1,34 @@
+type t =
+  | Enoent
+  | Eexist
+  | Enospc
+  | Enotdir
+  | Eisdir
+  | Enotempty
+  | Enametoolong
+  | Efbig
+  | Einval of string
+  | Eio of string
+
+exception Error of t
+
+let raise_err e = raise (Error e)
+
+let to_string = function
+  | Enoent -> "ENOENT"
+  | Eexist -> "EEXIST"
+  | Enospc -> "ENOSPC"
+  | Enotdir -> "ENOTDIR"
+  | Eisdir -> "EISDIR"
+  | Enotempty -> "ENOTEMPTY"
+  | Enametoolong -> "ENAMETOOLONG"
+  | Efbig -> "EFBIG"
+  | Einval msg -> "EINVAL(" ^ msg ^ ")"
+  | Eio msg -> "EIO(" ^ msg ^ ")"
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Fs_error.Error " ^ to_string e)
+    | _ -> None)

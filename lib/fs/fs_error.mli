@@ -1,0 +1,27 @@
+(** Filesystem errors.
+
+    The error vocabulary shared by the filesystem layers, deliberately
+    shaped like the UNIX errnos the syscall layer translates them to. *)
+
+type t =
+  | Enoent  (** no such file or directory *)
+  | Eexist  (** name already exists *)
+  | Enospc  (** out of data blocks or inodes *)
+  | Enotdir  (** path component is not a directory *)
+  | Eisdir  (** directory where a file was expected *)
+  | Enotempty  (** directory not empty *)
+  | Enametoolong  (** name exceeds the on-disk limit *)
+  | Efbig  (** file would exceed the maximum mappable size *)
+  | Einval of string  (** malformed argument *)
+  | Eio of string  (** device-level I/O failure *)
+
+exception Error of t
+(** Raised by filesystem operations. *)
+
+val raise_err : t -> 'a
+(** [raise_err e] raises [Error e]. *)
+
+val to_string : t -> string
+(** errno-style rendering, e.g. ["ENOENT"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type ftype = Free | Regular | Directory
+
+type t = {
+  ino : int;
+  mutable ftype : ftype;
+  mutable nlink : int;
+  mutable size : int;
+  direct : int array;
+  mutable single : int;
+  mutable double : int;
+  mutable dirty : bool;
+  mutable locked : bool;
+  mutable lock_waiters : (unit -> unit) list;
+  mutable last_read_lblk : int;
+}
+
+let make ~ino =
+  {
+    ino;
+    ftype = Free;
+    nlink = 0;
+    size = 0;
+    direct = Array.make Layout.ndirect 0;
+    single = 0;
+    double = 0;
+    dirty = false;
+    locked = false;
+    lock_waiters = [];
+    last_read_lblk = -2;
+  }
+
+let reset t ftype =
+  t.ftype <- ftype;
+  t.nlink <- 1;
+  t.size <- 0;
+  Array.fill t.direct 0 Layout.ndirect 0;
+  t.single <- 0;
+  t.double <- 0;
+  t.dirty <- true;
+  t.last_read_lblk <- -2
+
+let ftype_code = function Free -> 0 | Regular -> 1 | Directory -> 2
+
+let ftype_of_code = function
+  | 0 -> Free
+  | 1 -> Regular
+  | 2 -> Directory
+  | n -> Fs_error.raise_err (Fs_error.Einval (Printf.sprintf "bad ftype %d" n))
+
+let put32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let get32 b off = Int32.to_int (Bytes.get_int32_le b off)
+
+let serialize t b off =
+  Bytes.fill b off Layout.inode_size '\000';
+  put32 b off (ftype_code t.ftype);
+  put32 b (off + 4) t.nlink;
+  Bytes.set_int64_le b (off + 8) (Int64.of_int t.size);
+  for i = 0 to Layout.ndirect - 1 do
+    put32 b (off + 16 + (4 * i)) t.direct.(i)
+  done;
+  put32 b (off + 16 + (4 * Layout.ndirect)) t.single;
+  put32 b (off + 20 + (4 * Layout.ndirect)) t.double
+
+let deserialize ~ino b off =
+  let t = make ~ino in
+  t.ftype <- ftype_of_code (get32 b off);
+  t.nlink <- get32 b (off + 4);
+  t.size <- Int64.to_int (Bytes.get_int64_le b (off + 8));
+  for i = 0 to Layout.ndirect - 1 do
+    t.direct.(i) <- get32 b (off + 16 + (4 * i))
+  done;
+  t.single <- get32 b (off + 16 + (4 * Layout.ndirect));
+  t.double <- get32 b (off + 20 + (4 * Layout.ndirect));
+  t
+
+let pp fmt t =
+  Format.fprintf fmt "ino%d %s nlink=%d size=%d" t.ino
+    (match t.ftype with Free -> "free" | Regular -> "reg" | Directory -> "dir")
+    t.nlink t.size

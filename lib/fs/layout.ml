@@ -1,0 +1,88 @@
+type superblock = {
+  sb_magic : int;
+  sb_block_size : int;
+  sb_nblocks : int;
+  sb_ninodes : int;
+  sb_bitmap_start : int;
+  sb_bitmap_blocks : int;
+  sb_itable_start : int;
+  sb_itable_blocks : int;
+  sb_data_start : int;
+}
+
+let magic = 0x5350_4C43 (* "SPLC" *)
+
+let inode_size = 128
+
+let ndirect = 12
+
+let dirent_size = 32
+
+let name_max = dirent_size - 4 - 1
+
+let root_ino = 1
+
+let layout ~block_size ~nblocks ~ninodes =
+  if block_size < 512 || block_size land (block_size - 1) <> 0 then
+    invalid_arg "Layout: block size must be a power of two >= 512";
+  if nblocks <= 4 then invalid_arg "Layout: filesystem too small";
+  if ninodes < 2 then invalid_arg "Layout: need at least two inodes";
+  let bits_per_block = block_size * 8 in
+  let bitmap_blocks = (nblocks + bits_per_block - 1) / bits_per_block in
+  let inodes_per_block = block_size / inode_size in
+  let itable_blocks = (ninodes + inodes_per_block - 1) / inodes_per_block in
+  let data_start = 1 + bitmap_blocks + itable_blocks in
+  if data_start >= nblocks then invalid_arg "Layout: metadata exceeds device";
+  {
+    sb_magic = magic;
+    sb_block_size = block_size;
+    sb_nblocks = nblocks;
+    sb_ninodes = ninodes;
+    sb_bitmap_start = 1;
+    sb_bitmap_blocks = bitmap_blocks;
+    sb_itable_start = 1 + bitmap_blocks;
+    sb_itable_blocks = itable_blocks;
+    sb_data_start = data_start;
+  }
+
+let addrs_per_block sb = sb.sb_block_size / 4
+
+let max_file_blocks sb =
+  let apb = addrs_per_block sb in
+  ndirect + apb + (apb * apb)
+
+let put32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let get32 b off = Int32.to_int (Bytes.get_int32_le b off)
+
+let write_superblock sb b =
+  if Bytes.length b < sb.sb_block_size then invalid_arg "write_superblock";
+  Bytes.fill b 0 (Bytes.length b) '\000';
+  put32 b 0 sb.sb_magic;
+  put32 b 4 sb.sb_block_size;
+  put32 b 8 sb.sb_nblocks;
+  put32 b 12 sb.sb_ninodes;
+  put32 b 16 sb.sb_bitmap_start;
+  put32 b 20 sb.sb_bitmap_blocks;
+  put32 b 24 sb.sb_itable_start;
+  put32 b 28 sb.sb_itable_blocks;
+  put32 b 32 sb.sb_data_start
+
+let read_superblock ~block_size b =
+  let m = get32 b 0 in
+  if m <> magic then
+    Fs_error.raise_err (Fs_error.Einval "superblock: bad magic");
+  let bs = get32 b 4 in
+  if bs <> block_size then
+    Fs_error.raise_err (Fs_error.Einval "superblock: block size mismatch");
+  {
+    sb_magic = m;
+    sb_block_size = bs;
+    sb_nblocks = get32 b 8;
+    sb_ninodes = get32 b 12;
+    sb_bitmap_start = get32 b 16;
+    sb_bitmap_blocks = get32 b 20;
+    sb_itable_start = get32 b 24;
+    sb_itable_blocks = get32 b 28;
+    sb_data_start = get32 b 32;
+  }

@@ -1,0 +1,54 @@
+type code =
+  | EBADF
+  | EINVAL
+  | ENOENT
+  | EEXIST
+  | ENOSPC
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | ENAMETOOLONG
+  | EFBIG
+  | EIO
+  | ESPIPE
+  | EXDEV
+  | EINTR
+
+exception Unix_error of code * string
+
+let raise_errno code call = raise (Unix_error (code, call))
+
+let of_fs_error = function
+  | Kpath_fs.Fs_error.Enoent -> ENOENT
+  | Kpath_fs.Fs_error.Eexist -> EEXIST
+  | Kpath_fs.Fs_error.Enospc -> ENOSPC
+  | Kpath_fs.Fs_error.Enotdir -> ENOTDIR
+  | Kpath_fs.Fs_error.Eisdir -> EISDIR
+  | Kpath_fs.Fs_error.Enotempty -> ENOTEMPTY
+  | Kpath_fs.Fs_error.Enametoolong -> ENAMETOOLONG
+  | Kpath_fs.Fs_error.Efbig -> EFBIG
+  | Kpath_fs.Fs_error.Einval _ -> EINVAL
+  | Kpath_fs.Fs_error.Eio _ -> EIO
+
+let to_string = function
+  | EBADF -> "EBADF"
+  | EINVAL -> "EINVAL"
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | ENOSPC -> "ENOSPC"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | EFBIG -> "EFBIG"
+  | EIO -> "EIO"
+  | ESPIPE -> "ESPIPE"
+  | EXDEV -> "EXDEV"
+  | EINTR -> "EINTR"
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+let () =
+  Printexc.register_printer (function
+    | Unix_error (code, call) -> Some (Printf.sprintf "Unix_error(%s, %s)" (to_string code) call)
+    | _ -> None)

@@ -1,0 +1,29 @@
+(** System call error reporting. *)
+
+type code =
+  | EBADF  (** bad file descriptor *)
+  | EINVAL  (** invalid argument *)
+  | ENOENT
+  | EEXIST
+  | ENOSPC
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | ENAMETOOLONG
+  | EFBIG
+  | EIO
+  | ESPIPE  (** seek on a non-seekable object *)
+  | EXDEV  (** cross-filesystem link or rename *)
+  | EINTR  (** interrupted by a signal *)
+
+exception Unix_error of code * string
+(** Raised by system calls; the string names the failing call. *)
+
+val raise_errno : code -> string -> 'a
+
+val of_fs_error : Kpath_fs.Fs_error.t -> code
+(** Map filesystem errors onto errnos. *)
+
+val to_string : code -> string
+
+val pp : Format.formatter -> code -> unit

@@ -1,0 +1,46 @@
+open Kpath_dev
+open Kpath_fs
+open Kpath_net
+
+type file_handle = {
+  fs : Fs.t;
+  ino : Inode.t;
+  mutable offset : int;
+  readable : bool;
+  writable : bool;
+}
+
+type socket_handle = { sock : Udp.t; mutable peer : Udp.addr option }
+
+type kind =
+  | File of file_handle
+  | Chardev of Chardev.t
+  | Socket of socket_handle
+  | Tcp of Tcp.conn
+  | Framebuffer of Framebuffer.t
+
+type openfile = { of_kind : kind; mutable of_fasync : bool }
+
+type table = { mutable next : int; slots : (int, openfile) Hashtbl.t }
+
+let create () = { next = 3; slots = Hashtbl.create 16 }
+
+let alloc t kind =
+  let fd = t.next in
+  t.next <- fd + 1;
+  Hashtbl.add t.slots fd { of_kind = kind; of_fasync = false };
+  fd
+
+let get t fd =
+  match Hashtbl.find_opt t.slots fd with
+  | Some f -> f
+  | None -> Errno.raise_errno Errno.EBADF (Printf.sprintf "fd %d" fd)
+
+let close t fd =
+  let f = get t fd in
+  Hashtbl.remove t.slots fd;
+  f
+
+let open_count t = Hashtbl.length t.slots
+
+let all_fds t = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.slots [] |> List.sort compare

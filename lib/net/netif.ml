@@ -1,0 +1,148 @@
+open Kpath_sim
+open Kpath_dev
+
+type frame = {
+  f_src : int;
+  f_dst : int;
+  f_proto : int;
+  f_port_src : int;
+  f_port_dst : int;
+  f_payload : bytes;
+}
+
+type t = {
+  nif_id : int;
+  nif_name : string;
+  net : net;
+  rx_intr_service : Time.span;
+  tx_intr_service : Time.span;
+  intr : Blkdev.intr;
+  rx : (int, frame -> unit) Hashtbl.t; (* proto -> handler *)
+  txq : frame Queue.t;
+  mutable tx_busy : bool;
+  stats : Stats.t;
+}
+
+and net = {
+  engine : Engine.t;
+  bandwidth : float;
+  latency : Time.span;
+  mtu : int;
+  ifaces : (int, t) Hashtbl.t;
+  mutable loss : float;
+  mutable loss_rng : Rng.t;
+}
+
+(* Interface ids are globally unique (across segments and simulations)
+   so higher layers may key registries by them. *)
+let id_counter = ref 0
+
+let create_net ?(bandwidth = 1.25e6) ?(latency = Time.us 100) ?(mtu = 9000)
+    engine =
+  if bandwidth <= 0.0 then invalid_arg "Netif.create_net: bandwidth <= 0";
+  {
+    engine;
+    bandwidth;
+    latency;
+    mtu;
+    ifaces = Hashtbl.create 8;
+    loss = 0.0;
+    loss_rng = Rng.create ~seed:1;
+  }
+
+let attach net ~name ?(rx_intr_service = Time.us 80)
+    ?(tx_intr_service = Time.us 40) ~intr () =
+  incr id_counter;
+  let t =
+    {
+      nif_id = !id_counter;
+      nif_name = name;
+      net;
+      rx_intr_service;
+      tx_intr_service;
+      intr;
+      rx = Hashtbl.create 4;
+      txq = Queue.create ();
+      tx_busy = false;
+      stats = Stats.create ();
+    }
+  in
+  Hashtbl.add net.ifaces t.nif_id t;
+  t
+
+let id t = t.nif_id
+
+let name t = t.nif_name
+
+let mtu net = net.mtu
+
+let net t = t.net
+
+let engine (net : net) = net.engine
+
+let set_proto_rx t ~proto fn = Hashtbl.replace t.rx proto fn
+
+let set_loss net ?(seed = 1) p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Netif.set_loss: probability";
+  net.loss <- p;
+  net.loss_rng <- Rng.create ~seed
+
+let stats t = t.stats
+
+let queued t = Queue.length t.txq
+
+let deliver (dst : t) frame =
+  dst.intr ~service:dst.rx_intr_service (fun () ->
+      match Hashtbl.find_opt dst.rx frame.f_proto with
+      | Some fn ->
+        Stats.incr (Stats.counter dst.stats "netif.rx");
+        Stats.add
+          (Stats.counter dst.stats "netif.rx_bytes")
+          (Bytes.length frame.f_payload);
+        fn frame
+      | None -> Stats.incr (Stats.counter dst.stats "netif.dropped_no_rx"))
+
+let rec tx_next t =
+  if (not t.tx_busy) && not (Queue.is_empty t.txq) then begin
+    t.tx_busy <- true;
+    let frame = Queue.pop t.txq in
+    let wire_bytes = Bytes.length frame.f_payload + 42 (* eth+ip+udp headers *) in
+    let tx_time = Time.span_of_bytes ~bytes_per_sec:t.net.bandwidth wire_bytes in
+    ignore
+      (Engine.schedule_after t.net.engine tx_time (fun () ->
+           t.tx_busy <- false;
+           Stats.incr (Stats.counter t.stats "netif.tx");
+           Stats.add
+             (Stats.counter t.stats "netif.tx_bytes")
+             (Bytes.length frame.f_payload);
+           t.intr ~service:t.tx_intr_service (fun () -> ());
+           let dropped =
+             t.net.loss > 0.0 && Rng.float t.net.loss_rng 1.0 < t.net.loss
+           in
+           if dropped then Stats.incr (Stats.counter t.stats "netif.tx_lost")
+           else
+             (match Hashtbl.find_opt t.net.ifaces frame.f_dst with
+              | Some dst ->
+                ignore
+                  (Engine.schedule_after t.net.engine t.net.latency (fun () ->
+                       deliver dst frame))
+              | None -> ());
+           tx_next t))
+  end
+
+let send t ~dst ?(proto = 17) ~port_src ~port_dst payload =
+  if Bytes.length payload > t.net.mtu then
+    invalid_arg "Netif.send: payload exceeds MTU";
+  if not (Hashtbl.mem t.net.ifaces dst) then
+    invalid_arg "Netif.send: unknown destination";
+  Queue.push
+    {
+      f_src = t.nif_id;
+      f_dst = dst;
+      f_proto = proto;
+      f_port_src = port_src;
+      f_port_dst = port_dst;
+      f_payload = payload;
+    }
+    t.txq;
+  tx_next t

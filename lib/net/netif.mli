@@ -1,0 +1,79 @@
+(** Network interfaces on a shared segment.
+
+    A {!Net.t} models one Ethernet-class segment: every attached
+    interface can send to every other by interface id. Each interface
+    serialises its own transmissions at the link bandwidth (the classic
+    10 Mbit/s bottleneck), after which the frame propagates with a small
+    latency and is delivered to the destination through its receive
+    interrupt. Delivery is a callback; {!Udp} demultiplexes to sockets. *)
+
+open Kpath_sim
+open Kpath_dev
+
+type net
+(** A network segment. *)
+
+type t
+(** An attached interface. *)
+
+type frame = {
+  f_src : int;  (** source interface id *)
+  f_dst : int;  (** destination interface id *)
+  f_proto : int;  (** transport protocol (17 = UDP, 6 = TCP) *)
+  f_port_src : int;
+  f_port_dst : int;
+  f_payload : bytes;  (** not copied — receivers must not mutate *)
+}
+
+val create_net :
+  ?bandwidth:float -> ?latency:Time.span -> ?mtu:int -> Engine.t -> net
+(** A segment. Defaults: 10 Mbit/s (1.25 MB/s), 100 us latency, 9000-byte
+    MTU (an FDDI-class local segment, as a 1992 multimedia lab would
+    covet). *)
+
+val attach :
+  net ->
+  name:string ->
+  ?rx_intr_service:Time.span ->
+  ?tx_intr_service:Time.span ->
+  intr:Blkdev.intr ->
+  unit ->
+  t
+(** Attach an interface. [intr] injects its interrupt costs into that
+    host's CPU (stub hosts pass a free-running injector). *)
+
+val id : t -> int
+(** The interface id, unique on its segment. *)
+
+val name : t -> string
+
+val mtu : net -> int
+
+val net : t -> net
+(** The segment an interface is attached to. *)
+
+val engine : net -> Engine.t
+(** The event engine driving the segment (for transport timers). *)
+
+val set_proto_rx : t -> proto:int -> (frame -> unit) -> unit
+(** Install the receive upcall for one transport protocol (runs in
+    interrupt context). Frames arriving for a protocol with no upcall
+    are dropped and counted. *)
+
+val send :
+  t -> dst:int -> ?proto:int -> port_src:int -> port_dst:int -> bytes -> unit
+(** Queue one frame for transmission (default protocol: UDP). Raises
+    [Invalid_argument] if the payload exceeds the MTU or the destination
+    id is unknown. *)
+
+val set_loss : net -> ?seed:int -> float -> unit
+(** Drop each transmitted frame independently with the given probability
+    (deterministic splitmix64 stream; [seed] defaults to 1) — for
+    exercising retransmission. [0.0] disables loss. *)
+
+val stats : t -> Stats.t
+(** [netif.tx], [netif.rx], [netif.dropped_no_rx], [netif.tx_bytes],
+    [netif.rx_bytes]. *)
+
+val queued : t -> int
+(** Frames waiting in this interface's transmit queue. *)

@@ -1,0 +1,693 @@
+open Kpath_sim
+open Kpath_proc
+
+type addr = { a_if : int; a_port : int }
+
+let protocol_number = 6
+
+let header_bytes = 21
+
+let mss net = Netif.mtu net - header_bytes
+
+(* {1 Sliding byte buffer}
+
+   A window of the byte stream supporting append at the tail, random
+   peeks, and drop-front (on acknowledgement) without re-copying the
+   whole buffer each time. *)
+module Sbuf = struct
+  type t = { mutable data : Bytes.t; mutable start : int; mutable len : int }
+
+  let create cap = { data = Bytes.create (max cap 64); start = 0; len = 0 }
+
+  let length b = b.len
+
+  let compact b extra =
+    let need = b.len + extra in
+    if b.start + need > Bytes.length b.data then begin
+      let ndata =
+        if need > Bytes.length b.data then
+          Bytes.create (max need (2 * Bytes.length b.data))
+        else b.data
+      in
+      Bytes.blit b.data b.start ndata 0 b.len;
+      b.data <- ndata;
+      b.start <- 0
+    end
+
+  let append b src pos n =
+    compact b n;
+    Bytes.blit src pos b.data (b.start + b.len) n;
+    b.len <- b.len + n
+
+  (* Copy [n] bytes at logical offset [off] into [dst] at [dpos]. *)
+  let peek b ~off ~n dst dpos =
+    if off < 0 || n < 0 || off + n > b.len then invalid_arg "Sbuf.peek";
+    Bytes.blit b.data (b.start + off) dst dpos n
+
+  let drop b n =
+    if n < 0 || n > b.len then invalid_arg "Sbuf.drop";
+    b.start <- b.start + n;
+    b.len <- b.len - n;
+    if b.len = 0 then b.start <- 0
+end
+
+(* {1 Wire format}
+
+   Frame payload = 21-byte header + data:
+   byte 0: flags (1 SYN, 2 ACK, 4 FIN); 1-8: seq; 9-16: ack; 17-20: wnd. *)
+
+let f_syn = 1
+let f_ack = 2
+let f_fin = 4
+
+let encode ~flags ~seq ~ack ~wnd data pos len =
+  let b = Bytes.create (header_bytes + len) in
+  Bytes.set b 0 (Char.chr flags);
+  Bytes.set_int64_le b 1 (Int64.of_int seq);
+  Bytes.set_int64_le b 9 (Int64.of_int ack);
+  Bytes.set_int32_le b 17 (Int32.of_int wnd);
+  if len > 0 then Bytes.blit data pos b header_bytes len;
+  b
+
+type seg = { g_flags : int; g_seq : int; g_ack : int; g_wnd : int; g_data : bytes }
+
+let decode payload =
+  if Bytes.length payload < header_bytes then None
+  else
+    Some
+      {
+        g_flags = Char.code (Bytes.get payload 0);
+        g_seq = Int64.to_int (Bytes.get_int64_le payload 1);
+        g_ack = Int64.to_int (Bytes.get_int64_le payload 9);
+        g_wnd = Int32.to_int (Bytes.get_int32_le payload 17);
+        g_data =
+          Bytes.sub payload header_bytes (Bytes.length payload - header_bytes);
+      }
+
+(* {1 Connections} *)
+
+type state = Syn_sent | Syn_rcvd | Established | Fin_wait | Closed
+
+type pending_write = {
+  pw_data : bytes;
+  mutable pw_pos : int;
+  mutable pw_len : int;
+  pw_done : unit -> unit;
+}
+
+type conn = {
+  nif : Netif.t;
+  net : Netif.net;
+  engine : Engine.t;
+  lport : int;
+  rif : int;
+  rport : int;
+  mutable st : state;
+  (* send side: the stream interval [snd_una, accepted) lives in sndbuf *)
+  sndbuf_cap : int;
+  sndbuf : Sbuf.t;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable accepted : int; (* stream bytes taken from the application *)
+  mutable peer_wnd : int;
+  mutable app_closed : bool;
+  mutable fin_seq : int option; (* our FIN's sequence position *)
+  pending : pending_write Queue.t;
+  (* receive side *)
+  rcvbuf_cap : int;
+  rcvq : Sbuf.t;
+  mutable rcv_nxt : int;
+  ooo : (int, bytes) Hashtbl.t;
+  mutable fin_at : int option; (* peer FIN position in its stream *)
+  mutable fin_taken : bool;
+  mutable rcv_waiters : (unit -> unit) list;
+  mutable est_waiters : (unit -> unit) list;
+  mutable last_wnd_sent : int;
+  (* congestion control *)
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  (* RTT estimation (RFC 6298 shape); one timed segment at a time,
+     Karn's rule: samples are discarded across retransmissions *)
+  mutable srtt : float; (* seconds; negative = no sample yet *)
+  mutable rttvar : float;
+  mutable rtt_seq : int; (* sequence the running sample will be acked at *)
+  mutable rtt_sent : Time.t;
+  mutable rtt_valid : bool;
+  (* retransmission *)
+  mutable rto : Time.span;
+  mutable timer : Engine.handle option;
+  mutable retransmits : int;
+  mutable dup_acks : int;
+  mutable syn_tries : int;
+  stats : Stats.t;
+}
+
+type listener = {
+  l_nif : Netif.t;
+  l_port : int;
+  l_backlog : int;
+  l_queue : conn Queue.t;
+  mutable l_waiters : (unit -> unit) list;
+}
+
+(* Per-interface demux tables, keyed by the globally unique interface
+   id (like {!Udp}). *)
+type tbl = {
+  listeners : (int, listener) Hashtbl.t;
+  conns : (int * int * int, conn) Hashtbl.t; (* lport, rif, rport *)
+}
+
+let tables : (int, tbl) Hashtbl.t = Hashtbl.create 16
+
+let base_rto = Time.ms 200
+
+let max_rto = Time.sec 2
+
+let count c name = Stats.incr (Stats.counter c.stats name)
+
+let rwnd c = max 0 (c.rcvbuf_cap - Sbuf.length c.rcvq)
+
+let min_rto = Time.ms 50
+
+(* RFC 6298-shaped RTO from a fresh RTT sample. *)
+let rtt_sample c sample_s =
+  if c.srtt < 0.0 then begin
+    c.srtt <- sample_s;
+    c.rttvar <- sample_s /. 2.0
+  end
+  else begin
+    c.rttvar <- (0.75 *. c.rttvar) +. (0.25 *. Float.abs (c.srtt -. sample_s));
+    c.srtt <- (0.875 *. c.srtt) +. (0.125 *. sample_s)
+  end;
+  let rto_s = c.srtt +. (4.0 *. c.rttvar) in
+  c.rto <- Time.max min_rto (Time.min max_rto (Time.of_sec_f rto_s))
+
+let in_flight c = c.snd_nxt - c.snd_una
+
+let unsent c = c.accepted - c.snd_nxt
+
+(* Raw segment transmission. *)
+let tx c ~flags ?(seq = 0) ?(data_off = 0) ?(data_len = 0) () =
+  let wnd = rwnd c in
+  c.last_wnd_sent <- wnd;
+  let payload =
+    if data_len > 0 then begin
+      (* Data lives in sndbuf at logical offset seq - snd_una. *)
+      let tmp = Bytes.create data_len in
+      Sbuf.peek c.sndbuf ~off:data_off ~n:data_len tmp 0;
+      encode ~flags ~seq ~ack:c.rcv_nxt ~wnd tmp 0 data_len
+    end
+    else encode ~flags ~seq ~ack:c.rcv_nxt ~wnd Bytes.empty 0 0
+  in
+  count c "tcp.segs_out";
+  Netif.send c.nif ~dst:c.rif ~proto:protocol_number ~port_src:c.lport
+    ~port_dst:c.rport payload
+
+let send_pure_ack c = tx c ~flags:f_ack ()
+
+(* {1 Timers} *)
+
+let stop_timer c =
+  match c.timer with
+  | Some h ->
+    Engine.cancel c.engine h;
+    c.timer <- None
+  | None -> ()
+
+let rec arm_timer c =
+  if c.timer = None then
+    c.timer <-
+      Some
+        (Engine.schedule_after c.engine c.rto (fun () ->
+             c.timer <- None;
+             on_timeout c))
+
+and on_timeout c =
+  match c.st with
+  | Closed -> ()
+  | Syn_sent ->
+    c.syn_tries <- c.syn_tries + 1;
+    if c.syn_tries > 8 then begin
+      c.st <- Closed;
+      wake_established c
+    end
+    else begin
+      count c "tcp.syn_retx";
+      tx c ~flags:f_syn ();
+      c.rto <- Time.min max_rto (Time.scale c.rto 2);
+      arm_timer c
+    end
+  | Syn_rcvd ->
+    tx c ~flags:(f_syn lor f_ack) ();
+    c.rto <- Time.min max_rto (Time.scale c.rto 2);
+    arm_timer c
+  | Established | Fin_wait ->
+    if in_flight c > 0 then begin
+      c.retransmits <- c.retransmits + 1;
+      count c "tcp.retx";
+      (* Timeout: multiplicative decrease to one segment. *)
+      let seg = mss c.net in
+      c.ssthresh <- max (in_flight c / 2) (2 * seg);
+      c.cwnd <- seg;
+      c.rtt_valid <- false;
+      (* Go-back-N restart: resend the first unacknowledged segment. *)
+      let data_bytes = min (Sbuf.length c.sndbuf) (in_flight c) in
+      let n = min data_bytes (mss c.net) in
+      if n > 0 then tx c ~flags:f_ack ~seq:c.snd_una ~data_off:0 ~data_len:n ()
+      else begin
+        (* Only the FIN is outstanding. *)
+        match c.fin_seq with
+        | Some fs when c.snd_una >= fs -> tx c ~flags:(f_fin lor f_ack) ~seq:fs ()
+        | _ -> ()
+      end;
+      c.rto <- Time.min max_rto (Time.scale c.rto 2);
+      arm_timer c
+    end
+
+and wake_established c =
+  let ws = c.est_waiters in
+  c.est_waiters <- [];
+  List.iter (fun w -> w ()) ws
+
+(* {1 Send machinery} *)
+
+let wake_readers c =
+  let ws = c.rcv_waiters in
+  c.rcv_waiters <- [];
+  List.iter (fun w -> w ()) ws
+
+(* Push out whatever the flow-control window allows. The effective
+   window has a floor of one byte: with a zero peer window we keep one
+   probe byte in flight, and the retransmission timer carries it until
+   the peer reopens (classic persist behaviour, simplified). *)
+let rec pump c =
+  if c.st = Established || c.st = Fin_wait then begin
+    let seg_mss = mss c.net in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let wnd = max (min c.peer_wnd c.cwnd) 1 in
+      let can = min (unsent c) (min (wnd - in_flight c) seg_mss) in
+      if can > 0 then begin
+        let off = c.snd_nxt - c.snd_una in
+        (* Time this segment if no sample is running (Karn's rule:
+           retransmitted ranges never produce samples). *)
+        if not c.rtt_valid then begin
+          c.rtt_valid <- true;
+          c.rtt_seq <- c.snd_nxt + can;
+          c.rtt_sent <- Engine.now c.engine
+        end;
+        tx c ~flags:f_ack ~seq:c.snd_nxt ~data_off:off ~data_len:can ();
+        c.snd_nxt <- c.snd_nxt + can;
+        progress := true
+      end
+    done;
+    (* FIN once every byte is out. *)
+    (if c.app_closed && unsent c = 0 && c.fin_seq = None then begin
+       c.fin_seq <- Some c.snd_nxt;
+       c.snd_nxt <- c.snd_nxt + 1;
+       tx c ~flags:(f_fin lor f_ack) ~seq:(c.snd_nxt - 1) ()
+     end);
+    if in_flight c > 0 then arm_timer c
+  end
+
+and admit_writers c =
+  let progressing = ref true in
+  while !progressing && not (Queue.is_empty c.pending) do
+    let space = c.sndbuf_cap - Sbuf.length c.sndbuf in
+    if space = 0 then progressing := false
+    else begin
+      let p = Queue.peek c.pending in
+      let n = min space p.pw_len in
+      Sbuf.append c.sndbuf p.pw_data p.pw_pos n;
+      c.accepted <- c.accepted + n;
+      p.pw_pos <- p.pw_pos + n;
+      p.pw_len <- p.pw_len - n;
+      if p.pw_len = 0 then begin
+        ignore (Queue.pop c.pending);
+        p.pw_done ()
+      end
+    end
+  done;
+  pump c
+
+(* {1 Input processing} *)
+
+(* Resend the first unacknowledged segment (fast retransmit / RTO). *)
+let retransmit_head c =
+  c.retransmits <- c.retransmits + 1;
+  count c "tcp.retx";
+  let data_bytes = min (Sbuf.length c.sndbuf) (in_flight c) in
+  let n = min data_bytes (mss c.net) in
+  if n > 0 then tx c ~flags:f_ack ~seq:c.snd_una ~data_off:0 ~data_len:n ()
+  else
+    match c.fin_seq with
+    | Some fs when c.snd_una >= fs -> tx c ~flags:(f_fin lor f_ack) ~seq:fs ()
+    | _ -> ()
+
+let process_ack c (g : seg) =
+  if g.g_flags land f_ack <> 0 then begin
+    if g.g_ack > c.snd_una then begin
+      c.dup_acks <- 0;
+      let advance = g.g_ack - c.snd_una in
+      (* RTT sample once the timed segment is covered. *)
+      if c.rtt_valid && g.g_ack >= c.rtt_seq then begin
+        c.rtt_valid <- false;
+        rtt_sample c (Time.to_sec_f (Time.diff (Engine.now c.engine) c.rtt_sent))
+      end;
+      (* Congestion window growth. *)
+      let seg = mss c.net in
+      (if c.cwnd < c.ssthresh then c.cwnd <- c.cwnd + min advance seg
+       else c.cwnd <- c.cwnd + max 1 (seg * seg / c.cwnd));
+      c.cwnd <- min c.cwnd (8 * 1024 * 1024);
+      (* The FIN occupies one virtual position past the data. *)
+      let data_part = min advance (Sbuf.length c.sndbuf) in
+      Sbuf.drop c.sndbuf data_part;
+      c.snd_una <- g.g_ack;
+      stop_timer c;
+      if in_flight c > 0 then arm_timer c;
+      (match c.fin_seq with
+       | Some fs when c.snd_una > fs && c.st = Fin_wait ->
+         (* Our FIN is acknowledged; sending side is done. *)
+         if c.fin_taken then c.st <- Closed
+       | _ -> ());
+      wake_readers c (* close() waits on rcv_waiters for the fin ack *)
+    end
+    else if g.g_ack = c.snd_una && in_flight c > 0 then begin
+      (* Duplicate ACK: three in a row trigger fast retransmit. *)
+      c.dup_acks <- c.dup_acks + 1;
+      if c.dup_acks = 3 then begin
+        c.dup_acks <- 0;
+        count c "tcp.fast_retx";
+        (* Fast recovery: halve the window. *)
+        let seg = mss c.net in
+        c.ssthresh <- max (in_flight c / 2) (2 * seg);
+        c.cwnd <- c.ssthresh;
+        c.rtt_valid <- false;
+        retransmit_head c;
+        stop_timer c;
+        arm_timer c
+      end
+    end;
+    c.peer_wnd <- g.g_wnd;
+    admit_writers c
+  end
+  else c.peer_wnd <- g.g_wnd
+
+(* Deliver in-order data and any out-of-order segments it unlocks. *)
+let rec drain_ooo c =
+  match Hashtbl.find_opt c.ooo c.rcv_nxt with
+  | Some data ->
+    Hashtbl.remove c.ooo c.rcv_nxt;
+    let space = c.rcvbuf_cap - Sbuf.length c.rcvq in
+    let n = min space (Bytes.length data) in
+    if n = Bytes.length data then begin
+      Sbuf.append c.rcvq data 0 n;
+      c.rcv_nxt <- c.rcv_nxt + n;
+      drain_ooo c
+    end
+    else
+      (* No room: put it back and stop. *)
+      Hashtbl.replace c.ooo c.rcv_nxt data
+  | None -> ()
+
+let check_fin c =
+  match c.fin_at with
+  | Some fs when c.rcv_nxt = fs && not c.fin_taken ->
+    c.fin_taken <- true;
+    c.rcv_nxt <- c.rcv_nxt + 1;
+    (match c.fin_seq with
+     | Some our_fs when c.snd_una > our_fs -> c.st <- Closed
+     | _ -> ());
+    wake_readers c
+  | _ -> ()
+
+let process_data c (g : seg) =
+  let len = Bytes.length g.g_data in
+  (if len > 0 then begin
+     count c "tcp.segs_data_in";
+     if g.g_seq = c.rcv_nxt then begin
+       let space = c.rcvbuf_cap - Sbuf.length c.rcvq in
+       let n = min space len in
+       if n > 0 then begin
+         Sbuf.append c.rcvq g.g_data 0 n;
+         c.rcv_nxt <- c.rcv_nxt + n;
+         drain_ooo c;
+         wake_readers c
+       end
+     end
+     else if
+       g.g_seq > c.rcv_nxt
+       && g.g_seq - c.rcv_nxt < c.rcvbuf_cap
+       && Hashtbl.length c.ooo < 64
+     then Hashtbl.replace c.ooo g.g_seq g.g_data
+   end);
+  (if g.g_flags land f_fin <> 0 then begin
+     let fin_pos = g.g_seq + len in
+     (match c.fin_at with None -> c.fin_at <- Some fin_pos | Some _ -> ())
+   end);
+  check_fin c;
+  if len > 0 || g.g_flags land f_fin <> 0 then send_pure_ack c
+
+let conn_input c (g : seg) =
+  count c "tcp.segs_in";
+  match c.st with
+  | Syn_sent ->
+    if g.g_flags land f_syn <> 0 && g.g_flags land f_ack <> 0 then begin
+      c.st <- Established;
+      stop_timer c;
+      c.rto <- base_rto;
+      c.peer_wnd <- g.g_wnd;
+      send_pure_ack c;
+      wake_established c
+    end
+  | Syn_rcvd ->
+    (* Anything from the peer confirms establishment. *)
+    c.st <- Established;
+    stop_timer c;
+    c.rto <- base_rto;
+    c.peer_wnd <- g.g_wnd;
+    process_ack c g;
+    process_data c g;
+    wake_established c
+  | Established | Fin_wait ->
+    process_ack c g;
+    process_data c g
+  | Closed -> ()
+
+(* {1 Construction and demux} *)
+
+let make_conn ~nif ~lport ~rif ~rport ~rcvbuf ~sndbuf ~st =
+  let net = Netif.net nif in
+  let c = {
+    nif;
+    net;
+    engine = Netif.engine net;
+    lport;
+    rif;
+    rport;
+    st;
+    sndbuf_cap = sndbuf;
+    sndbuf = Sbuf.create sndbuf;
+    snd_una = 0;
+    snd_nxt = 0;
+    accepted = 0;
+    peer_wnd = 0;
+    app_closed = false;
+    fin_seq = None;
+    pending = Queue.create ();
+    rcvbuf_cap = rcvbuf;
+    rcvq = Sbuf.create rcvbuf;
+    rcv_nxt = 0;
+    ooo = Hashtbl.create 8;
+    fin_at = None;
+    fin_taken = false;
+    rcv_waiters = [];
+    est_waiters = [];
+    last_wnd_sent = rcvbuf;
+    cwnd = 2 * 8979 (* refined to 2*MSS at connect/accept *);
+    ssthresh = 64 * 1024;
+    srtt = -1.0;
+    rttvar = 0.0;
+    rtt_seq = 0;
+    rtt_sent = Time.zero;
+    rtt_valid = false;
+    rto = base_rto;
+    timer = None;
+    retransmits = 0;
+    dup_acks = 0;
+    syn_tries = 0;
+    stats = Stats.create ();
+  }
+  in
+  c.cwnd <- 2 * mss net;
+  c
+
+let default_buf = 64 * 1024
+
+let rec table_for nif =
+  match Hashtbl.find_opt tables (Netif.id nif) with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = { listeners = Hashtbl.create 8; conns = Hashtbl.create 16 } in
+    Hashtbl.add tables (Netif.id nif) tbl;
+    Netif.set_proto_rx nif ~proto:protocol_number (fun frame ->
+        match decode frame.Netif.f_payload with
+        | None -> ()
+        | Some g -> demux nif tbl frame g);
+    tbl
+
+and demux nif tbl (frame : Netif.frame) g =
+  let key = (frame.Netif.f_port_dst, frame.Netif.f_src, frame.Netif.f_port_src) in
+  match Hashtbl.find_opt tbl.conns key with
+  | Some c -> conn_input c g
+  | None ->
+    if g.g_flags land f_syn <> 0 && g.g_flags land f_ack = 0 then begin
+      match Hashtbl.find_opt tbl.listeners frame.Netif.f_port_dst with
+      | Some l when Queue.length l.l_queue < l.l_backlog ->
+        let c =
+          make_conn ~nif ~lport:frame.Netif.f_port_dst ~rif:frame.Netif.f_src
+            ~rport:frame.Netif.f_port_src ~rcvbuf:default_buf
+            ~sndbuf:default_buf ~st:Syn_rcvd
+        in
+        c.peer_wnd <- g.g_wnd;
+        Hashtbl.replace tbl.conns key c;
+        Queue.push c l.l_queue;
+        tx c ~flags:(f_syn lor f_ack) ();
+        arm_timer c;
+        let ws = l.l_waiters in
+        l.l_waiters <- [];
+        List.iter (fun w -> w ()) ws
+      | Some _ | None -> ()
+    end
+
+(* {1 Public API} *)
+
+let listen nif ~port ?(backlog = 8) () =
+  let tbl = table_for nif in
+  if Hashtbl.mem tbl.listeners port then
+    invalid_arg (Printf.sprintf "Tcp.listen: port %d in use" port);
+  let l =
+    { l_nif = nif; l_port = port; l_backlog = backlog; l_queue = Queue.create (); l_waiters = [] }
+  in
+  Hashtbl.replace tbl.listeners port l;
+  l
+
+let rec accept l =
+  match Queue.take_opt l.l_queue with
+  | Some c -> c
+  | None ->
+    Process.block "tcp-accept" (fun w -> l.l_waiters <- w :: l.l_waiters);
+    accept l
+
+let connect nif ~port ~dst ?(rcvbuf = default_buf) ?(sndbuf = default_buf) () =
+  let tbl = table_for nif in
+  let key = (port, dst.a_if, dst.a_port) in
+  if Hashtbl.mem tbl.conns key then
+    invalid_arg "Tcp.connect: connection already exists";
+  let c =
+    make_conn ~nif ~lport:port ~rif:dst.a_if ~rport:dst.a_port ~rcvbuf ~sndbuf
+      ~st:Syn_sent
+  in
+  Hashtbl.replace tbl.conns key c;
+  tx c ~flags:f_syn ();
+  arm_timer c;
+  let rec wait () =
+    match c.st with
+    | Established | Fin_wait -> ()
+    | Closed -> failwith "Tcp.connect: connection timed out"
+    | Syn_sent | Syn_rcvd ->
+      Process.block "tcp-connect" (fun w -> c.est_waiters <- w :: c.est_waiters);
+      wait ()
+  in
+  wait ();
+  c
+
+let send_async c data ~pos ~len k =
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then
+    invalid_arg "Tcp.send_async: bad range";
+  (match c.st with
+   | Established | Syn_sent | Syn_rcvd -> ()
+   | Fin_wait | Closed -> invalid_arg "Tcp.send_async: closed connection");
+  if c.app_closed then invalid_arg "Tcp.send_async: after close";
+  Queue.push { pw_data = data; pw_pos = pos; pw_len = len; pw_done = k } c.pending;
+  admit_writers c
+
+let send c data ~pos ~len =
+  if len > 0 then
+    Process.block "tcp-send" (fun waker -> send_async c data ~pos ~len waker)
+
+(* Window-update heuristic: tell the peer when a closed (or nearly
+   closed) window has reopened meaningfully. *)
+let maybe_window_update c =
+  let seg = mss c.net in
+  if c.last_wnd_sent < seg && rwnd c >= seg then send_pure_ack c
+
+let rec recv c buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Tcp.recv: bad range";
+  let avail = Sbuf.length c.rcvq in
+  if avail > 0 then begin
+    let n = min avail len in
+    Sbuf.peek c.rcvq ~off:0 ~n buf pos;
+    Sbuf.drop c.rcvq n;
+    maybe_window_update c;
+    n
+  end
+  else if c.fin_taken then 0
+  else if c.st = Closed then 0
+  else begin
+    Process.block "tcp-recv" (fun w -> c.rcv_waiters <- w :: c.rcv_waiters);
+    recv c buf ~pos ~len
+  end
+
+let close c =
+  match c.st with
+  | Closed -> ()
+  | Fin_wait -> ()
+  | Syn_sent | Syn_rcvd ->
+    c.st <- Closed;
+    stop_timer c
+  | Established ->
+    c.app_closed <- true;
+    c.st <- Fin_wait;
+    pump c;
+    (* Linger until our data and FIN are acknowledged. *)
+    let rec wait () =
+      match c.fin_seq with
+      | Some fs when c.snd_una > fs -> ()
+      | _ ->
+        if c.st = Closed then ()
+        else begin
+          Process.block "tcp-close" (fun w ->
+              c.rcv_waiters <- w :: c.rcv_waiters);
+          wait ()
+        end
+    in
+    wait ()
+
+let state_name c =
+  match c.st with
+  | Syn_sent -> "syn_sent"
+  | Syn_rcvd -> "syn_rcvd"
+  | Established -> "established"
+  | Fin_wait -> "fin_wait"
+  | Closed -> "closed"
+
+let local_addr c = { a_if = Netif.id c.nif; a_port = c.lport }
+
+let remote_addr c = { a_if = c.rif; a_port = c.rport }
+
+let bytes_sent c = c.accepted
+
+let bytes_acked c = min c.snd_una c.accepted
+
+let retransmits c = c.retransmits
+
+let cwnd c = c.cwnd
+
+let srtt c = if c.srtt < 0.0 then None else Some c.srtt
+
+let rto c = c.rto
+
+let stats c = c.stats

@@ -1,0 +1,93 @@
+(** TCP: a reliable byte-stream transport.
+
+    A deliberately small but real TCP over {!Netif}: three-way
+    handshake, MSS segmentation, cumulative acknowledgements, a sliding
+    window bounded by the receiver's advertised buffer space,
+    out-of-order segment buffering, go-back-N retransmission on a
+    backed-off timeout, and FIN teardown. Enough to serve files over
+    lossy links — the workload for which splice's file-to-socket path
+    later became famous as [sendfile(2)].
+
+    Blocking operations ({!accept}, {!connect}, {!send}, {!recv},
+    {!close}) must run in a process coroutine; {!send_async} is the
+    interrupt-context entry point splice uses as a sink, back-pressured
+    by the send buffer and therefore by the peer's consumption rate. *)
+
+open Kpath_sim
+
+type listener
+(** A passive (listening) endpoint. *)
+
+type conn
+(** One connection. *)
+
+type addr = { a_if : int; a_port : int }
+(** Interface id + port (same shape as {!Udp.addr}). *)
+
+val protocol_number : int
+(** 6, the IP protocol number used on {!Netif} frames. *)
+
+val header_bytes : int
+(** Bytes of TCP header carried in each frame payload. *)
+
+val mss : Netif.net -> int
+(** Maximum segment payload for a given network's MTU. *)
+
+val listen : Netif.t -> port:int -> ?backlog:int -> unit -> listener
+(** Bind a listening port. Raises [Invalid_argument] if the port is in
+    use on this interface. *)
+
+val accept : listener -> conn
+(** Block until a connection has completed its handshake. Process
+    context. *)
+
+val connect : Netif.t -> port:int -> dst:addr -> ?rcvbuf:int -> ?sndbuf:int -> unit -> conn
+(** Active open: block until established (SYN retransmitted on loss).
+    Process context. Raises [Failure] after too many SYN timeouts. *)
+
+val send : conn -> bytes -> pos:int -> len:int -> unit
+(** Queue [len] bytes on the stream, blocking while the send buffer is
+    full (i.e. until the peer's window opens). Process context. Raises
+    [Invalid_argument] on a closed connection. *)
+
+val send_async : conn -> bytes -> pos:int -> len:int -> (unit -> unit) -> unit
+(** Like {!send} but callback-based: [k] fires (interrupt context) once
+    every byte has been accepted into the send buffer. Writers are
+    admitted in FIFO order. The splice sink. *)
+
+val recv : conn -> bytes -> pos:int -> len:int -> int
+(** Block for at least one byte of in-order data; returns the count
+    copied, or [0] at end of stream (peer closed). Process context. *)
+
+val close : conn -> unit
+(** Half-close: send FIN after all queued data, then return (does not
+    wait for the peer). Further {!send}s raise. *)
+
+val state_name : conn -> string
+(** Diagnostic: ["syn_sent"], ["established"], ["fin_wait"], ["closed"]... *)
+
+val local_addr : conn -> addr
+
+val remote_addr : conn -> addr
+
+val bytes_sent : conn -> int
+(** Stream bytes accepted from the application so far. *)
+
+val bytes_acked : conn -> int
+(** Stream bytes the peer has acknowledged. *)
+
+val retransmits : conn -> int
+(** Segments retransmitted (loss recovery). *)
+
+val cwnd : conn -> int
+(** Current congestion window, bytes (starts at 2 MSS, slow start /
+    AIMD thereafter). *)
+
+val srtt : conn -> float option
+(** Smoothed round-trip time in seconds, once at least one sample has
+    been taken. *)
+
+val rto : conn -> Time.span
+(** Current retransmission timeout. *)
+
+val stats : conn -> Stats.t

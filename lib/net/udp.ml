@@ -1,0 +1,139 @@
+open Kpath_sim
+open Kpath_proc
+
+type addr = { a_if : int; a_port : int }
+
+type datagram = { d_from : addr; d_payload : bytes }
+
+type t = {
+  nif : Netif.t;
+  port : int;
+  rcvbuf : int;
+  queue : datagram Queue.t;
+  mutable queued_bytes : int;
+  mutable upcall : (datagram -> unit) option;
+  mutable waiters : (unit -> unit) list;
+  mutable closed : bool;
+  stats : Stats.t;
+}
+
+(* Port demultiplexing tables, one per interface. *)
+let port_tables : (int, (int, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+
+let rec table_for nif =
+  match Hashtbl.find_opt port_tables (Netif.id nif) with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.add port_tables (Netif.id nif) tbl;
+    (* One shared rx upcall per interface dispatches to sockets. *)
+    Netif.set_proto_rx nif ~proto:17 (fun frame ->
+        match Hashtbl.find_opt tbl frame.Netif.f_port_dst with
+        | Some sock -> deliver_ref sock frame
+        | None -> ());
+    tbl
+
+and deliver_ref sock (frame : Netif.frame) =
+  if not sock.closed then begin
+    let dg =
+      {
+        d_from = { a_if = frame.Netif.f_src; a_port = frame.Netif.f_port_src };
+        d_payload = frame.Netif.f_payload;
+      }
+    in
+    match sock.upcall with
+    | Some fn ->
+      Stats.incr (Stats.counter sock.stats "udp.upcalls");
+      fn dg
+    | None ->
+      let size = Bytes.length dg.d_payload in
+      if sock.queued_bytes + size > sock.rcvbuf then
+        Stats.incr (Stats.counter sock.stats "udp.drops")
+      else begin
+        Queue.push dg sock.queue;
+        sock.queued_bytes <- sock.queued_bytes + size;
+        Stats.incr (Stats.counter sock.stats "udp.rx");
+        let ws = sock.waiters in
+        sock.waiters <- [];
+        List.iter (fun w -> w ()) (List.rev ws)
+      end
+  end
+
+let create nif ~port ?(rcvbuf = 64 * 1024) () =
+  let tbl = table_for nif in
+  if Hashtbl.mem tbl port then
+    invalid_arg (Printf.sprintf "Udp.create: port %d in use" port);
+  let sock =
+    {
+      nif;
+      port;
+      rcvbuf;
+      queue = Queue.create ();
+      queued_bytes = 0;
+      upcall = None;
+      waiters = [];
+      closed = false;
+      stats = Stats.create ();
+    }
+  in
+  Hashtbl.add tbl port sock;
+  sock
+
+let addr t = { a_if = Netif.id t.nif; a_port = t.port }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (match Hashtbl.find_opt port_tables (Netif.id t.nif) with
+     | Some tbl -> Hashtbl.remove tbl t.port
+     | None -> ());
+    Queue.clear t.queue;
+    t.queued_bytes <- 0;
+    let ws = t.waiters in
+    t.waiters <- [];
+    List.iter (fun w -> w ()) (List.rev ws)
+  end
+
+let sendto t ~dst payload =
+  if t.closed then invalid_arg "Udp.sendto: closed socket";
+  Stats.incr (Stats.counter t.stats "udp.tx");
+  Netif.send t.nif ~dst:dst.a_if ~port_src:t.port ~port_dst:dst.a_port payload
+
+let try_recv t =
+  if Queue.is_empty t.queue then None
+  else begin
+    let dg = Queue.pop t.queue in
+    t.queued_bytes <- t.queued_bytes - Bytes.length dg.d_payload;
+    Some dg
+  end
+
+let rec recv t =
+  match try_recv t with
+  | Some dg -> Some dg
+  | None ->
+    if t.closed then None
+    else begin
+      Process.block "udp-recv" (fun w -> t.waiters <- w :: t.waiters);
+      recv t
+    end
+
+let set_upcall t fn =
+  t.upcall <- fn;
+  match fn with
+  | Some fn ->
+    (* Drain anything that arrived before the splice was attached. *)
+    let rec drain () =
+      match try_recv t with
+      | Some dg ->
+        fn dg;
+        drain ()
+      | None -> ()
+    in
+    drain ()
+  | None -> ()
+
+let pending t = Queue.length t.queue
+
+let drops t = Stats.get t.stats "udp.drops"
+
+let stats t = t.stats

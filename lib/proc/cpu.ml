@@ -1,0 +1,56 @@
+open Kpath_sim
+
+type t = {
+  mutable user : Time.span;
+  mutable sys : Time.span;
+  mutable intr : Time.span;
+  mutable ctx : Time.span;
+  mutable interrupts : int;
+  mutable context_switches : int;
+}
+
+let create () =
+  {
+    user = Time.zero;
+    sys = Time.zero;
+    intr = Time.zero;
+    ctx = Time.zero;
+    interrupts = 0;
+    context_switches = 0;
+  }
+
+let add_user t d = t.user <- Time.add t.user d
+
+let add_sys t d = t.sys <- Time.add t.sys d
+
+let add_intr t d =
+  t.intr <- Time.add t.intr d;
+  t.interrupts <- t.interrupts + 1
+
+let add_ctx t d =
+  t.ctx <- Time.add t.ctx d;
+  t.context_switches <- t.context_switches + 1
+
+let user t = t.user
+let sys t = t.sys
+let intr t = t.intr
+let ctx t = t.ctx
+
+let busy t = Time.add (Time.add t.user t.sys) (Time.add t.intr t.ctx)
+
+let idle t ~now =
+  let b = busy t in
+  if Time.(b > now) then invalid_arg "Cpu.idle: busy time exceeds elapsed time";
+  Time.diff now b
+
+let interrupts t = t.interrupts
+
+let context_switches t = t.context_switches
+
+let utilization t ~now =
+  if Time.equal now Time.zero then 0.0
+  else Time.to_sec_f (busy t) /. Time.to_sec_f now
+
+let pp fmt t =
+  Format.fprintf fmt "user=%a sys=%a intr=%a(%d) ctx=%a(%d)" Time.pp t.user
+    Time.pp t.sys Time.pp t.intr t.interrupts Time.pp t.ctx t.context_switches

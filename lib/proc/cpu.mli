@@ -1,0 +1,53 @@
+(** CPU time accounting.
+
+    The simulated machine has a single CPU (like the DECstation 5000/200).
+    Consumed time is charged to one of four buckets: user-mode execution,
+    system (kernel, process-context) execution, interrupt service, and
+    context-switch overhead. Idle time is derived. The CPU-availability
+    experiment (Table 1) is, at heart, a measurement of how much of this
+    budget the copy mechanism leaves to other processes. *)
+
+open Kpath_sim
+
+type t
+(** CPU accounting state. *)
+
+val create : unit -> t
+(** Fresh accounting with all buckets at zero. *)
+
+val add_user : t -> Time.span -> unit
+(** Charge user-mode execution time. *)
+
+val add_sys : t -> Time.span -> unit
+(** Charge process-context kernel time (syscalls, copyin/copyout, ...). *)
+
+val add_intr : t -> Time.span -> unit
+(** Charge interrupt-service time (also counts one interrupt). *)
+
+val add_ctx : t -> Time.span -> unit
+(** Charge context-switch overhead (also counts one switch). *)
+
+val user : t -> Time.span
+val sys : t -> Time.span
+val intr : t -> Time.span
+val ctx : t -> Time.span
+
+val busy : t -> Time.span
+(** Total non-idle time: user + sys + intr + ctx. *)
+
+val idle : t -> now:Time.t -> Time.span
+(** [idle t ~now] is the CPU time not charged to any bucket since the
+    simulation epoch. Raises [Invalid_argument] if the books show more
+    busy time than elapsed time. *)
+
+val interrupts : t -> int
+(** Number of interrupts serviced. *)
+
+val context_switches : t -> int
+(** Number of context switches performed. *)
+
+val utilization : t -> now:Time.t -> float
+(** Fraction of elapsed time the CPU was busy, in [0, 1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Print the four buckets and counts. *)

@@ -1,0 +1,67 @@
+open Kpath_sim
+
+type state = Runnable | Running | Blocked of string | Zombie
+
+type mode = User | Sys
+
+type exit_status = Exited | Crashed of exn
+
+type t = {
+  pid : int;
+  name : string;
+  mutable state : state;
+  mutable priority : int;
+  mutable base_priority : int;
+  mutable resume : (unit -> unit) option;
+  mutable cpu_user : Time.span;
+  mutable cpu_sys : Time.span;
+  mutable ctx_switches : int;
+  mutable wakeup_count : int;
+  mutable exit_status : exit_status option;
+  mutable exit_hooks : (unit -> unit) list;
+  mutable intr_waker : (unit -> unit) option;
+  mutable sig_pending : int;
+  mutable sig_handlers : (int * (unit -> unit)) list;
+}
+
+type _ Effect.t +=
+  | Use_cpu : mode * Time.span -> unit Effect.t
+  | Block : string * ((unit -> unit) -> unit) -> unit Effect.t
+  | Yield : unit Effect.t
+  | Self : t Effect.t
+
+let make ~pid ~name ~priority =
+  {
+    pid;
+    name;
+    state = Runnable;
+    priority;
+    base_priority = priority;
+    resume = None;
+    cpu_user = Time.zero;
+    cpu_sys = Time.zero;
+    ctx_switches = 0;
+    wakeup_count = 0;
+    exit_status = None;
+    exit_hooks = [];
+    intr_waker = None;
+    sig_pending = 0;
+    sig_handlers = [];
+  }
+
+let use_cpu mode d =
+  if Time.(d > Time.zero) then Effect.perform (Use_cpu (mode, d))
+
+let block chan register = Effect.perform (Block (chan, register))
+
+let yield () = Effect.perform Yield
+
+let self () = Effect.perform Self
+
+let is_zombie t = t.state = Zombie
+
+let pp_state fmt = function
+  | Runnable -> Format.pp_print_string fmt "runnable"
+  | Running -> Format.pp_print_string fmt "running"
+  | Blocked chan -> Format.fprintf fmt "blocked(%s)" chan
+  | Zombie -> Format.pp_print_string fmt "zombie"

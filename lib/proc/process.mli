@@ -1,0 +1,83 @@
+(** Simulated processes.
+
+    A process is an OCaml-effects coroutine: its body is ordinary direct
+    OCaml code that consumes simulated CPU time with {!use_cpu}, blocks
+    with {!block} and cooperates with {!yield}. The effects are handled by
+    {!Sched}, which multiplexes the single simulated CPU among processes,
+    exactly so that workload programs ([cp], [scp], the compute-bound test
+    program, the movie player) can be written as straight-line code
+    mirroring the paper's C examples.
+
+    Scheduling granularity: a [use_cpu] slice runs to completion before
+    another process may be dispatched (classic non-preemptive UNIX kernel
+    behaviour); interrupts steal time by stretching the running slice.
+    Workloads should therefore consume CPU in reasonably small slices
+    (a millisecond or so) to model timeslice preemption faithfully. *)
+
+open Kpath_sim
+
+type state =
+  | Runnable  (** on the run queue, waiting for the CPU *)
+  | Running  (** currently owning the CPU *)
+  | Blocked of string  (** asleep on the named wait channel *)
+  | Zombie  (** terminated *)
+
+type mode =
+  | User  (** user-mode computation *)
+  | Sys  (** kernel work performed in process context *)
+
+type exit_status =
+  | Exited  (** body returned normally *)
+  | Crashed of exn  (** body raised *)
+
+type t = {
+  pid : int;
+  name : string;
+  mutable state : state;
+  mutable priority : int;  (** effective priority; lower is more urgent *)
+  mutable base_priority : int;  (** user-mode priority, restored on return to user mode *)
+  mutable resume : (unit -> unit) option;  (** continuation, when [Runnable] *)
+  mutable cpu_user : Time.span;  (** user time consumed *)
+  mutable cpu_sys : Time.span;  (** system time consumed *)
+  mutable ctx_switches : int;  (** times dispatched after another process *)
+  mutable wakeup_count : int;  (** times woken from a blocked state *)
+  mutable exit_status : exit_status option;
+  mutable exit_hooks : (unit -> unit) list;  (** run (LIFO) when the process dies *)
+  mutable intr_waker : (unit -> unit) option;
+      (** set while interruptibly blocked; invoked by signal delivery *)
+  mutable sig_pending : int;  (** pending-signal bitmask *)
+  mutable sig_handlers : (int * (unit -> unit)) list;
+      (** signal number to handler, run in process context *)
+}
+
+type _ Effect.t +=
+  | Use_cpu : mode * Time.span -> unit Effect.t
+  | Block : string * ((unit -> unit) -> unit) -> unit Effect.t
+  | Yield : unit Effect.t
+  | Self : t Effect.t
+
+val make : pid:int -> name:string -> priority:int -> t
+(** A fresh process record in [Runnable] state with no continuation. *)
+
+val use_cpu : mode -> Time.span -> unit
+(** [use_cpu mode d] consumes [d] of simulated CPU, charged to [mode].
+    Must be performed inside a process body. Zero-length slices return
+    immediately without touching the scheduler. *)
+
+val block : string -> ((unit -> unit) -> unit) -> unit
+(** [block chan register] puts the process to sleep on wait channel
+    [chan]. [register] receives the waker; invoking the waker (once)
+    makes the process runnable again. Must be performed inside a process
+    body. *)
+
+val yield : unit -> unit
+(** Relinquish the CPU; the process stays runnable. *)
+
+val self : unit -> t
+(** The currently executing process. *)
+
+val is_zombie : t -> bool
+(** [true] once the process has terminated. *)
+
+val pp_state : Format.formatter -> state -> unit
+(** Print a state for diagnostics. *)

@@ -1,0 +1,41 @@
+(** UNIX-style signals (the subset splice clients need).
+
+    The paper's asynchronous splice completes by raising [SIGIO] in the
+    caller; the movie-player example paces video frames with [SIGALRM]
+    from [setitimer]. Handlers run in process context: delivery marks the
+    signal pending and wakes the process if it is interruptibly blocked
+    ([pause], interruptible sleeps); {!take_pending} then runs handlers
+    from within the process coroutine. *)
+
+type number = int
+(** Signal number. *)
+
+val sigio : number
+(** I/O possible / async I/O completion (SIGIO = 23 on Ultrix). *)
+
+val sigalrm : number
+(** Interval-timer expiry (SIGALRM = 14). *)
+
+val sigint : number
+(** Interrupt (SIGINT = 2). *)
+
+val handle : Process.t -> number -> (unit -> unit) -> unit
+(** [handle p n fn] installs [fn] as [p]'s handler for signal [n],
+    replacing any previous handler. *)
+
+val ignore_signal : Process.t -> number -> unit
+(** Remove any handler; future deliveries are discarded by
+    {!take_pending}. *)
+
+val deliver : Sched.t -> Process.t -> number -> unit
+(** [deliver sched p n] posts signal [n] to [p]: marks it pending and, if
+    [p] is interruptibly blocked, wakes it. Delivery to a zombie is a
+    no-op. *)
+
+val pending : Process.t -> number list
+(** Currently pending signal numbers, ascending. *)
+
+val take_pending : Process.t -> unit
+(** Run (and clear) the handlers for every pending signal of the calling
+    process. Called by the syscall layer on return from blocking calls,
+    mirroring kernel signal delivery on syscall exit. *)

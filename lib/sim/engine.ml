@@ -1,0 +1,83 @@
+type handle = {
+  time : Time.t;
+  seq : int;
+  fn : unit -> unit;
+  mutable state : [ `Pending | `Cancelled | `Fired ];
+}
+
+type t = {
+  mutable clock : Time.t;
+  heap : handle Heap.t;
+  mutable next_seq : int;
+  mutable live : int; (* pending minus cancelled, for [pending] *)
+}
+
+exception Stopped
+
+let stop () = raise Stopped
+
+let cmp_handle a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { clock = Time.zero; heap = Heap.create ~cmp:cmp_handle; next_seq = 0; live = 0 }
+
+let now t = t.clock
+
+let pending t = t.live
+
+let schedule t ~at fn =
+  if Time.(at < t.clock) then invalid_arg "Engine.schedule: time in the past";
+  let h = { time = at; seq = t.next_seq; fn; state = `Pending } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.heap h;
+  t.live <- t.live + 1;
+  h
+
+let schedule_after t d fn = schedule t ~at:(Time.add t.clock d) fn
+
+let cancel t h =
+  match h.state with
+  | `Pending ->
+    h.state <- `Cancelled;
+    t.live <- t.live - 1
+  | `Cancelled | `Fired -> ()
+
+let cancelled h = h.state = `Cancelled
+
+let fired h = h.state = `Fired
+
+(* Pop the next non-cancelled event, discarding tombstones. *)
+let rec next_live t =
+  match Heap.pop t.heap with
+  | None -> None
+  | Some h -> if h.state = `Cancelled then next_live t else Some h
+
+let fire t h =
+  t.clock <- h.time;
+  h.state <- `Fired;
+  t.live <- t.live - 1;
+  h.fn ()
+
+let step t =
+  match next_live t with
+  | None -> false
+  | Some h ->
+    fire t h;
+    true
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match next_live t with
+    | None -> continue := false
+    | Some h ->
+      (match until with
+       | Some limit when Time.(h.time > limit) ->
+         (* Re-queue: the event is beyond the horizon. *)
+         Heap.push t.heap h;
+         t.clock <- limit;
+         continue := false
+       | _ -> fire t h)
+  done

@@ -1,0 +1,55 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the simulated clock and a queue of pending events.
+    Events scheduled for the same instant fire in scheduling order
+    (FIFO), which makes every simulation fully deterministic. Event
+    handles support O(1) cancellation (lazily removed from the queue). *)
+
+type t
+(** An engine: a clock plus an event queue. *)
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : unit -> t
+(** A fresh engine with the clock at {!Time.zero} and no events. *)
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-cancelled events. *)
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~at fn] arranges for [fn ()] to run when the clock
+    reaches [at]. Raises [Invalid_argument] if [at] is in the past. *)
+
+val schedule_after : t -> Time.span -> (unit -> unit) -> handle
+(** [schedule_after t d fn] is [schedule t ~at:(Time.add (now t) d) fn]. *)
+
+val cancel : t -> handle -> unit
+(** [cancel t h] prevents the event from firing. Cancelling an event that
+    already fired (or was already cancelled) is a no-op. *)
+
+val cancelled : handle -> bool
+(** [cancelled h] is [true] iff [h] was cancelled before firing. *)
+
+val fired : handle -> bool
+(** [fired h] is [true] iff the event's callback has run. *)
+
+val run : ?until:Time.t -> t -> unit
+(** [run t] processes events in time order until the queue is empty, or —
+    when [until] is given — until the next event lies strictly beyond
+    [until], in which case the clock is advanced to exactly [until].
+    Callbacks may schedule further events. *)
+
+val step : t -> bool
+(** [step t] processes the single next event. Returns [false] when the
+    queue was empty (the clock does not move). *)
+
+exception Stopped
+(** Raised by a callback to abort {!run} early; the clock stays at the
+    aborting event's time and remaining events stay queued. *)
+
+val stop : unit -> 'a
+(** [stop ()] raises {!Stopped}; sugar for use inside callbacks. *)

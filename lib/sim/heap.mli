@@ -1,0 +1,35 @@
+(** Polymorphic binary min-heap.
+
+    Backing store for the event queue. The comparison function is fixed at
+    creation; elements compare smallest-first. Operations are the classic
+    array-backed sift-up/sift-down with amortised O(log n) insert and
+    pop. *)
+
+type 'a t
+(** A mutable min-heap of ['a] values. *)
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+(** Number of elements currently in the heap. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x]. *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** [iter f h] applies [f] to every element in unspecified order. *)

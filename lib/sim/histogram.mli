@@ -1,0 +1,37 @@
+(** Logarithmic-bucket histogram for latency/size distributions. *)
+
+type t
+(** A histogram with power-of-two buckets. *)
+
+val create : unit -> t
+(** An empty histogram. *)
+
+val add : t -> int -> unit
+(** [add h v] records one sample [v >= 0]. Negative samples raise
+    [Invalid_argument]. *)
+
+val count : t -> int
+(** Number of recorded samples. *)
+
+val total : t -> int
+(** Sum of all samples. *)
+
+val mean : t -> float
+(** Mean sample, or [nan] when empty. *)
+
+val min_value : t -> int option
+(** Smallest recorded sample. *)
+
+val max_value : t -> int option
+(** Largest recorded sample. *)
+
+val percentile : t -> float -> int
+(** [percentile h p] approximates the [p]-th percentile ([0 <= p <= 100])
+    as the upper bound of the bucket containing it. Raises
+    [Invalid_argument] when empty or [p] out of range. *)
+
+val buckets : t -> (int * int * int) list
+(** [(lo, hi, count)] for every non-empty bucket, ascending. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render a compact textual summary. *)

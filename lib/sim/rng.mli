@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The simulator never consults wall-clock entropy: every run with the
+    same seed replays identically. Splitmix64 is small, fast and passes
+    BigCrush for this kind of workload modelling use. *)
+
+type t
+(** A generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] is a generator; equal seeds yield equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator (advances [t]). *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] samples an exponential distribution. *)
+
+val shuffle : t -> 'a array -> unit
+(** Fisher–Yates shuffle in place. *)

@@ -1,0 +1,46 @@
+type counter = { mutable v : int }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 64; histograms = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { v = 0 } in
+    Hashtbl.add t.counters name c;
+    c
+
+let incr c = c.v <- c.v + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Stats.add: negative increment";
+  c.v <- c.v + n
+
+let value c = c.v
+
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.v | None -> 0
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create () in
+    Hashtbl.add t.histograms name h;
+    h
+
+let to_list t =
+  Hashtbl.fold (fun name c acc -> (name, c.v) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.iter (fun _ c -> c.v <- 0) t.counters;
+  Hashtbl.reset t.histograms
+
+let pp fmt t =
+  List.iter (fun (name, v) -> Format.fprintf fmt "%-40s %d@." name v) (to_list t)

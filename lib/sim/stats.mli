@@ -1,0 +1,44 @@
+(** Named counters and gauges for simulation statistics.
+
+    Every subsystem registers counters in a [Stats.t] registry so that
+    experiment drivers can print a uniform report and tests can assert on
+    event counts without threading ad-hoc references around. *)
+
+type t
+(** A statistics registry. *)
+
+type counter
+(** A monotonically increasing counter. *)
+
+val create : unit -> t
+(** An empty registry. *)
+
+val counter : t -> string -> counter
+(** [counter t name] returns the counter registered under [name],
+    creating it at zero on first use. *)
+
+val incr : counter -> unit
+(** Add one. *)
+
+val add : counter -> int -> unit
+(** [add c n] adds [n >= 0]. Raises [Invalid_argument] on negative [n]. *)
+
+val value : counter -> int
+(** Current count. *)
+
+val get : t -> string -> int
+(** [get t name] is the value of the named counter, or [0] when it was
+    never created. *)
+
+val histogram : t -> string -> Histogram.t
+(** [histogram t name] returns the named histogram, creating it empty on
+    first use. *)
+
+val to_list : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset : t -> unit
+(** Zero all counters and clear all histograms (identities survive). *)
+
+val pp : Format.formatter -> t -> unit
+(** Print all counters, one per line. *)

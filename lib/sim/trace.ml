@@ -1,0 +1,64 @@
+type event = { ev_time : Time.t; ev_seq : int; ev_cat : string; ev_msg : string }
+
+type t = {
+  capacity : int;
+  clock : unit -> Time.t;
+  ring : event option array;
+  mutable next : int; (* total recorded; ring slot = next mod capacity *)
+  mutable all : bool;
+  cats : (string, unit) Hashtbl.t;
+}
+
+let create ?(capacity = 4096) ~clock () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
+  {
+    capacity;
+    clock;
+    ring = Array.make capacity None;
+    next = 0;
+    all = false;
+    cats = Hashtbl.create 8;
+  }
+
+let enable t cat = Hashtbl.replace t.cats cat ()
+
+let enable_all t = t.all <- true
+
+let disable t cat =
+  Hashtbl.remove t.cats cat;
+  t.all <- false
+
+let enabled t cat = t.all || Hashtbl.mem t.cats cat
+
+let emit t ~cat msg =
+  if enabled t cat then begin
+    let ev =
+      { ev_time = t.clock (); ev_seq = t.next; ev_cat = cat; ev_msg = msg () }
+    in
+    t.ring.(t.next mod t.capacity) <- Some ev;
+    t.next <- t.next + 1
+  end
+
+let events t =
+  let start = max 0 (t.next - t.capacity) in
+  let out = ref [] in
+  for i = t.next - 1 downto start do
+    match t.ring.(i mod t.capacity) with
+    | Some ev when ev.ev_seq = i -> out := ev :: !out
+    | Some _ | None -> ()
+  done;
+  !out
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0
+
+let recorded t = t.next
+
+let dropped t = max 0 (t.next - t.capacity)
+
+let pp_event fmt ev =
+  Format.fprintf fmt "[%a] %-8s %s" Time.pp ev.ev_time ev.ev_cat ev.ev_msg
+
+let dump fmt t =
+  List.iter (fun ev -> Format.fprintf fmt "%a@." pp_event ev) (events t)

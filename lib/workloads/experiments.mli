@@ -1,0 +1,196 @@
+(** Experiment drivers regenerating the paper's evaluation (§6).
+
+    Every function builds fresh machines (cold caches, per §6.2's "read
+    cache cold start"), runs deterministic simulations, and returns the
+    rows the paper's tables report. See EXPERIMENTS.md for paper-vs-
+    measured discussion. *)
+
+open Kpath_core
+open Kpath_kernel
+
+type disk_kind = [ `Ram | `Rz56 | `Rz58 ]
+
+val disk_name : disk_kind -> string
+
+type setup = {
+  machine : Machine.t;
+  src_path : string;
+  dst_path : string;
+  file_bytes : int;
+}
+
+val make_setup :
+  disk:disk_kind ->
+  ?file_bytes:int ->
+  ?same_disk:bool ->
+  ?disk_queue:Kpath_dev.Disk.queue_discipline ->
+  ?machine_config:Config.t ->
+  unit ->
+  setup
+(** Two drives of the given kind with a filesystem each ([/src], [/dst]),
+    the source file written with the verification pattern, everything
+    synced and the caches invalidated (cold start). [same_disk] puts
+    source and destination on one drive/filesystem instead. Default file
+    size: 8 MB. *)
+
+val cold_caches : setup -> unit
+(** Re-invalidate every cached block of both devices (between runs). *)
+
+(** {1 Table 2 — throughput} *)
+
+type copy_measure = {
+  cm_bytes : int;
+  cm_seconds : float;
+  cm_kb_per_sec : float;
+  cm_verified : bool;  (** destination matched the source pattern *)
+}
+
+val measure_copy :
+  mode:[ `Cp | `Scp | `Mcp ] ->
+  disk:disk_kind ->
+  ?file_bytes:int ->
+  ?same_disk:bool ->
+  ?disk_queue:Kpath_dev.Disk.queue_discipline ->
+  ?machine_config:Config.t ->
+  ?config:Flowctl.config ->
+  unit ->
+  copy_measure
+(** One cold copy on an otherwise idle machine; its duration, rate and
+    an end-to-end integrity verdict. [`Mcp] is the memory-mapped copier
+    of the §7 comparison. *)
+
+type tput_row = {
+  tp_disk : disk_kind;
+  tp_scp_kbps : float;
+  tp_cp_kbps : float;
+  tp_pct_improvement : float;
+}
+
+val table2 : ?file_bytes:int -> unit -> tput_row list
+(** The three rows of Table 2 (RAM, RZ56, RZ58). *)
+
+(** {1 Table 1 — CPU availability} *)
+
+type avail_row = {
+  av_disk : disk_kind;
+  av_f_cp : float;  (** test-program slowdown under cp *)
+  av_f_scp : float;  (** test-program slowdown under scp *)
+  av_improvement : float;  (** F_cp / F_scp *)
+  av_pct : float;  (** percentage execution-speed improvement *)
+}
+
+val idle_seconds : ops:int -> float
+(** Baseline: the test program alone on an idle machine. *)
+
+val slowdown :
+  mode:[ `Cp | `Scp ] ->
+  disk:disk_kind ->
+  ?file_bytes:int ->
+  ?pace:float ->
+  ops:int ->
+  unit ->
+  float
+(** Test-program slowdown factor while a looping copy contends. With
+    [pace] the copy is throttled to that application data rate; without
+    it the copy runs at the device's natural maximum. *)
+
+val table1 : ?file_bytes:int -> ?ops:int -> ?pace:float option -> unit -> avail_row list
+(** The three rows of Table 1. Default: 2000 ops of 1 ms, both copy
+    mechanisms paced to 1 MB/s (a continuous-media rate) so the CPU cost
+    of the {e mechanism} is isolated from the transfer rate; pass
+    [~pace:None] for the natural-maximum-rate variant (see
+    EXPERIMENTS.md for why the RAM row saturates there). *)
+
+val availability_timeline :
+  mode:[ `Cp | `Scp ] ->
+  disk:disk_kind ->
+  ?file_bytes:int ->
+  ?pace:float ->
+  ?ops:int ->
+  ?bucket:Kpath_sim.Time.span ->
+  unit ->
+  int list
+(** Figure-equivalent for Table 1: the test program's completed
+    operations per [bucket] (default 250 ms) while the copy loop
+    contends — the shape of CPU availability over time. *)
+
+(** {1 Ablations and sweeps} *)
+
+val watermark_sweep :
+  disk:disk_kind -> ?file_bytes:int -> Flowctl.config list -> (Flowctl.config * copy_measure) list
+(** splice throughput under alternative flow-control settings (§5.5). *)
+
+val size_sweep :
+  disk:disk_kind -> int list -> (int * copy_measure * copy_measure) list
+(** (size, scp, cp) across file sizes — the paper's "alternative sizes
+    were statistically indistinguishable" claim. *)
+
+(** {1 Continuous-media playback (the paper's §1/§4 motivation)} *)
+
+type media_measure = {
+  md_frames : int;  (** video frames delivered *)
+  md_late_frames : int;  (** frames not ready by their timer tick *)
+  md_audio_underruns : int;  (** audio DAC starvation events *)
+  md_fps : float;  (** achieved video rate *)
+  md_player_cpu_sec : float;  (** CPU consumed by the player process(es) *)
+}
+
+val measure_media :
+  player:[ `Process | `Splice ] ->
+  ?load:int ->
+  ?seconds:int ->
+  ?fps:int ->
+  unit ->
+  media_measure
+(** Play a movie (audio track + timed video frames) from an RZ58 disk to
+    rate-paced DACs, while [load] compute-bound processes contend for
+    the CPU (default 0). [`Process] pumps both streams with read/write
+    loops (one process per stream, as one would without splice);
+    [`Splice] is the paper's §4 player: an asynchronous SPLICE_EOF audio
+    splice plus one bounded video splice per interval-timer tick.
+    Defaults: 5 simulated seconds at 15 fps. *)
+
+(** {1 File serving over TCP (the sendfile path)} *)
+
+type sendfile_measure = {
+  sf_bytes : int;  (** bytes the client received and verified *)
+  sf_verified : bool;
+  sf_seconds : float;
+  sf_kb_per_sec : float;
+  sf_server_cpu_sec : float;  (** server-machine CPU consumed *)
+  sf_retransmits : int;  (** TCP segments retransmitted *)
+}
+
+val measure_sendfile :
+  mode:[ `ReadWrite | `Sendfile ] ->
+  ?file_bytes:int ->
+  ?loss:float ->
+  ?bandwidth:float ->
+  unit ->
+  sendfile_measure
+(** A server machine (RZ58 disk) serves one file over TCP to a client
+    machine on the same segment (separate CPUs, one simulated clock).
+    [`ReadWrite] is the classic read/send loop; [`Sendfile] is a
+    file-to-TCP splice — the in-kernel path that later shipped as
+    [sendfile(2)]. [loss] injects frame loss (default 0); default file
+    4 MB, segment bandwidth 2.5 MB/s. *)
+
+(** {1 UDP relay (socket-to-socket splice)} *)
+
+type relay_measure = {
+  rm_datagrams : int;  (** datagrams delivered end-to-end *)
+  rm_dropped : int;  (** datagrams lost at the relay socket *)
+  rm_cpu_busy_frac : float;  (** relay-machine CPU utilisation *)
+  rm_seconds : float;
+}
+
+val measure_relay :
+  mode:[ `Process | `Splice ] ->
+  ?datagrams:int ->
+  ?dgram_bytes:int ->
+  ?interval_us:int ->
+  unit ->
+  relay_measure
+(** A stub sender streams datagrams through a relay machine to a stub
+    sink; the relay either runs a recvfrom/sendto process or a
+    socket-to-socket splice. Compares CPU cost and loss. *)

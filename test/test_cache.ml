@@ -1,0 +1,307 @@
+open Kpath_sim
+open Kpath_proc
+open Kpath_dev
+open Kpath_buf
+
+(* A small rig: engine, scheduler, one disk and a cache; [body] runs in a
+   process. *)
+let with_rig ?(nbufs = 8) body =
+  let engine = Engine.create () in
+  let sched = Sched.create engine in
+  let intr ~service fn = Sched.interrupt sched ~service fn in
+  let disk =
+    Disk.create ~name:"d0" ~geometry:Disk.rz58 ~block_size:512 ~nblocks:256
+      ~intr_service:(Time.us 60) ~engine ~intr ()
+  in
+  let dev = Disk.blkdev disk in
+  let cache = Cache.create ~block_size:512 ~nbufs () in
+  let result = ref None in
+  let p =
+    Sched.spawn sched ~name:"rig" (fun () -> result := Some (body cache dev disk))
+  in
+  Engine.run engine;
+  Sched.check_deadlock sched;
+  (match p.Process.exit_status with
+   | Some (Process.Crashed e) -> raise e
+   | _ -> ());
+  Cache.check_invariants cache;
+  Option.get !result
+
+let fill_buf b c = Bytes.fill b.Buf.b_data 0 (Bytes.length b.Buf.b_data) c
+
+let test_getblk_claims_busy () =
+  with_rig (fun cache dev _ ->
+      let b = Cache.getblk cache dev 5 in
+      Alcotest.(check bool) "busy" true (Buf.has b Buf.b_busy);
+      Alcotest.(check bool) "not valid yet" false (Buf.valid b);
+      Alcotest.(check int) "busy count" 1 (Cache.busy_count cache);
+      Cache.brelse cache b;
+      Alcotest.(check int) "released" 0 (Cache.busy_count cache))
+
+let test_getblk_same_identity () =
+  with_rig (fun cache dev _ ->
+      let b1 = Cache.getblk cache dev 5 in
+      Cache.brelse cache b1;
+      let b2 = Cache.getblk cache dev 5 in
+      Alcotest.(check bool) "same buffer" true (b1 == b2);
+      Cache.brelse cache b2)
+
+let test_bread_miss_then_hit () =
+  with_rig (fun cache dev disk ->
+      Disk.write_block_direct disk 3 (Bytes.make 512 'p');
+      let b = Cache.bread cache dev 3 in
+      Alcotest.(check bool) "valid" true (Buf.valid b);
+      Alcotest.(check char) "contents" 'p' (Bytes.get b.Buf.b_data 0);
+      Cache.brelse cache b;
+      let served = Disk.serviced disk in
+      let b2 = Cache.bread cache dev 3 in
+      Alcotest.(check int) "no new I/O on hit" served (Disk.serviced disk);
+      Cache.brelse cache b2;
+      Alcotest.(check int) "one hit" 1 (Stats.get (Cache.stats cache) "cache.hits");
+      Alcotest.(check int) "one miss" 1 (Stats.get (Cache.stats cache) "cache.misses"))
+
+let test_bwrite_persists () =
+  with_rig (fun cache dev disk ->
+      let b = Cache.getblk cache dev 7 in
+      fill_buf b 'w';
+      Cache.bwrite cache b;
+      Alcotest.(check bytes) "on disk" (Bytes.make 512 'w')
+        (Disk.read_block_direct disk 7))
+
+let test_bdwrite_delays_until_flush () =
+  with_rig (fun cache dev disk ->
+      let b = Cache.getblk cache dev 9 in
+      fill_buf b 'd';
+      Cache.bdwrite cache b;
+      Alcotest.(check int) "dirty" 1 (Cache.dirty_count cache);
+      Alcotest.(check bytes) "not yet on disk" (Bytes.make 512 '\000')
+        (Disk.read_block_direct disk 9);
+      Cache.flush_blocks cache dev [ 9 ];
+      Alcotest.(check int) "clean" 0 (Cache.dirty_count cache);
+      Alcotest.(check bytes) "flushed" (Bytes.make 512 'd')
+        (Disk.read_block_direct disk 9))
+
+let test_bawrite_releases_automatically () =
+  with_rig (fun cache dev disk ->
+      let b = Cache.getblk cache dev 2 in
+      fill_buf b 'a';
+      Cache.bawrite cache b;
+      (* Wait for the write by re-acquiring the block. *)
+      let b2 = Cache.getblk cache dev 2 in
+      Cache.brelse cache b2;
+      Alcotest.(check bytes) "written" (Bytes.make 512 'a')
+        (Disk.read_block_direct disk 2);
+      Alcotest.(check int) "no busy left" 0 (Cache.busy_count cache))
+
+let test_lru_eviction_and_dirty_writeback () =
+  with_rig ~nbufs:4 (fun cache dev disk ->
+      (* Dirty block 0, then stream 5 more blocks through the 4-buffer
+         cache; block 0 must be written back when its buffer is
+         recycled. *)
+      let b0 = Cache.getblk cache dev 0 in
+      fill_buf b0 'z';
+      Cache.bdwrite cache b0;
+      for i = 1 to 5 do
+        let b = Cache.bread cache dev i in
+        Cache.brelse cache b
+      done;
+      (* Wait out any in-flight flush by reclaiming the block. *)
+      let b0' = Cache.getblk cache dev 0 in
+      Cache.brelse cache b0';
+      Alcotest.(check bytes) "victim write-back happened" (Bytes.make 512 'z')
+        (Disk.read_block_direct disk 0);
+      Alcotest.(check int) "nothing left dirty" 0 (Cache.dirty_count cache))
+
+let test_biowait_error_propagates () =
+  with_rig (fun cache dev disk ->
+      Disk.inject_error disk ~blkno:4;
+      let b = Cache.bread cache dev 4 in
+      (match b.Buf.b_error with
+       | Some (Blkdev.Io_error _) -> ()
+       | None -> Alcotest.fail "expected error");
+      Alcotest.(check bool) "flagged" true (Buf.has b Buf.b_error_flag);
+      Cache.brelse cache b;
+      (* Error release drops the identity so a retry re-reads. *)
+      Alcotest.(check bool) "identity dropped" true (not (Cache.cached cache dev 4));
+      let b2 = Cache.bread cache dev 4 in
+      Alcotest.(check bool) "retry succeeds" true (Buf.valid b2);
+      Cache.brelse cache b2)
+
+let test_breada_prefetches () =
+  with_rig (fun cache dev disk ->
+      Disk.write_block_direct disk 10 (Bytes.make 512 'x');
+      Disk.write_block_direct disk 11 (Bytes.make 512 'y');
+      let b = Cache.breada cache dev 10 ~ahead:11 in
+      Cache.brelse cache b;
+      (* Give the read-ahead a chance to complete. *)
+      Kpath_proc.Process.yield ();
+      let served = Disk.serviced disk in
+      let b2 = Cache.bread cache dev 11 in
+      Alcotest.(check char) "prefetched data" 'y' (Bytes.get b2.Buf.b_data 0);
+      Alcotest.(check int) "no extra device read" served (Disk.serviced disk);
+      Cache.brelse cache b2)
+
+let test_getblk_nb_busy_returns_none () =
+  with_rig (fun cache dev _ ->
+      let b = Cache.getblk cache dev 1 in
+      Alcotest.(check bool) "nb on busy" true (Cache.getblk_nb cache dev 1 = None);
+      Cache.brelse cache b;
+      (match Cache.getblk_nb cache dev 1 with
+       | Some b2 ->
+         Alcotest.(check bool) "same identity" true (b2 == b);
+         Cache.brelse cache b2
+       | None -> Alcotest.fail "expected buffer"))
+
+let test_bread_nb_hit_started_busy () =
+  with_rig (fun cache dev _ ->
+      (* Prime block 6. *)
+      let b = Cache.bread cache dev 6 in
+      Cache.brelse cache b;
+      (match Cache.bread_nb cache dev 6 ~iodone:(fun _ -> ()) with
+       | `Hit hb ->
+         Alcotest.(check bool) "valid hit" true (Buf.valid hb);
+         Cache.brelse cache hb
+       | `Started _ | `Busy -> Alcotest.fail "expected hit");
+      (match
+         Cache.bread_nb cache dev 20 ~iodone:(fun b -> Cache.brelse cache b)
+       with
+       | `Started sb ->
+         Alcotest.(check bool) "in flight busy" true (Buf.has sb Buf.b_busy);
+         (* Tag before completion, per the contract. *)
+         sb.Buf.b_splice <- 42;
+         Alcotest.(check bool) "nb sees it busy" true
+           (Cache.getblk_nb cache dev 20 = None)
+       | `Hit _ | `Busy -> Alcotest.fail "expected started");
+      (* Sleeping on the busy buffer waits out the read. *)
+      let b = Cache.bread cache dev 20 in
+      Alcotest.(check int) "tag survived" 42 b.Buf.b_splice;
+      Cache.brelse cache b)
+
+let test_bread_nb_started_completes () =
+  let fired = ref false in
+  with_rig (fun cache dev _ ->
+      (match
+         Cache.bread_nb cache dev 20 ~iodone:(fun b ->
+             fired := true;
+             Cache.brelse cache b)
+       with
+       | `Started _ -> ()
+       | `Hit _ | `Busy -> Alcotest.fail "expected started");
+      (* Wait for the device: read the same block (sleeps on busy). *)
+      let b = Cache.bread cache dev 20 in
+      Cache.brelse cache b);
+  Alcotest.(check bool) "iodone ran" true !fired
+
+let test_awrite_call_runs_handler () =
+  let handler_ran = ref false in
+  with_rig (fun cache dev disk ->
+      let b = Cache.getblk cache dev 15 in
+      fill_buf b 'h';
+      Cache.awrite_call cache b ~iodone:(fun hb ->
+          handler_ran := true;
+          Cache.brelse cache hb);
+      (* Wait for completion by re-acquiring. *)
+      let b2 = Cache.getblk cache dev 15 in
+      Cache.brelse cache b2;
+      Alcotest.(check bytes) "written" (Bytes.make 512 'h')
+        (Disk.read_block_direct disk 15));
+  Alcotest.(check bool) "B_CALL handler" true !handler_ran
+
+let test_getblk_hdr_aliasing () =
+  with_rig (fun cache dev disk ->
+      let src = Cache.getblk cache dev 30 in
+      fill_buf src 's';
+      let hdr = Cache.getblk_hdr cache dev 31 in
+      hdr.Buf.b_data <- src.Buf.b_data;
+      hdr.Buf.b_bcount <- 512;
+      Alcotest.(check bool) "shares the data area" true
+        (hdr.Buf.b_data == src.Buf.b_data);
+      let done_ = ref false in
+      Cache.awrite_call cache hdr ~iodone:(fun hb ->
+          done_ := true;
+          Cache.release_hdr cache hb);
+      (* Poll for completion. *)
+      let b = Cache.bread cache dev 31 in
+      Cache.brelse cache b;
+      Alcotest.(check bool) "write done" true !done_;
+      Alcotest.(check bytes) "no-copy write landed" (Bytes.make 512 's')
+        (Disk.read_block_direct disk 31);
+      Cache.brelse cache src;
+      (* Header pool reuse. *)
+      let hdr2 = Cache.getblk_hdr cache dev 1 in
+      Alcotest.(check bool) "pooled" true (hdr2 == hdr);
+      Cache.release_hdr cache hdr2)
+
+let test_invalidate_cached () =
+  with_rig (fun cache dev _ ->
+      let b = Cache.bread cache dev 12 in
+      Cache.brelse cache b;
+      Alcotest.(check bool) "cached" true (Cache.cached cache dev 12);
+      Cache.invalidate_cached cache dev 12;
+      Alcotest.(check bool) "gone" true (not (Cache.cached cache dev 12));
+      (* Absent block: no-op, must not allocate. *)
+      Cache.invalidate_cached cache dev 200;
+      Alcotest.(check bool) "still absent" true (not (Cache.cached cache dev 200)))
+
+let test_invalidate_dev () =
+  with_rig (fun cache dev _ ->
+      for i = 0 to 3 do
+        let b = Cache.bread cache dev i in
+        Cache.brelse cache b
+      done;
+      Cache.invalidate_dev cache dev;
+      for i = 0 to 3 do
+        Alcotest.(check bool) "cold" true (not (Cache.cached cache dev i))
+      done)
+
+let test_two_processes_contend_for_buffer () =
+  let engine = Engine.create () in
+  let sched = Sched.create engine in
+  let intr ~service fn = Sched.interrupt sched ~service fn in
+  let disk =
+    Disk.create ~name:"d0" ~geometry:Disk.rz58 ~block_size:512 ~nblocks:64
+      ~intr_service:(Time.us 60) ~engine ~intr ()
+  in
+  let dev = Disk.blkdev disk in
+  let cache = Cache.create ~block_size:512 ~nbufs:4 () in
+  let order = ref [] in
+  let _p1 =
+    Sched.spawn sched ~name:"p1" (fun () ->
+        let b = Cache.getblk cache dev 0 in
+        Sched.sleep sched (Time.ms 5);
+        order := "p1-release" :: !order;
+        Cache.brelse cache b)
+  in
+  let _p2 =
+    Sched.spawn sched ~name:"p2" (fun () ->
+        Process.yield ();
+        let b = Cache.getblk cache dev 0 in
+        order := "p2-acquired" :: !order;
+        Cache.brelse cache b)
+  in
+  Engine.run engine;
+  Sched.check_deadlock sched;
+  Alcotest.(check (list string)) "blocked until release"
+    [ "p1-release"; "p2-acquired" ] (List.rev !order);
+  Cache.check_invariants cache
+
+let suite =
+  [
+    Alcotest.test_case "getblk claims busy" `Quick test_getblk_claims_busy;
+    Alcotest.test_case "getblk identity stable" `Quick test_getblk_same_identity;
+    Alcotest.test_case "bread miss then hit" `Quick test_bread_miss_then_hit;
+    Alcotest.test_case "bwrite persists" `Quick test_bwrite_persists;
+    Alcotest.test_case "bdwrite delays" `Quick test_bdwrite_delays_until_flush;
+    Alcotest.test_case "bawrite auto-release" `Quick test_bawrite_releases_automatically;
+    Alcotest.test_case "LRU eviction + write-back" `Quick test_lru_eviction_and_dirty_writeback;
+    Alcotest.test_case "I/O error propagation" `Quick test_biowait_error_propagates;
+    Alcotest.test_case "breada prefetch" `Quick test_breada_prefetches;
+    Alcotest.test_case "getblk_nb" `Quick test_getblk_nb_busy_returns_none;
+    Alcotest.test_case "bread_nb hit" `Quick test_bread_nb_hit_started_busy;
+    Alcotest.test_case "bread_nb started completes" `Quick test_bread_nb_started_completes;
+    Alcotest.test_case "awrite_call handler" `Quick test_awrite_call_runs_handler;
+    Alcotest.test_case "header aliasing (no copy)" `Quick test_getblk_hdr_aliasing;
+    Alcotest.test_case "invalidate one block" `Quick test_invalidate_cached;
+    Alcotest.test_case "invalidate device" `Quick test_invalidate_dev;
+    Alcotest.test_case "buffer contention" `Quick test_two_processes_contend_for_buffer;
+  ]

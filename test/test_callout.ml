@@ -1,0 +1,75 @@
+open Kpath_sim
+
+let test_tick_boundary () =
+  let e = Engine.create () in
+  let c = Callout.create ~tick:(Time.ms 1) e in
+  let fired_at = ref Time.zero in
+  ignore (Engine.schedule e ~at:(Time.of_us_f 300.) (fun () ->
+      ignore (Callout.timeout c ~ticks:1 (fun () -> fired_at := Engine.now e))));
+  Engine.run e;
+  (* Registered at 0.3 ms; one tick means the 1 ms boundary. *)
+  Alcotest.check Util.time "next boundary" (Time.ms 1) !fired_at
+
+let test_multi_tick () =
+  let e = Engine.create () in
+  let c = Callout.create ~tick:(Time.ms 1) e in
+  let fired_at = ref Time.zero in
+  ignore (Callout.timeout c ~ticks:3 (fun () -> fired_at := Engine.now e));
+  Engine.run e;
+  Alcotest.check Util.time "three ticks" (Time.ms 3) !fired_at
+
+let test_timeout_span () =
+  let e = Engine.create () in
+  let c = Callout.create ~tick:(Time.ms 1) e in
+  let fired_at = ref Time.zero in
+  ignore (Callout.timeout_span c (Time.of_us_f 2500.) (fun () ->
+      fired_at := Engine.now e));
+  Engine.run e;
+  Alcotest.check Util.time "rounded up to ticks" (Time.ms 3) !fired_at
+
+let test_schedule_head () =
+  let e = Engine.create () in
+  let c = Callout.create e in
+  let order = ref [] in
+  ignore (Engine.schedule e ~at:(Time.ms 5) (fun () ->
+      order := "event" :: !order;
+      ignore (Callout.schedule_head c (fun () -> order := "head" :: !order))));
+  Engine.run e;
+  Alcotest.(check (list string)) "head runs at same instant, after"
+    [ "event"; "head" ] (List.rev !order);
+  Alcotest.check Util.time "no delay" (Time.ms 5) (Engine.now e)
+
+let test_untimeout () =
+  let e = Engine.create () in
+  let c = Callout.create e in
+  let fired = ref false in
+  let h = Callout.timeout c ~ticks:2 (fun () -> fired := true) in
+  Callout.untimeout c h;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired;
+  Alcotest.(check int) "nothing dispatched" 0 (Callout.dispatched c)
+
+let test_dispatched_count () =
+  let e = Engine.create () in
+  let c = Callout.create e in
+  ignore (Callout.timeout c ~ticks:1 ignore);
+  ignore (Callout.schedule_head c ignore);
+  Engine.run e;
+  Alcotest.(check int) "two dispatched" 2 (Callout.dispatched c)
+
+let test_bad_args () =
+  let e = Engine.create () in
+  let c = Callout.create e in
+  Alcotest.check_raises "ticks < 1" (Invalid_argument "Callout.timeout: ticks < 1")
+    (fun () -> ignore (Callout.timeout c ~ticks:0 ignore))
+
+let suite =
+  [
+    Alcotest.test_case "fires at tick boundary" `Quick test_tick_boundary;
+    Alcotest.test_case "multiple ticks" `Quick test_multi_tick;
+    Alcotest.test_case "span rounds up" `Quick test_timeout_span;
+    Alcotest.test_case "schedule_head immediacy" `Quick test_schedule_head;
+    Alcotest.test_case "untimeout" `Quick test_untimeout;
+    Alcotest.test_case "dispatch count" `Quick test_dispatched_count;
+    Alcotest.test_case "invalid ticks" `Quick test_bad_args;
+  ]

@@ -1,0 +1,54 @@
+open Kpath_core
+
+let test_defaults_match_paper () =
+  Alcotest.(check int) "read watermark" 3 Flowctl.default.Flowctl.read_lo;
+  Alcotest.(check int) "write watermark" 5 Flowctl.default.Flowctl.write_hi;
+  Alcotest.(check int) "burst" 5 Flowctl.default.Flowctl.read_burst
+
+let test_reads_to_issue () =
+  let c = Flowctl.default in
+  Alcotest.(check int) "both low" 5
+    (Flowctl.reads_to_issue c ~pending_reads:0 ~pending_writes:0);
+  Alcotest.(check int) "reads at watermark" 0
+    (Flowctl.reads_to_issue c ~pending_reads:3 ~pending_writes:0);
+  Alcotest.(check int) "writes at watermark" 0
+    (Flowctl.reads_to_issue c ~pending_reads:0 ~pending_writes:5);
+  Alcotest.(check int) "just below both" 5
+    (Flowctl.reads_to_issue c ~pending_reads:2 ~pending_writes:4)
+
+let test_lockstep () =
+  let c = Flowctl.lockstep in
+  Alcotest.(check int) "single" 1
+    (Flowctl.reads_to_issue c ~pending_reads:0 ~pending_writes:0);
+  Alcotest.(check int) "gated" 0
+    (Flowctl.reads_to_issue c ~pending_reads:1 ~pending_writes:0);
+  Alcotest.(check int) "max in flight" 1 (Flowctl.max_in_flight c)
+
+let test_max_in_flight () =
+  Alcotest.(check int) "paper config bound" 7
+    (Flowctl.max_in_flight Flowctl.default)
+
+let test_validation () =
+  Alcotest.check_raises "zero burst"
+    (Invalid_argument "Flowctl.make: watermarks must be positive") (fun () ->
+      ignore (Flowctl.make ~read_lo:1 ~write_hi:1 ~read_burst:0))
+
+let prop_never_negative =
+  QCheck.Test.make ~name:"reads_to_issue is 0 or burst" ~count:300
+    QCheck.(
+      quad (int_range 1 10) (int_range 1 10) (int_range 1 10)
+        (pair (int_bound 20) (int_bound 20)))
+    (fun (lo, hi, burst, (r, w)) ->
+      let c = Flowctl.make ~read_lo:lo ~write_hi:hi ~read_burst:burst in
+      let n = Flowctl.reads_to_issue c ~pending_reads:r ~pending_writes:w in
+      n = 0 || n = burst)
+
+let suite =
+  [
+    Alcotest.test_case "paper defaults" `Quick test_defaults_match_paper;
+    Alcotest.test_case "issue policy" `Quick test_reads_to_issue;
+    Alcotest.test_case "lockstep" `Quick test_lockstep;
+    Alcotest.test_case "max in flight" `Quick test_max_in_flight;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Util.qcheck prop_never_negative;
+  ]

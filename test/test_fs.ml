@@ -1,0 +1,366 @@
+open Kpath_sim
+open Kpath_proc
+open Kpath_dev
+open Kpath_buf
+open Kpath_fs
+
+(* Rig: engine + sched + ram-backed device + cache; body runs in a
+   process with a fresh filesystem. *)
+let with_fs ?(nblocks = 512) ?(nbufs = 32) body =
+  let engine = Engine.create () in
+  let sched = Sched.create engine in
+  let intr ~service fn = Sched.interrupt sched ~service fn in
+  let rd =
+    Ramdisk.create ~name:"ram0" ~copy_rate:100e6 ~block_size:4096 ~nblocks
+      ~engine ~intr ()
+  in
+  let dev = Ramdisk.blkdev rd in
+  let cache = Cache.create ~block_size:4096 ~nbufs () in
+  let result = ref None in
+  let p =
+    Sched.spawn sched ~name:"fs-test" (fun () ->
+        let fs = Fs.mkfs ~cache dev ~ninodes:32 in
+        result := Some (body fs cache dev))
+  in
+  Engine.run engine;
+  Sched.check_deadlock sched;
+  (match p.Process.exit_status with
+   | Some (Process.Crashed e) -> raise e
+   | _ -> ());
+  Option.get !result
+
+let check_fsck fs = Alcotest.(check (list string)) "fsck clean" [] (Fs.fsck fs)
+
+let test_mkfs_root () =
+  with_fs (fun fs _ _ ->
+      let root = Fs.lookup fs "/" in
+      Alcotest.(check bool) "root is dir" true (root.Inode.ftype = Inode.Directory);
+      Alcotest.(check (list (pair string int))) "empty root" [] (Fs.readdir fs "/");
+      check_fsck fs)
+
+let test_create_lookup () =
+  with_fs (fun fs _ _ ->
+      let f = Fs.create_file fs "/hello" in
+      Alcotest.(check bool) "regular" true (f.Inode.ftype = Inode.Regular);
+      let g = Fs.lookup fs "/hello" in
+      Alcotest.(check int) "same inode" f.Inode.ino g.Inode.ino;
+      Alcotest.check_raises "duplicate" (Fs_error.Error Fs_error.Eexist) (fun () ->
+          ignore (Fs.create_file fs "/hello"));
+      Alcotest.check_raises "missing" (Fs_error.Error Fs_error.Enoent) (fun () ->
+          ignore (Fs.lookup fs "/nope"));
+      check_fsck fs)
+
+let test_write_read_small () =
+  with_fs (fun fs _ _ ->
+      let f = Fs.create_file fs "/f" in
+      let data = Bytes.of_string "hello, splice world" in
+      let n = Fs.write fs f ~off:0 ~len:(Bytes.length data) data ~pos:0 in
+      Alcotest.(check int) "wrote all" (Bytes.length data) n;
+      Alcotest.(check int) "size" (Bytes.length data) f.Inode.size;
+      let out = Bytes.create 64 in
+      let n = Fs.read fs f ~off:0 ~len:64 out ~pos:0 in
+      Alcotest.(check int) "read clipped at EOF" (Bytes.length data) n;
+      Alcotest.(check string) "contents" (Bytes.to_string data)
+        (Bytes.sub_string out 0 n))
+
+let test_write_read_offsets () =
+  with_fs (fun fs _ _ ->
+      let f = Fs.create_file fs "/f" in
+      (* Write across a block boundary at a non-zero offset. *)
+      let data = Bytes.make 5000 'q' in
+      ignore (Fs.write fs f ~off:3000 ~len:5000 data ~pos:0);
+      Alcotest.(check int) "size extends" 8000 f.Inode.size;
+      let out = Bytes.create 8000 in
+      let n = Fs.read fs f ~off:0 ~len:8000 out ~pos:0 in
+      Alcotest.(check int) "full read" 8000 n;
+      (* Unwritten prefix reads back as zeroes. *)
+      Alcotest.(check bytes) "hole zeroes" (Bytes.make 3000 '\000')
+        (Bytes.sub out 0 3000);
+      Alcotest.(check bytes) "payload" (Bytes.make 5000 'q') (Bytes.sub out 3000 5000))
+
+let test_large_file_indirect_blocks () =
+  (* 4 KB blocks, 12 direct => anything past 48 KB exercises the single
+     indirect; past 48 KB + 4 MB would need double indirect (too big for
+     this rig), so also test double indirect mapping directly below. *)
+  with_fs ~nblocks:512 (fun fs _ _ ->
+      let f = Fs.create_file fs "/big" in
+      let chunk = Bytes.create 8192 in
+      let total = 200 * 1024 in
+      let rec go off =
+        if off < total then begin
+          Kpath_workloads.Programs.fill_pattern chunk ~file_off:off;
+          ignore (Fs.write fs f ~off ~len:8192 chunk ~pos:0);
+          go (off + 8192)
+        end
+      in
+      go 0;
+      Alcotest.(check int) "size" total f.Inode.size;
+      Alcotest.(check bool) "uses indirect" true (f.Inode.single <> 0);
+      (* Read back and verify. *)
+      let out = Bytes.create 8192 in
+      let ok = ref true in
+      let rec check off =
+        if off < total then begin
+          ignore (Fs.read fs f ~off ~len:8192 out ~pos:0);
+          for i = 0 to 8191 do
+            if Bytes.get out i <> Kpath_workloads.Programs.pattern_byte (off + i)
+            then ok := false
+          done;
+          check (off + 8192)
+        end
+      in
+      check 0;
+      Alcotest.(check bool) "contents verified" true !ok;
+      check_fsck fs)
+
+let test_bmap_holes_and_alloc () =
+  with_fs (fun fs _ _ ->
+      let f = Fs.create_file fs "/sparse" in
+      Alcotest.(check (option int)) "hole" None (Fs.bmap fs f 3);
+      let phys = Fs.bmap_alloc fs f 3 ~zero:true in
+      Alcotest.(check bool) "allocated in data area" true (phys > 0);
+      Alcotest.(check (option int)) "mapped now" (Some phys) (Fs.bmap fs f 3);
+      (* Idempotent. *)
+      Alcotest.(check int) "stable" phys (Fs.bmap_alloc fs f 3 ~zero:true))
+
+let test_bmap_alloc_nozero_skips_zero_fill () =
+  with_fs (fun fs cache _ ->
+      let before = Stats.get (Fs.stats fs) "fs.zero_fills" in
+      let f = Fs.create_file fs "/raw" in
+      let _ = Fs.bmap_alloc fs f 0 ~zero:false in
+      Alcotest.(check int) "no zero-fill write" before
+        (Stats.get (Fs.stats fs) "fs.zero_fills");
+      ignore cache;
+      let g = Fs.create_file fs "/cooked" in
+      let _ = Fs.bmap_alloc fs g 0 ~zero:true in
+      Alcotest.(check int) "standard path zero-fills" (before + 1)
+        (Stats.get (Fs.stats fs) "fs.zero_fills"))
+
+let test_sequential_alloc_contiguous () =
+  with_fs (fun fs _ _ ->
+      let f = Fs.create_file fs "/seq" in
+      let data = Bytes.create 4096 in
+      for i = 0 to 9 do
+        ignore (Fs.write fs f ~off:(i * 4096) ~len:4096 data ~pos:0)
+      done;
+      let blocks = Fs.block_list fs f in
+      let contiguous =
+        let rec go = function
+          | a :: (b :: _ as rest) -> b = a + 1 && go rest
+          | _ -> true
+        in
+        go blocks
+      in
+      Alcotest.(check bool) "physically contiguous" true contiguous)
+
+let test_truncate_frees_blocks () =
+  with_fs (fun fs _ _ ->
+      let f = Fs.create_file fs "/t" in
+      (* Measure after create: the root directory's data block stays. *)
+      let free0 = Fs.free_blocks fs in
+      let data = Bytes.create 4096 in
+      for i = 0 to 19 do
+        ignore (Fs.write fs f ~off:(i * 4096) ~len:4096 data ~pos:0)
+      done;
+      Alcotest.(check bool) "blocks consumed" true (Fs.free_blocks fs < free0);
+      Fs.truncate fs f 0;
+      Alcotest.(check int) "size zero" 0 f.Inode.size;
+      Alcotest.(check int) "all data blocks returned" free0 (Fs.free_blocks fs);
+      check_fsck fs)
+
+let test_truncate_partial () =
+  with_fs (fun fs _ _ ->
+      let f = Fs.create_file fs "/t" in
+      let data = Bytes.make 4096 'k' in
+      for i = 0 to 9 do
+        ignore (Fs.write fs f ~off:(i * 4096) ~len:4096 data ~pos:0)
+      done;
+      Fs.truncate fs f (3 * 4096);
+      Alcotest.(check int) "shrunk" (3 * 4096) f.Inode.size;
+      Alcotest.(check (option int)) "tail unmapped" None (Fs.bmap fs f 5);
+      Alcotest.(check bool) "head mapped" true (Fs.bmap fs f 2 <> None);
+      check_fsck fs)
+
+let test_unlink () =
+  with_fs (fun fs _ _ ->
+      (* Force the root directory block to exist first. *)
+      let pre = Fs.create_file fs "/keep" in
+      ignore pre;
+      let free0 = Fs.free_blocks fs in
+      let f = Fs.create_file fs "/dead" in
+      ignore (Fs.write fs f ~off:0 ~len:4096 (Bytes.create 4096) ~pos:0);
+      Fs.unlink fs "/dead";
+      Alcotest.check_raises "gone" (Fs_error.Error Fs_error.Enoent) (fun () ->
+          ignore (Fs.lookup fs "/dead"));
+      Alcotest.(check int) "storage freed" free0 (Fs.free_blocks fs);
+      Alcotest.(check bool) "inode recycled" true (f.Inode.ftype = Inode.Free);
+      check_fsck fs)
+
+let test_directories () =
+  with_fs (fun fs _ _ ->
+      let _d = Fs.mkdir fs "/sub" in
+      let _f = Fs.create_file fs "/sub/inner" in
+      let names = List.map fst (Fs.readdir fs "/sub") in
+      Alcotest.(check (list string)) "listing" [ "inner" ] names;
+      Alcotest.check_raises "not a dir" (Fs_error.Error Fs_error.Enotdir)
+        (fun () -> ignore (Fs.create_file fs "/sub/inner/x"));
+      Alcotest.check_raises "not empty" (Fs_error.Error Fs_error.Enotempty)
+        (fun () -> Fs.unlink fs "/sub");
+      Fs.unlink fs "/sub/inner";
+      Fs.unlink fs "/sub";
+      Alcotest.check_raises "dir gone" (Fs_error.Error Fs_error.Enoent) (fun () ->
+          ignore (Fs.lookup fs "/sub"));
+      check_fsck fs)
+
+let test_name_validation () =
+  with_fs (fun fs _ _ ->
+      Alcotest.check_raises "too long" (Fs_error.Error Fs_error.Enametoolong)
+        (fun () -> ignore (Fs.create_file fs ("/" ^ String.make 100 'a'))))
+
+let test_enospc () =
+  with_fs ~nblocks:32 (fun fs _ _ ->
+      let f = Fs.create_file fs "/fill" in
+      let data = Bytes.create 4096 in
+      Alcotest.check_raises "device full" (Fs_error.Error Fs_error.Enospc)
+        (fun () ->
+          for i = 0 to 63 do
+            ignore (Fs.write fs f ~off:(i * 4096) ~len:4096 data ~pos:0)
+          done))
+
+let test_double_indirect_mapping () =
+  (* 4 KB blocks, apb = 1024: logical blocks >= 12 + 1024 live behind
+     the double-indirect tree. Map a handful there directly (no 4 GB
+     writes needed), then free them all. *)
+  with_fs ~nblocks:400 (fun fs _ _ ->
+      let f = Fs.create_file fs "/dd" in
+      let free0 = Fs.free_blocks fs in
+      let lblks = [ 1036; 1037; 2060; 3000 ] in
+      let phys = List.map (fun l -> Fs.bmap_alloc fs f l ~zero:false) lblks in
+      List.iter2
+        (fun l p ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "lblk %d mapped" l)
+            (Some p) (Fs.bmap fs f l))
+        lblks phys;
+      Alcotest.(check bool) "double-indirect root set" true (f.Inode.double <> 0);
+      (* Unmapped logical blocks in between stay holes. *)
+      Alcotest.(check (option int)) "hole between" None (Fs.bmap fs f 1500);
+      f.Inode.size <- 3001 * 4096;
+      Fs.truncate fs f 0;
+      Alcotest.(check int) "everything freed (incl. indirect blocks)" free0
+        (Fs.free_blocks fs);
+      check_fsck fs)
+
+let test_read_after_unlink_is_enoent () =
+  (* Our FS frees storage at unlink even with the file open — a
+     documented simplification versus UNIX's nlink+refcount keepalive;
+     subsequent I/O through a stale inode reports ENOENT. *)
+  with_fs (fun fs _ _ ->
+      let f = Fs.create_file fs "/gone" in
+      ignore (Fs.write fs f ~off:0 ~len:100 (Bytes.create 100) ~pos:0);
+      Fs.unlink fs "/gone";
+      Alcotest.check_raises "stale handle" (Fs_error.Error Fs_error.Enoent)
+        (fun () -> ignore (Fs.read fs f ~off:0 ~len:10 (Bytes.create 10) ~pos:0)))
+
+let test_mount_roundtrip () =
+  with_fs (fun fs cache dev ->
+      let f = Fs.create_file fs "/persist" in
+      let data = Bytes.of_string "survives remount" in
+      ignore (Fs.write fs f ~off:0 ~len:(Bytes.length data) data ~pos:0);
+      ignore (Fs.mkdir fs "/d");
+      ignore (Fs.create_file fs "/d/nested");
+      Fs.sync fs;
+      Cache.invalidate_dev cache dev;
+      let fs2 = Fs.mount ~cache dev in
+      let g = Fs.lookup fs2 "/persist" in
+      Alcotest.(check int) "size preserved" (Bytes.length data) g.Inode.size;
+      let out = Bytes.create 64 in
+      let n = Fs.read fs2 g ~off:0 ~len:64 out ~pos:0 in
+      Alcotest.(check string) "data preserved" "survives remount"
+        (Bytes.sub_string out 0 n);
+      ignore (Fs.lookup fs2 "/d/nested");
+      check_fsck fs2)
+
+let test_fsync_durability () =
+  with_fs (fun fs cache dev ->
+      let f = Fs.create_file fs "/durable" in
+      ignore (Fs.write fs f ~off:0 ~len:4096 (Bytes.make 4096 'D') ~pos:0);
+      Fs.fsync fs f;
+      (* Nothing dirty for this file after fsync. *)
+      Cache.invalidate_dev cache dev;
+      let fs2 = Fs.mount ~cache dev in
+      let g = Fs.lookup fs2 "/durable" in
+      let out = Bytes.create 4096 in
+      ignore (Fs.read fs2 g ~off:0 ~len:4096 out ~pos:0);
+      Alcotest.(check bytes) "on stable storage" (Bytes.make 4096 'D') out)
+
+let test_bad_superblock_rejected () =
+  let engine = Engine.create () in
+  let sched = Sched.create engine in
+  let intr ~service fn = Sched.interrupt sched ~service fn in
+  let rd =
+    Ramdisk.create ~name:"ram0" ~copy_rate:100e6 ~block_size:4096 ~nblocks:64
+      ~engine ~intr ()
+  in
+  let dev = Ramdisk.blkdev rd in
+  let cache = Cache.create ~block_size:4096 ~nbufs:8 () in
+  let failed = ref false in
+  let _p =
+    Sched.spawn sched ~name:"mount" (fun () ->
+        match Fs.mount ~cache dev with
+        | _ -> ()
+        | exception Fs_error.Error (Fs_error.Einval _) -> failed := true)
+  in
+  Engine.run engine;
+  Alcotest.(check bool) "bad magic rejected" true !failed
+
+let prop_write_read_roundtrip =
+  QCheck.Test.make ~name:"fs write/read round-trips at random offsets" ~count:30
+    QCheck.(
+      list_of_size Gen.(1 -- 8)
+        (pair (int_bound 60_000) (int_bound 6_000)))
+    (fun writes ->
+      with_fs ~nblocks:256 (fun fs _ _ ->
+          let f = Fs.create_file fs "/q" in
+          let model = Bytes.make 70_000 '\000' in
+          let model_size = ref 0 in
+          List.iter
+            (fun (off, len) ->
+              let len = max 1 len in
+              let data =
+                Bytes.init len (fun i -> Char.chr ((off + i * 7) land 0xff))
+              in
+              ignore (Fs.write fs f ~off ~len data ~pos:0);
+              Bytes.blit data 0 model off len;
+              model_size := max !model_size (off + len))
+            writes;
+          if f.Inode.size <> !model_size then false
+          else begin
+            let out = Bytes.make !model_size '\000' in
+            let n = Fs.read fs f ~off:0 ~len:!model_size out ~pos:0 in
+            n = !model_size && Bytes.sub out 0 n = Bytes.sub model 0 n
+          end))
+
+let suite =
+  [
+    Alcotest.test_case "mkfs root" `Quick test_mkfs_root;
+    Alcotest.test_case "create and lookup" `Quick test_create_lookup;
+    Alcotest.test_case "small write/read" `Quick test_write_read_small;
+    Alcotest.test_case "offsets and holes" `Quick test_write_read_offsets;
+    Alcotest.test_case "indirect blocks" `Quick test_large_file_indirect_blocks;
+    Alcotest.test_case "bmap holes/alloc" `Quick test_bmap_holes_and_alloc;
+    Alcotest.test_case "bmap_alloc nozero" `Quick test_bmap_alloc_nozero_skips_zero_fill;
+    Alcotest.test_case "sequential allocation" `Quick test_sequential_alloc_contiguous;
+    Alcotest.test_case "truncate frees" `Quick test_truncate_frees_blocks;
+    Alcotest.test_case "partial truncate" `Quick test_truncate_partial;
+    Alcotest.test_case "unlink" `Quick test_unlink;
+    Alcotest.test_case "directories" `Quick test_directories;
+    Alcotest.test_case "name validation" `Quick test_name_validation;
+    Alcotest.test_case "ENOSPC" `Quick test_enospc;
+    Alcotest.test_case "double indirect" `Quick test_double_indirect_mapping;
+    Alcotest.test_case "unlink invalidates handles" `Quick test_read_after_unlink_is_enoent;
+    Alcotest.test_case "mount round trip" `Quick test_mount_roundtrip;
+    Alcotest.test_case "fsync durability" `Quick test_fsync_durability;
+    Alcotest.test_case "bad superblock" `Quick test_bad_superblock_rejected;
+    Util.qcheck prop_write_read_roundtrip;
+  ]

@@ -1,0 +1,62 @@
+open Kpath_sim
+
+let test_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_ordering () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  Alcotest.(check int) "length" 7 (Heap.length h);
+  let drained = List.init 7 (fun _ -> Heap.pop_exn h) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] drained;
+  Alcotest.(check bool) "emptied" true (Heap.is_empty h)
+
+let test_interleaved () =
+  let h = Heap.create ~cmp:Int.compare in
+  Heap.push h 10;
+  Heap.push h 5;
+  Alcotest.(check (option int)) "min" (Some 5) (Heap.pop h);
+  Heap.push h 1;
+  Alcotest.(check (option int)) "new min" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "rest" (Some 10) (Heap.pop h)
+
+let test_clear_iter () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  let sum = ref 0 in
+  Heap.iter (fun x -> sum := !sum + x) h;
+  Alcotest.(check int) "iter visits all" 6 !sum;
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      let out = List.init (List.length xs) (fun _ -> Heap.pop_exn h) in
+      out = List.sort Int.compare xs)
+
+let prop_heap_min_invariant =
+  QCheck.Test.make ~name:"peek is always the minimum" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      Heap.peek h = Some (List.fold_left min (List.hd xs) xs))
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "drains sorted" `Quick test_ordering;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "clear and iter" `Quick test_clear_iter;
+    Util.qcheck prop_heap_sorts;
+    Util.qcheck prop_heap_min_invariant;
+  ]

@@ -1,0 +1,373 @@
+open Kpath_sim
+open Kpath_proc
+open Kpath_net
+
+(* Rig: two interfaces on one segment, a scheduler to run client and
+   server processes. *)
+let with_net ?bandwidth ?loss body =
+  let engine = Engine.create () in
+  let sched = Sched.create engine in
+  let intr ~service fn = Sched.interrupt sched ~service fn in
+  let net = Netif.create_net ?bandwidth ~latency:(Time.us 100) engine in
+  (match loss with Some p -> Netif.set_loss net p | None -> ());
+  let a = Netif.attach net ~name:"a" ~intr () in
+  let b = Netif.attach net ~name:"b" ~intr () in
+  let r = body ~engine ~sched ~net ~a ~b in
+  Engine.run engine;
+  Sched.check_deadlock sched;
+  r
+
+let pattern n = Bytes.init n (fun i -> Char.chr ((i * 7 + 3) land 0xff))
+
+(* Echo-less sink server: accept, read everything, record it. *)
+let spawn_sink sched l received =
+  Sched.spawn sched ~name:"server" (fun () ->
+      let c = Tcp.accept l in
+      let buf = Bytes.create 4096 in
+      let rec drain () =
+        let n = Tcp.recv c buf ~pos:0 ~len:4096 in
+        if n > 0 then begin
+          Buffer.add_subbytes received buf 0 n;
+          drain ()
+        end
+      in
+      drain ())
+
+let transfer ?bandwidth ?loss total =
+  let received = Buffer.create total in
+  let sent = pattern total in
+  let client_done = ref false in
+  with_net ?bandwidth ?loss (fun ~engine:_ ~sched ~net:_ ~a ~b ->
+      let l = Tcp.listen b ~port:80 () in
+      let _srv = spawn_sink sched l received in
+      let _cli =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c =
+              Tcp.connect a ~port:1234
+                ~dst:{ Tcp.a_if = Netif.id b; a_port = 80 }
+                ()
+            in
+            let rec push off =
+              if off < total then begin
+                let n = min 8000 (total - off) in
+                Tcp.send c sent ~pos:off ~len:n;
+                push (off + n)
+              end
+            in
+            push 0;
+            Tcp.close c;
+            client_done := true)
+      in
+      ());
+  Alcotest.(check bool) "client finished" true !client_done;
+  Alcotest.(check int) "all bytes delivered" total (Buffer.length received);
+  Alcotest.(check bytes) "byte-exact" sent (Buffer.to_bytes received)
+
+let test_handshake_and_small_transfer () = transfer 1000
+
+let test_large_transfer () = transfer (512 * 1024)
+
+let test_transfer_with_loss () = transfer ~loss:0.05 (128 * 1024)
+
+let test_heavy_loss () = transfer ~loss:0.2 (32 * 1024)
+
+let test_retransmit_counted () =
+  let received = Buffer.create 1024 in
+  let retx = ref 0 in
+  with_net ~loss:0.1 (fun ~engine:_ ~sched ~net:_ ~a ~b ->
+      let l = Tcp.listen b ~port:80 () in
+      let _srv = spawn_sink sched l received in
+      let _cli =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c =
+              Tcp.connect a ~port:1 ~dst:{ Tcp.a_if = Netif.id b; a_port = 80 } ()
+            in
+            Tcp.send c (pattern 65536) ~pos:0 ~len:65536;
+            Tcp.close c;
+            retx := Tcp.retransmits c)
+      in
+      ());
+  Alcotest.(check int) "delivered" 65536 (Buffer.length received);
+  Alcotest.(check bool) "recovered through retransmission" true (!retx > 0)
+
+let test_eof_semantics () =
+  let eof_seen = ref (-1) in
+  with_net (fun ~engine:_ ~sched ~net:_ ~a ~b ->
+      let l = Tcp.listen b ~port:80 () in
+      let _srv =
+        Sched.spawn sched ~name:"server" (fun () ->
+            let c = Tcp.accept l in
+            let buf = Bytes.create 64 in
+            let n1 = Tcp.recv c buf ~pos:0 ~len:64 in
+            let n2 = Tcp.recv c buf ~pos:0 ~len:64 in
+            eof_seen := if n2 = 0 && n1 > 0 then 1 else 0)
+      in
+      let _cli =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c =
+              Tcp.connect a ~port:1 ~dst:{ Tcp.a_if = Netif.id b; a_port = 80 } ()
+            in
+            Tcp.send c (Bytes.of_string "bye") ~pos:0 ~len:3;
+            Tcp.close c)
+      in
+      ());
+  Alcotest.(check int) "data then clean EOF" 1 !eof_seen
+
+let test_backpressure_slow_reader () =
+  (* The reader consumes slowly; the writer must be throttled by the
+     window, never overrunning the receive buffer, and everything still
+     arrives intact. *)
+  let total = 256 * 1024 in
+  let received = Buffer.create total in
+  let sent = pattern total in
+  with_net (fun ~engine:_ ~sched ~net:_ ~a ~b ->
+      let l = Tcp.listen b ~port:80 () in
+      let _srv =
+        Sched.spawn sched ~name:"server" (fun () ->
+            let c = Tcp.accept l in
+            let buf = Bytes.create 2048 in
+            let rec drain () =
+              let n = Tcp.recv c buf ~pos:0 ~len:2048 in
+              if n > 0 then begin
+                Buffer.add_subbytes received buf 0 n;
+                Sched.sleep sched (Time.ms 2);
+                drain ()
+              end
+            in
+            drain ())
+      in
+      let _cli =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c =
+              Tcp.connect a ~port:1 ~dst:{ Tcp.a_if = Netif.id b; a_port = 80 } ()
+            in
+            Tcp.send c sent ~pos:0 ~len:total;
+            Tcp.close c)
+      in
+      ());
+  Alcotest.(check int) "all delivered despite pacing" total (Buffer.length received);
+  Alcotest.(check bytes) "intact" sent (Buffer.to_bytes received)
+
+let test_send_async_backpressure () =
+  (* send_async completions are paced by the send buffer (64 KB): queue
+     256 KB at once and count completions over time. *)
+  let completions = ref 0 in
+  let received = Buffer.create 1024 in
+  with_net (fun ~engine:_ ~sched ~net:_ ~a ~b ->
+      let l = Tcp.listen b ~port:80 () in
+      let _srv = spawn_sink sched l received in
+      let _cli =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c =
+              Tcp.connect a ~port:1 ~dst:{ Tcp.a_if = Netif.id b; a_port = 80 } ()
+            in
+            let chunk = pattern 32768 in
+            for _ = 1 to 8 do
+              Tcp.send_async c chunk ~pos:0 ~len:32768 (fun () -> incr completions)
+            done;
+            (* Not everything fits the 64 KB send buffer at once. *)
+            Alcotest.(check bool) "backpressured" true (!completions < 8);
+            (* Wait for the stream to drain, then close. *)
+            let rec wait () =
+              if !completions < 8 then begin
+                Sched.sleep sched (Time.ms 50);
+                wait ()
+              end
+            in
+            wait ();
+            Tcp.close c)
+      in
+      ());
+  Alcotest.(check int) "all writers completed" 8 !completions;
+  Alcotest.(check int) "all delivered" (8 * 32768) (Buffer.length received)
+
+let test_bidirectional () =
+  let to_server = Buffer.create 64 and to_client = Buffer.create 64 in
+  with_net (fun ~engine:_ ~sched ~net:_ ~a ~b ->
+      let l = Tcp.listen b ~port:80 () in
+      let _srv =
+        Sched.spawn sched ~name:"server" (fun () ->
+            let c = Tcp.accept l in
+            let buf = Bytes.create 64 in
+            let n = Tcp.recv c buf ~pos:0 ~len:64 in
+            Buffer.add_subbytes to_server buf 0 n;
+            Tcp.send c (Bytes.of_string "pong") ~pos:0 ~len:4;
+            Tcp.close c)
+      in
+      let _cli =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c =
+              Tcp.connect a ~port:1 ~dst:{ Tcp.a_if = Netif.id b; a_port = 80 } ()
+            in
+            Tcp.send c (Bytes.of_string "ping") ~pos:0 ~len:4;
+            let buf = Bytes.create 64 in
+            let n = Tcp.recv c buf ~pos:0 ~len:64 in
+            Buffer.add_subbytes to_client buf 0 n;
+            Tcp.close c)
+      in
+      ());
+  Alcotest.(check string) "c->s" "ping" (Buffer.contents to_server);
+  Alcotest.(check string) "s->c" "pong" (Buffer.contents to_client)
+
+let test_connect_timeout () =
+  (* No listener: the SYN is never answered and connect gives up. *)
+  let failed = ref false in
+  with_net (fun ~engine:_ ~sched ~net:_ ~a ~b ->
+      let _cli =
+        Sched.spawn sched ~name:"client" (fun () ->
+            match
+              Tcp.connect a ~port:1 ~dst:{ Tcp.a_if = Netif.id b; a_port = 9999 } ()
+            with
+            | _ -> ()
+            | exception Failure _ -> failed := true)
+      in
+      ());
+  Alcotest.(check bool) "connect timed out" true !failed
+
+let test_listen_port_collision () =
+  with_net (fun ~engine:_ ~sched:_ ~net:_ ~a ~b:_ ->
+      let _l = Tcp.listen a ~port:7 () in
+      Alcotest.check_raises "collision"
+        (Invalid_argument "Tcp.listen: port 7 in use") (fun () ->
+          ignore (Tcp.listen a ~port:7 ())))
+
+let test_send_after_close_rejected () =
+  with_net (fun ~engine:_ ~sched ~net:_ ~a ~b ->
+      let l = Tcp.listen b ~port:80 () in
+      let received = Buffer.create 16 in
+      let _srv = spawn_sink sched l received in
+      let _cli =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c =
+              Tcp.connect a ~port:1 ~dst:{ Tcp.a_if = Netif.id b; a_port = 80 } ()
+            in
+            Tcp.close c;
+            match Tcp.send_async c (Bytes.create 1) ~pos:0 ~len:1 (fun () -> ()) with
+            | () -> Alcotest.fail "send after close accepted"
+            | exception Invalid_argument _ -> ())
+      in
+      ());
+  ()
+
+let prop_lossy_transfer_integrity =
+  QCheck.Test.make ~name:"tcp delivers byte-exact streams under loss" ~count:15
+    QCheck.(pair (int_range 1 100_000) (int_range 0 25))
+    (fun (total, loss_pct) ->
+      let received = Buffer.create total in
+      let sent = pattern total in
+      with_net ~loss:(float_of_int loss_pct /. 100.0)
+        (fun ~engine:_ ~sched ~net:_ ~a ~b ->
+          let l = Tcp.listen b ~port:80 () in
+          let _srv = spawn_sink sched l received in
+          let _cli =
+            Sched.spawn sched ~name:"client" (fun () ->
+                let c =
+                  Tcp.connect a ~port:1
+                    ~dst:{ Tcp.a_if = Netif.id b; a_port = 80 }
+                    ()
+                in
+                Tcp.send c sent ~pos:0 ~len:total;
+                Tcp.close c)
+          in
+          ());
+      Buffer.length received = total && Buffer.to_bytes received = sent)
+
+let test_congestion_and_rtt () =
+  let received = Buffer.create 1024 in
+  let cwnd_after = ref 0 and srtt_after = ref None and rto_after = ref Time.zero in
+  with_net (fun ~engine:_ ~sched ~net ~a ~b ->
+      let l = Tcp.listen b ~port:80 () in
+      let _srv = spawn_sink sched l received in
+      let _cli =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c =
+              Tcp.connect a ~port:1 ~dst:{ Tcp.a_if = Netif.id b; a_port = 80 } ()
+            in
+            Alcotest.(check int) "initial cwnd = 2 MSS" (2 * Tcp.mss net)
+              (Tcp.cwnd c);
+            Tcp.send c (pattern 200_000) ~pos:0 ~len:200_000;
+            cwnd_after := Tcp.cwnd c;
+            srtt_after := Tcp.srtt c;
+            rto_after := Tcp.rto c;
+            Tcp.close c)
+      in
+      ());
+  Alcotest.(check bool) "slow start grew the window" true
+    (!cwnd_after > 4 * 8000);
+  (match !srtt_after with
+   | Some s -> Alcotest.(check bool) "plausible srtt" true (s > 0.0 && s < 1.0)
+   | None -> Alcotest.fail "no RTT sample taken");
+  Alcotest.(check bool) "rto adapted below the initial 200ms" true
+    Time.(!rto_after < Time.ms 200)
+
+let test_loss_shrinks_cwnd () =
+  let received = Buffer.create 1024 in
+  let max_cwnd = ref 0 and final_cwnd = ref max_int in
+  with_net ~loss:0.08 (fun ~engine:_ ~sched ~net:_ ~a ~b ->
+      let l = Tcp.listen b ~port:80 () in
+      let _srv = spawn_sink sched l received in
+      let _cli =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c =
+              Tcp.connect a ~port:1 ~dst:{ Tcp.a_if = Netif.id b; a_port = 80 } ()
+            in
+            let chunk = pattern 20_000 in
+            for _ = 1 to 10 do
+              Tcp.send c chunk ~pos:0 ~len:20_000;
+              max_cwnd := max !max_cwnd (Tcp.cwnd c)
+            done;
+            final_cwnd := Tcp.cwnd c;
+            Tcp.close c)
+      in
+      ());
+  Alcotest.(check int) "all delivered" 200_000 (Buffer.length received);
+  Alcotest.(check bool) "loss cut the window below its peak" true
+    (!final_cwnd < !max_cwnd)
+
+let test_sendfile_modes () =
+  List.iter
+    (fun (mode, loss) ->
+      let r =
+        Kpath_workloads.Experiments.measure_sendfile ~mode
+          ~file_bytes:(512 * 1024) ~loss ()
+      in
+      Alcotest.(check bool) "verified" true
+        r.Kpath_workloads.Experiments.sf_verified)
+    [ (`ReadWrite, 0.0); (`Sendfile, 0.0); (`Sendfile, 0.05) ]
+
+let test_sendfile_cpu_advantage () =
+  let rw =
+    Kpath_workloads.Experiments.measure_sendfile ~mode:`ReadWrite
+      ~file_bytes:(1024 * 1024) ()
+  in
+  let sf =
+    Kpath_workloads.Experiments.measure_sendfile ~mode:`Sendfile
+      ~file_bytes:(1024 * 1024) ()
+  in
+  Alcotest.(check bool) "both verified" true
+    (rw.Kpath_workloads.Experiments.sf_verified
+    && sf.Kpath_workloads.Experiments.sf_verified);
+  Alcotest.(check bool) "splice far cheaper on the server" true
+    (sf.Kpath_workloads.Experiments.sf_server_cpu_sec
+    < 0.5 *. rw.Kpath_workloads.Experiments.sf_server_cpu_sec)
+
+let suite =
+  [
+    Alcotest.test_case "handshake + small transfer" `Quick test_handshake_and_small_transfer;
+    Alcotest.test_case "large transfer" `Quick test_large_transfer;
+    Alcotest.test_case "transfer with 5% loss" `Quick test_transfer_with_loss;
+    Alcotest.test_case "transfer with 20% loss" `Quick test_heavy_loss;
+    Alcotest.test_case "retransmissions counted" `Quick test_retransmit_counted;
+    Alcotest.test_case "EOF semantics" `Quick test_eof_semantics;
+    Alcotest.test_case "slow-reader backpressure" `Quick test_backpressure_slow_reader;
+    Alcotest.test_case "send_async backpressure" `Quick test_send_async_backpressure;
+    Alcotest.test_case "bidirectional" `Quick test_bidirectional;
+    Alcotest.test_case "connect timeout" `Quick test_connect_timeout;
+    Alcotest.test_case "listen collision" `Quick test_listen_port_collision;
+    Alcotest.test_case "send after close" `Quick test_send_after_close_rejected;
+    Util.qcheck prop_lossy_transfer_integrity;
+    Alcotest.test_case "congestion window and RTT" `Quick test_congestion_and_rtt;
+    Alcotest.test_case "loss shrinks cwnd" `Quick test_loss_shrinks_cwnd;
+    Alcotest.test_case "sendfile verified (incl. loss)" `Quick test_sendfile_modes;
+    Alcotest.test_case "sendfile CPU advantage" `Quick test_sendfile_cpu_advantage;
+  ]

@@ -1,0 +1,124 @@
+open Kpath_sim
+open Kpath_core
+open Kpath_kernel
+open Kpath_workloads
+
+let mk ?capacity () =
+  let now = ref Time.zero in
+  let t = Trace.create ?capacity ~clock:(fun () -> !now) () in
+  (t, now)
+
+let test_disabled_by_default () =
+  let t, _ = mk () in
+  let forced = ref false in
+  Trace.emit t ~cat:"x" (fun () ->
+      forced := true;
+      "msg");
+  Alcotest.(check bool) "message not forced" false !forced;
+  Alcotest.(check int) "nothing recorded" 0 (Trace.recorded t)
+
+let test_enable_records () =
+  let t, now = mk () in
+  Trace.enable t "io";
+  Trace.emit t ~cat:"io" (fun () -> "first");
+  now := Time.ms 5;
+  Trace.emit t ~cat:"io" (fun () -> "second");
+  Trace.emit t ~cat:"other" (fun () -> "ignored");
+  (match Trace.events t with
+   | [ a; b ] ->
+     Alcotest.(check string) "msg a" "first" a.Trace.ev_msg;
+     Alcotest.(check string) "msg b" "second" b.Trace.ev_msg;
+     Alcotest.check Util.time "timestamped" (Time.ms 5) b.Trace.ev_time
+   | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs));
+  Trace.disable t "io";
+  Trace.emit t ~cat:"io" (fun () -> "late");
+  Alcotest.(check int) "disable stops recording" 2 (Trace.recorded t)
+
+let test_enable_all () =
+  let t, _ = mk () in
+  Trace.enable_all t;
+  Trace.emit t ~cat:"anything" (fun () -> "x");
+  Alcotest.(check int) "recorded" 1 (Trace.recorded t)
+
+let test_ring_wraps () =
+  let t, _ = mk ~capacity:4 () in
+  Trace.enable t "c";
+  for i = 1 to 10 do
+    Trace.emit t ~cat:"c" (fun () -> string_of_int i)
+  done;
+  let evs = Trace.events t in
+  Alcotest.(check int) "keeps capacity" 4 (List.length evs);
+  Alcotest.(check (list string)) "latest survive" [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Trace.ev_msg) evs);
+  Alcotest.(check int) "dropped counted" 6 (Trace.dropped t);
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.events t))
+
+let test_splice_emits () =
+  let s = Experiments.make_setup ~disk:`Ram ~file_bytes:(64 * 1024) () in
+  Experiments.cold_caches s;
+  let m = s.Experiments.machine in
+  Trace.enable (Machine.trace m) "splice";
+  let stats = Programs.fresh_copy_stats () in
+  let _c =
+    Programs.spawn_scp m ~src:s.Experiments.src_path ~dst:s.Experiments.dst_path
+      stats
+  in
+  Machine.run m;
+  let evs = Trace.events (Machine.trace m) in
+  let has needle =
+    List.exists (fun e -> Util.contains e.Trace.ev_msg needle) evs
+  in
+  Alcotest.(check bool) "start event" true (has "started");
+  Alcotest.(check bool) "per-block write events" true (has "write done");
+  Alcotest.(check bool) "completion event" true (has "completed");
+  (* 8 blocks: bounded, per-block events present. *)
+  Alcotest.(check bool) "sane volume" true (List.length evs >= 10)
+
+let test_splice_overlap_rejected () =
+  let m = Machine.create () in
+  let drive = Machine.make_drive m ~name:"d0" ~kind:`Ram () in
+  let rejected = ref false in
+  let _p =
+    Machine.spawn m ~name:"p" (fun () ->
+        let fs =
+          Kpath_fs.Fs.mkfs ~cache:(Machine.cache m) (Machine.blkdev drive)
+            ~ninodes:16
+        in
+        let f = Kpath_fs.Fs.create_file fs "/f" in
+        let buf = Bytes.create 8192 in
+        for i = 0 to 7 do
+          ignore (Kpath_fs.Fs.write fs f ~off:(i * 8192) ~len:8192 buf ~pos:0)
+        done;
+        (* Overlapping self-copy: blocks 0..3 onto 2..5. *)
+        (try
+           ignore
+             (Splice.start (Machine.splice_ctx m)
+                ~src:(Endpoint.src_file fs f ())
+                ~dst:(Endpoint.dst_file fs f ~off_blocks:2 ())
+                ~size:(4 * 8192) ())
+         with Kpath_fs.Fs_error.Error (Kpath_fs.Fs_error.Einval _) ->
+           rejected := true);
+        (* Non-overlapping self-copy is allowed: blocks 0..3 onto 4..7. *)
+        let d =
+          Splice.start (Machine.splice_ctx m)
+            ~src:(Endpoint.src_file fs f ())
+            ~dst:(Endpoint.dst_file fs f ~off_blocks:4 ())
+            ~size:(4 * 8192) ()
+        in
+        match Splice.wait d with
+        | Ok n -> Alcotest.(check int) "copied half onto tail" (4 * 8192) n
+        | Error e -> Alcotest.fail e)
+  in
+  Machine.run m;
+  Alcotest.(check bool) "overlap rejected" true !rejected
+
+let suite =
+  [
+    Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
+    Alcotest.test_case "enable/disable" `Quick test_enable_records;
+    Alcotest.test_case "enable all" `Quick test_enable_all;
+    Alcotest.test_case "ring wrap" `Quick test_ring_wraps;
+    Alcotest.test_case "splice emits events" `Quick test_splice_emits;
+    Alcotest.test_case "same-file overlap" `Quick test_splice_overlap_rejected;
+  ]

@@ -1,0 +1,53 @@
+(* Shared helpers for the test suites. *)
+
+open Kpath_sim
+open Kpath_proc
+
+let time = Alcotest.testable Time.pp Time.equal
+
+(* Run [body] as the sole process on a fresh engine + scheduler; the
+   simulation is driven to completion and the body's result returned.
+   Fails the test if the process crashed or deadlocked. *)
+let run_in_process ?(ctx_switch_cost = Time.us 100) body =
+  let engine = Engine.create () in
+  let sched = Sched.create ~ctx_switch_cost engine in
+  let result = ref None in
+  let proc = Sched.spawn sched ~name:"test-proc" (fun () -> result := Some (body ())) in
+  Engine.run engine;
+  Sched.check_deadlock sched;
+  (match proc.Process.exit_status with
+   | Some Process.Exited -> ()
+   | Some (Process.Crashed e) -> raise e
+   | None -> Alcotest.fail "process did not terminate");
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "process produced no result"
+
+(* Same, with access to engine and scheduler. *)
+let run_in_process_with body =
+  let engine = Engine.create () in
+  let sched = Sched.create engine in
+  let result = ref None in
+  let proc =
+    Sched.spawn sched ~name:"test-proc" (fun () -> result := Some (body engine sched))
+  in
+  Engine.run engine;
+  Sched.check_deadlock sched;
+  (match proc.Process.exit_status with
+   | Some Process.Exited -> ()
+   | Some (Process.Crashed e) -> raise e
+   | None -> Alcotest.fail "process did not terminate");
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "process produced no result"
+
+(* An interrupt injector for device tests that ignores CPU accounting. *)
+let free_intr ~service:_ fn = fn ()
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Substring containment, for matching error messages. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
