@@ -9,7 +9,8 @@
      dune exec bench/main.exe -- table2 ablation-watermarks ...
      dune exec bench/main.exe -- quick        -- everything at reduced size
    Targets: table1 table1-natural table2 ablation-watermarks
-            ablation-lockstep sweep-size table-udp bechamel quick all *)
+            ablation-lockstep sweep-size sweep-fanout table-udp bechamel
+            quick all *)
 
 open Kpath_workloads
 
@@ -304,6 +305,42 @@ let print_sendfile () =
     [ 0.0; 0.01 ];
   print_newline ()
 
+let print_fanout ?(file_bytes = 2 * mb) () =
+  header
+    (Printf.sprintf
+       "Extension (splice graphs): %d MB file fanned out to N TCP clients, one \
+        disk pass (RZ58 server, 40 MB/s segment)"
+       (file_bytes / mb));
+  Printf.printf "%-7s | %9s | %11s | %9s | %11s | %s\n" "clients" "agg KB/s"
+    "KB/s/clnt" "dev reads" "server CPU" "verified";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun n ->
+      let r =
+        Experiments.measure_fanout ~clients:n ~file_bytes ~bandwidth:40e6 ()
+      in
+      Printf.printf "%7d | %9.0f | %11.0f | %9d | %10.2fs | %b\n" n
+        r.Experiments.fo_agg_kb_per_sec
+        (r.Experiments.fo_agg_kb_per_sec /. float_of_int n)
+        r.Experiments.fo_device_reads r.Experiments.fo_server_cpu_sec
+        r.Experiments.fo_verified)
+    [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ];
+  Printf.printf
+    "(aggregate should rise until the NIC or the client CPU saturates; dev \
+     reads must not grow with N)\n";
+  (* Per-block event log of one small run: the graph category traced and
+     dumped as one JSON object per line, for offline timeline tooling. *)
+  let path = "fanout-trace.jsonl" in
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  ignore
+    (Experiments.measure_fanout ~clients:2 ~file_bytes:(256 * 1024)
+       ~trace_json:fmt ());
+  Format.pp_print_flush fmt ();
+  close_out oc;
+  Printf.printf "(per-block graph trace of a 2-client run written to %s)\n" path;
+  print_newline ()
+
 let print_timeline () =
   header
     "Figure-equivalent: test-program progress over time (ops per 250 ms,      RAM disk, 1 MB/s paced copy; idle rate = 250)";
@@ -429,6 +466,7 @@ let all_targets ~quick =
   print_udp ();
   print_media ();
   print_sendfile ();
+  print_fanout ~file_bytes:(min file_bytes (2 * mb)) ();
   print_relatedwork ();
   if not quick then print_cpuspeed_sweep ();
   print_timeline ();
@@ -461,6 +499,7 @@ let () =
         | "table-media" -> print_media ()
         | "ablation-elevator" -> print_elevator ()
         | "table-sendfile" -> print_sendfile ()
+        | "sweep-fanout" -> print_fanout ()
         | "table-relatedwork" -> print_relatedwork ()
         | "sweep-cpuspeed" -> print_cpuspeed_sweep ()
         | "timeline" -> print_timeline ()

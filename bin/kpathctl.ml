@@ -5,7 +5,8 @@
      kpathctl copy   [--disk ...] ...      one measured copy
      kpathctl table1 [--ops N] [--natural] CPU availability rows
      kpathctl table2 [--size-mb N]         throughput rows
-     kpathctl relay  [--datagrams N]       UDP relay comparison *)
+     kpathctl relay  [--datagrams N]       UDP relay comparison
+     kpathctl graph  [--clients N] ...     splice-graph fan-out *)
 
 open Cmdliner
 open Kpath_kernel
@@ -221,6 +222,95 @@ let media_cmd =
     (Cmd.info "media" ~doc:"Compare movie players: read/write vs splice (s4).")
     Term.(const run $ load_arg $ seconds_arg)
 
+(* graph *)
+
+let graph_cmd =
+  let clients_arg =
+    Arg.(value & opt int 8
+         & info [ "clients" ] ~docv:"N" ~doc:"TCP clients fed from one disk pass.")
+  in
+  let size_kb_arg =
+    Arg.(value & opt int 1024
+         & info [ "size-kb" ] ~docv:"KB" ~doc:"File size in kilobytes.")
+  in
+  let bandwidth_arg =
+    Arg.(value & opt float 40.0
+         & info [ "bandwidth" ] ~docv:"MBPS" ~doc:"Network segment bandwidth, MB/s.")
+  in
+  let window_arg =
+    Arg.(value & opt (some int) None
+         & info [ "window" ] ~docv:"BLOCKS"
+             ~doc:"Per-source cap on blocks simultaneously held (pending reads + aliased buffers).")
+  in
+  let throttle_arg =
+    Arg.(value & opt (some float) None
+         & info [ "throttle" ] ~docv:"BPS"
+             ~doc:"Pace every edge to this rate in bytes/second (a Throttle filter).")
+  in
+  let checksum_arg =
+    Arg.(value & flag
+         & info [ "checksum" ] ~doc:"Run a Checksum filter stage on every edge.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-json" ] ~docv:"FILE"
+             ~doc:"Dump the per-block graph event log to $(docv), one JSON object per line.")
+  in
+  let run clients size_kb bandwidth window throttle checksum trace =
+    let usage_error msg =
+      Format.eprintf "kpathctl: %s@." msg;
+      exit 124
+    in
+    if clients < 1 then usage_error "--clients must be at least 1";
+    if size_kb < 1 then usage_error "--size-kb must be at least 1";
+    if bandwidth <= 0.0 then usage_error "--bandwidth must be positive";
+    (match throttle with
+     | Some bps when bps <= 0.0 -> usage_error "--throttle must be positive"
+     | _ -> ());
+    (match window with
+     | Some w when w < 1 -> usage_error "--window must be at least 1"
+     | _ -> ());
+    let filters =
+      (if checksum then [ Kpath_graph.Graph.Checksum ] else [])
+      @ (match throttle with
+         | Some bps -> [ Kpath_graph.Graph.Throttle bps ]
+         | None -> [])
+    in
+    let filters = if filters = [] then None else Some filters in
+    let measure trace_json =
+      Experiments.measure_fanout ~clients ~file_bytes:(size_kb * 1024)
+        ~bandwidth:(bandwidth *. 1e6) ?filters ?window ?trace_json ()
+    in
+    let r =
+      match trace with
+      | None -> measure None
+      | Some path ->
+        let oc =
+          try open_out path
+          with Sys_error msg -> usage_error ("cannot open trace file: " ^ msg)
+        in
+        let fmt = Format.formatter_of_out_channel oc in
+        let r = measure (Some fmt) in
+        Format.pp_print_flush fmt ();
+        close_out oc;
+        r
+    in
+    Format.printf
+      "fan-out %d KB x %d clients: %.0f KB/s aggregate in %.2fs, %d device \
+       reads (one disk pass), server CPU %.2fs, verified=%b@."
+      size_kb r.Experiments.fo_clients r.Experiments.fo_agg_kb_per_sec
+      r.Experiments.fo_seconds r.Experiments.fo_device_reads
+      r.Experiments.fo_server_cpu_sec r.Experiments.fo_verified;
+    if r.Experiments.fo_pinned_after <> 0 then
+      Format.printf "WARNING: %d buffers still pinned after completion@."
+        r.Experiments.fo_pinned_after
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Stream one file to N TCP clients through a splice graph (fan-out).")
+    Term.(const run $ clients_arg $ size_kb_arg $ bandwidth_arg $ window_arg
+          $ throttle_arg $ checksum_arg $ trace_arg)
+
 (* sendfile *)
 
 let sendfile_cmd =
@@ -249,4 +339,8 @@ let () =
     Cmd.info "kpathctl" ~version:"1.0.0"
       ~doc:"Drive the kpath in-kernel data path simulator."
   in
-  exit (Cmd.eval (Cmd.group ~default info [ info_cmd; copy_cmd; table1_cmd; table2_cmd; relay_cmd; media_cmd; sendfile_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ info_cmd; copy_cmd; table1_cmd; table2_cmd; relay_cmd; media_cmd;
+            graph_cmd; sendfile_cmd ]))

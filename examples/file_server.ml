@@ -88,6 +88,7 @@ let serve ~mode =
           match
             Syscall.tcp_connect env cli_if ~port:4000
               ~dst:{ Tcp.a_if = Netif.id srv_if; a_port = 80 }
+              ()
           with
           | fd -> fd
           | exception Errno.Unix_error (Errno.EIO, _) when tries > 0 ->

@@ -15,6 +15,7 @@ type t = {
   mutable b_blkno : int;
   mutable b_lblkno : int;
   mutable b_splice : int;
+  mutable b_refs : int;
   mutable b_data : bytes;
   mutable b_bcount : int;
   mutable b_flags : int;
@@ -32,6 +33,7 @@ let make ~id ~data_size =
     b_blkno = -1;
     b_lblkno = -1;
     b_splice = -1;
+    b_refs = 0;
     b_data = Bytes.make data_size '\000';
     b_bcount = data_size;
     b_flags = 0;

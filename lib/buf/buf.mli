@@ -41,6 +41,9 @@ type t = {
   mutable b_blkno : int;  (** physical (device) block number *)
   mutable b_lblkno : int;  (** splice: logical block within the transfer *)
   mutable b_splice : int;  (** splice: owning descriptor id, [-1] if none *)
+  mutable b_refs : int;
+      (** alias reference count ({!Cache.pin}/{!Cache.unpin}): downstream
+          writers sharing [b_data]; the buffer is released when it drains *)
   mutable b_data : bytes;  (** data area — may alias another buffer's *)
   mutable b_bcount : int;  (** transfer size in bytes *)
   mutable b_flags : int;  (** flag bitmask *)

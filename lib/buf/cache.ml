@@ -83,6 +83,7 @@ let rec start_io t (b : Buf.t) ~write =
 
 and brelse t (b : Buf.t) =
   if not (Buf.has b Buf.b_busy) then invalid_arg "brelse: buffer not busy";
+  if b.b_refs > 0 then invalid_arg "brelse: buffer still pinned";
   let ws = b.b_waiters in
   b.b_waiters <- [];
   if Buf.has b Buf.b_inval || Buf.has b Buf.b_error_flag then begin
@@ -123,6 +124,22 @@ and biodone_ref t (b : Buf.t) err =
   end
 
 let biodone = biodone_ref
+
+(* Reference-counted aliasing: a busy buffer whose data area is shared
+   by several downstream writers (splice-graph fan-out) is pinned once
+   per writer; the last unpin releases it. The count only defers the
+   release — ownership rules are otherwise unchanged, and [brelse]
+   refuses pinned buffers so a release can never happen twice. *)
+let pin t (b : Buf.t) =
+  if not (Buf.has b Buf.b_busy) then invalid_arg "Cache.pin: buffer not busy";
+  b.b_refs <- b.b_refs + 1;
+  count "cache.pins" t
+
+let unpin t (b : Buf.t) =
+  if b.b_refs <= 0 then invalid_arg "Cache.unpin: buffer not pinned";
+  b.b_refs <- b.b_refs - 1;
+  count "cache.unpins" t;
+  if b.b_refs = 0 then brelse t b
 
 (* Pick a reusable buffer, classic 4.2BSD free-list style: walk the
    non-busy buffers from least to most recently used; delayed-write
@@ -166,6 +183,7 @@ let victim t =
 let reassign t (b : Buf.t) dev blkno =
   rehash t b dev blkno;
   b.b_flags <- Buf.b_busy;
+  b.b_refs <- 0;
   b.b_error <- None;
   b.b_iodone <- None;
   b.b_bcount <- t.block_size;
@@ -402,6 +420,11 @@ let busy_count t =
     (fun acc b -> if Buf.has b Buf.b_busy then acc + 1 else acc)
     0 t.bufs
 
+let pinned_count t =
+  Array.fold_left
+    (fun acc (b : Buf.t) -> if b.b_refs > 0 then acc + 1 else acc)
+    0 t.bufs
+
 let dirty_count t =
   Array.fold_left
     (fun acc b -> if Buf.has b Buf.b_delwri then acc + 1 else acc)
@@ -426,7 +449,10 @@ let check_invariants t =
         | _ -> fail "buffer %a missing from hash" Buf.pp b
       end;
       if Buf.has b Buf.b_delwri && not (Buf.has b Buf.b_done) then
-        fail "dirty but invalid: %a" Buf.pp b)
+        fail "dirty but invalid: %a" Buf.pp b;
+      if b.b_refs < 0 then fail "negative refcount: %a" Buf.pp b;
+      if b.b_refs > 0 && not (Buf.has b Buf.b_busy) then
+        fail "pinned but not busy: %a" Buf.pp b)
     t.bufs;
   if Hashtbl.length t.hash > t.n then fail "hash larger than pool";
   if t.hdrs_out < 0 then fail "negative outstanding header count"

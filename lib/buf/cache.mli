@@ -119,6 +119,19 @@ val awrite_call : t -> Buf.t -> iodone:(Buf.t -> unit) -> unit
     splice write side: install the write handler in the header, then
     [bawrite] (§5.4). Works on cache buffers and {!getblk_hdr} headers. *)
 
+val pin : t -> Buf.t -> unit
+(** Take an alias reference on a busy buffer: its data area is about to
+    be shared by one more downstream writer (splice-graph fan-out reads
+    a source block once and aliases it to every outgoing edge). Each
+    reference must be dropped with {!unpin}; while any are held,
+    {!brelse} refuses the buffer, so the release happens exactly once —
+    when the count drains. *)
+
+val unpin : t -> Buf.t -> unit
+(** Drop one alias reference; the reference that brings the count to
+    zero releases the buffer ({!brelse}). Raises [Invalid_argument] if
+    the buffer is not pinned — a double release. *)
+
 val invalidate_cached : t -> Blkdev.t -> int -> unit
 (** If [(dev, blkno)] is cached, discard it (sleeping while it is busy).
     Unlike [getblk]-then-invalidate, a block that is absent is left
@@ -138,6 +151,9 @@ val release_hdr : t -> Buf.t -> unit
 
 val busy_count : t -> int
 (** Buffers currently busy. *)
+
+val pinned_count : t -> int
+(** Buffers currently holding at least one alias reference. *)
 
 val dirty_count : t -> int
 (** Buffers currently marked delayed-write. *)

@@ -1,0 +1,776 @@
+open Kpath_sim
+open Kpath_dev
+open Kpath_buf
+open Kpath_fs
+open Kpath_net
+open Kpath_proc
+open Kpath_core
+
+type ctx = {
+  engine : Engine.t;
+  callout : Callout.t;
+  cache : Cache.t;
+  intr : service:Time.span -> (unit -> unit) -> unit;
+  handler_cost : Time.span;
+  stats : Stats.t;
+  trace : Trace.t option;
+  mutable next_graph : int;
+  mutable next_node : int;
+  mutable next_edge : int;
+}
+
+let make_ctx ~engine ~callout ~cache ~intr ?(handler_cost = Time.us 25) ?trace
+    () =
+  {
+    engine;
+    callout;
+    cache;
+    intr;
+    handler_cost;
+    stats = Stats.create ();
+    trace;
+    next_graph = 1;
+    next_node = 1;
+    next_edge = 1;
+  }
+
+let ctx_stats ctx = ctx.stats
+
+let tr ctx msg =
+  match ctx.trace with
+  | Some t -> Trace.emit t ~cat:"graph" msg
+  | None -> ()
+
+let count ctx name = Stats.incr (Stats.counter ctx.stats name)
+
+type state = Running | Completed | Aborted of string
+
+type sink_spec =
+  | Sink_file of { fs : Fs.t; ino : Inode.t; off_blocks : int }
+  | Sink_chardev of Chardev.t
+  | Sink_udp of { sock : Udp.t; dst : Udp.addr }
+  | Sink_tcp of Tcp.conn
+
+type filter = Checksum | Throttle of float | Tee of (bytes -> int -> unit)
+
+(* One source block in flight: read done, shared by every outgoing edge
+   that still owes an unpin. *)
+type block = {
+  blk_lblk : int;
+  blk_buf : Buf.t;
+  blk_bytes : int;
+  blk_issued : Time.t;
+  blk_owers : (int, unit) Hashtbl.t;  (* edge id -> owes one unpin *)
+}
+
+type source = {
+  sn_id : int;
+  sn_fs : Fs.t;
+  sn_ino : Inode.t;
+  sn_off : int;  (* block offset within the source file *)
+  sn_size_req : int;  (* requested bytes; -1 = to end of file *)
+  mutable sn_total : int;  (* resolved at start *)
+  mutable sn_nblocks : int;
+  mutable sn_map : int array;  (* physical block table, built by bmap *)
+  mutable sn_next_read : int;
+  mutable sn_reads : int;  (* pending device reads *)
+  mutable sn_peak_reads : int;
+  mutable sn_consumed : int;  (* reads issued + cache hits reused *)
+  sn_inflight : (int, block) Hashtbl.t;  (* lblk -> aliased block *)
+  mutable sn_edges : edge list;  (* outgoing, in connect order *)
+  mutable sn_retry_armed : bool;
+}
+
+and sink = {
+  sk_id : int;
+  sk_spec : sink_spec;
+  mutable sk_edges : edge list;  (* incoming, in connect order *)
+  mutable sk_map : int array;  (* file sinks: the concatenation's blocks *)
+}
+
+and edge = {
+  e_id : int;
+  e_src : source;
+  e_sink : sink;
+  e_filters : filter list;
+  e_config : Flowctl.config;
+  mutable e_dst_base : int;  (* fan-in: base block within sk_map *)
+  mutable e_writes : int;  (* pending sink writes *)
+  mutable e_peak_writes : int;
+  mutable e_delivered : int;  (* bytes accepted by the sink *)
+  mutable e_done_blocks : int;  (* blocks settled (written or abandoned) *)
+  mutable e_checksum : int;
+  mutable e_pace : Time.t;  (* throttle pacing cursor *)
+  mutable e_state : edge_state;
+}
+
+and edge_state = Active | Edge_done | Dead of string
+
+type node = N_src of source | N_sink of sink
+
+type t = {
+  g_id : int;
+  ctx : ctx;
+  window : int;
+  mutable g_sources : source list;  (* reverse add order until start *)
+  mutable g_sinks : sink list;
+  mutable g_edges : edge list;
+  mutable st : state;
+  mutable started : bool;
+  mutable finalized : bool;
+  mutable callbacks : (t -> unit) list;
+  mutable block_size : int;
+}
+
+let create ctx ?(window = 16) () =
+  if window < 1 then invalid_arg "Graph.create: window < 1";
+  let g_id = ctx.next_graph in
+  ctx.next_graph <- g_id + 1;
+  {
+    g_id;
+    ctx;
+    window;
+    g_sources = [];
+    g_sinks = [];
+    g_edges = [];
+    st = Running;
+    started = false;
+    finalized = false;
+    callbacks = [];
+    block_size = 0;
+  }
+
+let id t = t.g_id
+
+let state t = t.st
+
+let edges t = List.rev t.g_edges
+
+let edge_id e = e.e_id
+
+let edge_state e =
+  match e.e_state with
+  | Active -> `Active
+  | Edge_done -> `Done
+  | Dead reason -> `Dead reason
+
+let edge_delivered e = e.e_delivered
+
+let edge_checksum e =
+  if List.mem Checksum e.e_filters then Some e.e_checksum else None
+
+let edge_pending_writes e = e.e_writes
+
+let edge_peak_writes e = e.e_peak_writes
+
+let bytes_delivered t =
+  List.fold_left (fun acc e -> acc + e.e_delivered) 0 t.g_edges
+
+let source_reads t =
+  List.fold_left (fun acc sn -> acc + sn.sn_consumed) 0 t.g_sources
+
+let pinned_blocks t =
+  List.fold_left (fun acc sn -> acc + Hashtbl.length sn.sn_inflight) 0 t.g_sources
+
+let block_checksum ~lblk data len =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get data i)) * 0x01000193 land 0xffffffff
+  done;
+  (* Mix in the position so identical blocks at different offsets do not
+     cancel under the per-edge XOR. *)
+  (!h lxor ((lblk + 1) * 0x9e3779b9)) land 0xffffffff
+
+let add_file_source t ~fs ~ino ?(off_blocks = 0) ?(size = -1) () =
+  if t.started then invalid_arg "Graph.add_file_source: graph already started";
+  if off_blocks < 0 then invalid_arg "Graph.add_file_source: negative offset";
+  let sn =
+    {
+      sn_id = t.ctx.next_node;
+      sn_fs = fs;
+      sn_ino = ino;
+      sn_off = off_blocks;
+      sn_size_req = size;
+      sn_total = 0;
+      sn_nblocks = 0;
+      sn_map = [||];
+      sn_next_read = 0;
+      sn_reads = 0;
+      sn_peak_reads = 0;
+      sn_consumed = 0;
+      sn_inflight = Hashtbl.create 16;
+      sn_edges = [];
+      sn_retry_armed = false;
+    }
+  in
+  t.ctx.next_node <- sn.sn_id + 1;
+  t.g_sources <- sn :: t.g_sources;
+  N_src sn
+
+let add_sink t spec =
+  if t.started then invalid_arg "Graph.add_sink: graph already started";
+  (match spec with
+   | Sink_file { off_blocks; _ } when off_blocks < 0 ->
+     invalid_arg "Graph.add_sink: negative offset"
+   | _ -> ());
+  let sk = { sk_id = t.ctx.next_node; sk_spec = spec; sk_edges = []; sk_map = [||] } in
+  t.ctx.next_node <- sk.sk_id + 1;
+  t.g_sinks <- sk :: t.g_sinks;
+  N_sink sk
+
+let connect t ?(config = Flowctl.default) ?(filters = []) ~src ~dst () =
+  if t.started then invalid_arg "Graph.connect: graph already started";
+  let sn, sk =
+    match (src, dst) with
+    | N_src sn, N_sink sk -> (sn, sk)
+    | _ -> invalid_arg "Graph.connect: edges run source -> sink"
+  in
+  if List.exists (fun e -> e.e_src == sn) sk.sk_edges then
+    invalid_arg "Graph.connect: edge already exists";
+  List.iter
+    (function
+      | Throttle rate when rate <= 0.0 ->
+        invalid_arg "Graph.connect: throttle rate must be positive"
+      | Throttle _ | Checksum | Tee _ -> ())
+    filters;
+  let e =
+    {
+      e_id = t.ctx.next_edge;
+      e_src = sn;
+      e_sink = sk;
+      e_filters = filters;
+      e_config = config;
+      e_dst_base = 0;
+      e_writes = 0;
+      e_peak_writes = 0;
+      e_delivered = 0;
+      e_done_blocks = 0;
+      e_checksum = 0;
+      e_pace = Time.zero;
+      e_state = Active;
+    }
+  in
+  t.ctx.next_edge <- e.e_id + 1;
+  sn.sn_edges <- sn.sn_edges @ [ e ];
+  sk.sk_edges <- sk.sk_edges @ [ e ];
+  t.g_edges <- e :: t.g_edges;
+  e
+
+(* {1 Completion} *)
+
+let finalize t =
+  if not t.finalized then begin
+    t.finalized <- true;
+    tr t.ctx (fun () ->
+        Printf.sprintf "g%d %s (%d bytes delivered)" t.g_id
+          (match t.st with
+           | Completed -> "completed"
+           | Aborted r -> "aborted: " ^ r
+           | Running -> "finalized while running!?")
+          (bytes_delivered t));
+    count t.ctx
+      (match t.st with
+       | Completed -> "graph.completed"
+       | Aborted _ -> "graph.aborted"
+       | Running -> assert false);
+    let cbs = List.rev t.callbacks in
+    t.callbacks <- [];
+    List.iter (fun cb -> cb t) cbs
+  end
+
+let on_complete t cb =
+  if t.finalized then cb t else t.callbacks <- cb :: t.callbacks
+
+let wait t =
+  if not (t.st <> Running && t.finalized) then
+    Process.block "graph" (fun waker -> on_complete t (fun _ -> waker ()));
+  match t.st with
+  | Completed -> Ok (bytes_delivered t)
+  | Aborted reason -> Error reason
+  | Running -> assert false
+
+let drained t =
+  List.for_all
+    (fun sn -> sn.sn_reads = 0 && Hashtbl.length sn.sn_inflight = 0)
+    t.g_sources
+
+let complete_check t =
+  if not t.finalized then
+    match t.st with
+    | Aborted _ -> if drained t then finalize t
+    | Completed -> ()
+    | Running ->
+      if List.for_all (fun e -> e.e_state <> Active) t.g_edges && drained t
+      then begin
+        (* If every edge died, the graph as a whole failed; a mix of
+           finished and dead edges is a (partial) success the caller can
+           inspect per edge. *)
+        let first_death =
+          List.fold_left
+            (fun acc e ->
+              match (acc, e.e_state) with
+              | None, Dead r -> Some r
+              | acc, _ -> acc)
+            None (List.rev t.g_edges)
+        in
+        (match first_death with
+         | Some r when List.for_all (fun e -> e.e_state <> Edge_done) t.g_edges
+           ->
+           t.st <- Aborted r
+         | _ -> t.st <- Completed);
+        finalize t
+      end
+
+(* Charge one handler activation to the CPU (interrupt bucket). *)
+let charge t = t.ctx.intr ~service:t.ctx.handler_cost (fun () -> ())
+
+let live_edges sn = List.filter (fun e -> e.e_state = Active) sn.sn_edges
+
+let src_dev sn = Fs.dev sn.sn_fs
+
+(* Bytes carried by logical block [lblk] of a source (the final block
+   may be partial). *)
+let bytes_for t sn lblk = min t.block_size (sn.sn_total - (lblk * t.block_size))
+
+(* How many new reads this source may issue right now: every live edge
+   must be under its write watermark (backpressure propagates from the
+   slowest sink), and the window bounds pending reads + aliased blocks
+   so a stalled edge cannot pile the buffer cache full. *)
+let burst_for t sn =
+  match live_edges sn with
+  | [] -> 0
+  | live ->
+    let held = sn.sn_reads + Hashtbl.length sn.sn_inflight in
+    let slots = t.window - held in
+    if slots <= 0 then 0
+    else
+      let burst =
+        List.fold_left
+          (fun acc e ->
+            min acc
+              (Flowctl.reads_to_issue e.e_config ~pending_reads:sn.sn_reads
+                 ~pending_writes:e.e_writes))
+          max_int live
+      in
+      min burst slots
+
+(* Drop edge [e]'s reference on [blk], if still owed; [true] when this
+   call actually released a reference. The block leaves the in-flight
+   table when its last reference drains (release exactly once). *)
+let settle_ref t (e : edge) (blk : block) =
+  if Hashtbl.mem blk.blk_owers e.e_id then begin
+    Hashtbl.remove blk.blk_owers e.e_id;
+    if Hashtbl.length blk.blk_owers = 0 then begin
+      Hashtbl.remove e.e_src.sn_inflight blk.blk_lblk;
+      Histogram.add
+        (Stats.histogram t.ctx.stats "graph.block_latency_us")
+        (int_of_float
+           (Time.to_us_f (Time.diff (Engine.now t.ctx.engine) blk.blk_issued)))
+    end;
+    Cache.unpin t.ctx.cache blk.blk_buf;
+    true
+  end
+  else false
+
+let rec issue_reads t (sn : source) n =
+  if n > 0 && t.st = Running && sn.sn_next_read < sn.sn_nblocks
+     && live_edges sn <> []
+  then begin
+    let lblk = sn.sn_next_read in
+    let phys = sn.sn_map.(lblk) in
+    match
+      Cache.bread_nb t.ctx.cache (src_dev sn) phys ~iodone:(fun b ->
+          read_done t sn lblk b)
+    with
+    | `Busy ->
+      (* Out of clean buffers (or the block is held elsewhere): try
+         again on the next clock tick. *)
+      count t.ctx "graph.retries";
+      if not sn.sn_retry_armed then begin
+        sn.sn_retry_armed <- true;
+        ignore
+          (Callout.timeout t.ctx.callout ~ticks:1 (fun () ->
+               sn.sn_retry_armed <- false;
+               issue_reads t sn (max 1 (burst_for t sn))))
+      end
+    | `Hit b ->
+      sn.sn_next_read <- lblk + 1;
+      sn.sn_reads <- sn.sn_reads + 1;
+      sn.sn_peak_reads <- max sn.sn_peak_reads sn.sn_reads;
+      sn.sn_consumed <- sn.sn_consumed + 1;
+      b.Buf.b_lblkno <- lblk;
+      count t.ctx "graph.read_hits";
+      read_done t sn lblk b;
+      issue_reads t sn (n - 1)
+    | `Started b ->
+      sn.sn_next_read <- lblk + 1;
+      sn.sn_reads <- sn.sn_reads + 1;
+      sn.sn_peak_reads <- max sn.sn_peak_reads sn.sn_reads;
+      sn.sn_consumed <- sn.sn_consumed + 1;
+      b.Buf.b_lblkno <- lblk;
+      count t.ctx "graph.reads_issued";
+      tr t.ctx (fun () ->
+          Printf.sprintf "g%d src%d read lblk %d -> phys %d (pending r=%d)"
+            t.g_id sn.sn_id lblk phys sn.sn_reads);
+      issue_reads t sn (n - 1)
+  end
+
+(* Read handler (interrupt context): pin the buffer once per live edge
+   and hand each edge its write through the head of the callout list.
+   The block is read from the device exactly once, however many edges
+   share it. *)
+and read_done t (sn : source) lblk (b : Buf.t) =
+  charge t;
+  sn.sn_reads <- sn.sn_reads - 1;
+  match t.st with
+  | Aborted _ ->
+    Cache.brelse t.ctx.cache b;
+    complete_check t
+  | Completed -> assert false
+  | Running ->
+    if Buf.has b Buf.b_error_flag then begin
+      let reason =
+        match b.Buf.b_error with
+        | Some (Blkdev.Io_error m) -> m
+        | None -> "read error"
+      in
+      Cache.brelse t.ctx.cache b;
+      abort t ~reason
+    end
+    else begin
+      match live_edges sn with
+      | [] ->
+        (* Every consumer died while the read was in flight. *)
+        Cache.brelse t.ctx.cache b;
+        complete_check t
+      | live ->
+        let blk =
+          {
+            blk_lblk = lblk;
+            blk_buf = b;
+            blk_bytes = bytes_for t sn lblk;
+            blk_issued = Engine.now t.ctx.engine;
+            blk_owers = Hashtbl.create 4;
+          }
+        in
+        Hashtbl.replace sn.sn_inflight lblk blk;
+        if List.compare_length_with live 1 > 0 then
+          count t.ctx "graph.blocks_aliased";
+        tr t.ctx (fun () ->
+            Printf.sprintf "g%d src%d read done lblk %d; aliased to %d edge(s)"
+              t.g_id sn.sn_id lblk (List.length live));
+        List.iter
+          (fun e ->
+            Cache.pin t.ctx.cache b;
+            Hashtbl.replace blk.blk_owers e.e_id ();
+            e.e_writes <- e.e_writes + 1;
+            e.e_peak_writes <- max e.e_peak_writes e.e_writes;
+            ignore
+              (Callout.schedule_head t.ctx.callout (fun () ->
+                   edge_write_start t e blk)))
+          live
+    end
+
+(* Per-edge write side: runs from the callout list against the shared,
+   pinned buffer. The filter pipeline is applied first; each stage may
+   defer (throttling), so every continuation re-checks that the edge
+   still owes this block before touching the data. *)
+and edge_write_start t (e : edge) (blk : block) =
+  charge t;
+  if not (Hashtbl.mem blk.blk_owers e.e_id) then ()
+  else if e.e_state <> Active then begin
+    ignore (settle_ref t e blk);
+    complete_check t
+  end
+  else apply_filters t e blk e.e_filters
+
+and apply_filters t (e : edge) (blk : block) filters =
+  if not (Hashtbl.mem blk.blk_owers e.e_id) then ()
+  else if e.e_state <> Active then begin
+    ignore (settle_ref t e blk);
+    complete_check t
+  end
+  else
+    match filters with
+    | [] -> edge_sink_write t e blk
+    | f :: rest -> (
+      count t.ctx "graph.filter_runs";
+      charge t;
+      match f with
+      | Checksum ->
+        e.e_checksum <-
+          e.e_checksum
+          lxor block_checksum ~lblk:blk.blk_lblk blk.blk_buf.Buf.b_data
+                blk.blk_bytes;
+        apply_filters t e blk rest
+      | Tee fn ->
+        fn blk.blk_buf.Buf.b_data blk.blk_bytes;
+        apply_filters t e blk rest
+      | Throttle rate ->
+        let now = Engine.now t.ctx.engine in
+        let slot = if Time.(e.e_pace > now) then e.e_pace else now in
+        e.e_pace <-
+          Time.add slot (Time.span_of_bytes ~bytes_per_sec:rate blk.blk_bytes);
+        if Time.(slot > now) then
+          ignore
+            (Engine.schedule t.ctx.engine ~at:slot (fun () ->
+                 apply_filters t e blk rest))
+        else apply_filters t e blk rest)
+
+and edge_sink_write t (e : edge) (blk : block) =
+  let lblk = blk.blk_lblk in
+  let src_buf = blk.blk_buf in
+  count t.ctx "graph.writes_issued";
+  match e.e_sink.sk_spec with
+  | Sink_file { fs; _ } ->
+    let phys = e.e_sink.sk_map.(e.e_dst_base + lblk) in
+    let hdr = Cache.getblk_hdr t.ctx.cache (Fs.dev fs) phys in
+    (* Share the data area with the read-side buffer: no copy. *)
+    hdr.Buf.b_data <- src_buf.Buf.b_data;
+    hdr.Buf.b_bcount <- t.block_size;
+    hdr.Buf.b_lblkno <- lblk;
+    Cache.awrite_call t.ctx.cache hdr ~iodone:(fun hb ->
+        edge_write_done t e blk (Some hb))
+  | Sink_chardev cd ->
+    Chardev.write_async cd src_buf.Buf.b_data 0 blk.blk_bytes (fun () ->
+        edge_write_done t e blk None)
+  | Sink_udp { sock; dst } ->
+    let payload = Bytes.sub src_buf.Buf.b_data 0 blk.blk_bytes in
+    Udp.sendto sock ~dst payload;
+    edge_write_done t e blk None
+  | Sink_tcp conn -> (
+    (* The stream applies backpressure: completion fires when the block
+       has been accepted into the send buffer. *)
+    try
+      Tcp.send_async conn src_buf.Buf.b_data ~pos:0 ~len:blk.blk_bytes (fun () ->
+          edge_write_done t e blk None)
+    with Invalid_argument msg ->
+      edge_abort_internal t e ~reason:("tcp sink: " ^ msg))
+
+(* Write handler for one edge (interrupt context): drop this edge's
+   reference (the last one releases the shared buffer), account, and
+   refill the source's read pipeline. *)
+and edge_write_done t (e : edge) (blk : block) hdr =
+  charge t;
+  let write_error =
+    match hdr with
+    | Some (hb : Buf.t) ->
+      let err =
+        if Buf.has hb Buf.b_error_flag then
+          match hb.Buf.b_error with
+          | Some (Blkdev.Io_error m) -> Some m
+          | None -> Some "write error"
+        else None
+      in
+      Cache.release_hdr t.ctx.cache hb;
+      err
+    | None -> None
+  in
+  let owed = settle_ref t e blk in
+  if not owed then complete_check t
+  else begin
+    e.e_writes <- e.e_writes - 1;
+    match (e.e_state, write_error) with
+    | Active, Some reason -> edge_abort_internal t e ~reason
+    | Active, None ->
+      e.e_delivered <- e.e_delivered + blk.blk_bytes;
+      e.e_done_blocks <- e.e_done_blocks + 1;
+      tr t.ctx (fun () ->
+          Printf.sprintf "g%d e%d write done lblk %d (%d/%d bytes)" t.g_id
+            e.e_id blk.blk_lblk e.e_delivered e.e_src.sn_total);
+      if e.e_done_blocks >= e.e_src.sn_nblocks then begin
+        e.e_state <- Edge_done;
+        count t.ctx "graph.edges_completed";
+        tr t.ctx (fun () ->
+            Printf.sprintf "g%d e%d completed (%d bytes)" t.g_id e.e_id
+              e.e_delivered)
+      end;
+      kick t e.e_src;
+      complete_check t
+    | (Edge_done | Dead _), _ -> complete_check t
+  end
+
+(* Refill the read pipeline of one source (flow control, §5.5 applied
+   per edge), with a belt-and-braces single read so a source with work
+   left can never stall. *)
+and kick t (sn : source) =
+  if t.st = Running then begin
+    let burst = burst_for t sn in
+    if burst > 0 then issue_reads t sn burst;
+    if
+      sn.sn_reads = 0
+      && Hashtbl.length sn.sn_inflight = 0
+      && sn.sn_next_read < sn.sn_nblocks
+      && live_edges sn <> []
+    then issue_reads t sn 1
+  end
+
+(* Cut an edge loose: its outstanding references are dropped right away
+   (abandoning any in-flight writes), so the shared buffers it was
+   holding can drain and the source stops being gated by it. *)
+and edge_abort_internal t (e : edge) ~reason =
+  if e.e_state = Active then begin
+    e.e_state <- Dead reason;
+    e.e_writes <- 0;
+    count t.ctx "graph.edges_aborted";
+    tr t.ctx (fun () ->
+        Printf.sprintf "g%d e%d dead: %s" t.g_id e.e_id reason);
+    let blocks =
+      Hashtbl.fold (fun _ blk acc -> blk :: acc) e.e_src.sn_inflight []
+    in
+    List.iter (fun blk -> ignore (settle_ref t e blk)) blocks;
+    kick t e.e_src;
+    complete_check t
+  end
+
+and abort t ~reason =
+  match t.st with
+  | Completed | Aborted _ -> ()
+  | Running ->
+    t.st <- Aborted reason;
+    List.iter
+      (fun e -> if e.e_state = Active then edge_abort_internal t e ~reason)
+      t.g_edges;
+    complete_check t
+
+let abort_edge t e ~reason =
+  if not (List.memq e t.g_edges) then
+    invalid_arg "Graph.abort_edge: edge not in this graph";
+  if t.st = Running then edge_abort_internal t e ~reason
+
+(* {1 Setup} *)
+
+let resolve_size (sn : source) ~block_size =
+  let avail = sn.sn_ino.Inode.size - (sn.sn_off * block_size) in
+  if sn.sn_size_req < 0 then max 0 avail
+  else min sn.sn_size_req (max 0 avail)
+
+let build_src_map (sn : source) =
+  Array.init sn.sn_nblocks (fun i ->
+      match Fs.bmap sn.sn_fs sn.sn_ino (sn.sn_off + i) with
+      | Some phys -> phys
+      | None -> Fs_error.raise_err (Fs_error.Einval "graph: sparse source"))
+
+(* Destination block table via the allocating bmap that skips zero-fill,
+   growing the file and keeping the cache coherent with the coming
+   write-around — as splice's setup does (§5.2). *)
+let build_dst_map fs (ino : Inode.t) ~off_blocks ~nblocks ~total ~block_size =
+  let map =
+    Array.init nblocks (fun i ->
+        Fs.bmap_alloc fs ino (off_blocks + i) ~zero:false)
+  in
+  let new_size = (off_blocks * block_size) + total in
+  if new_size > ino.Inode.size then begin
+    ino.Inode.size <- new_size;
+    ino.Inode.dirty <- true
+  end;
+  Array.iter
+    (fun phys -> Cache.invalidate_cached (Fs.cache fs) (Fs.dev fs) phys)
+    map;
+  map
+
+let ranges_overlap a_lo a_len b_lo b_len =
+  a_lo < b_lo + b_len && b_lo < a_lo + a_len
+
+let validate_and_build t =
+  let sources = List.rev t.g_sources in
+  (match sources with
+   | [] -> invalid_arg "Graph.start: no sources"
+   | _ -> ());
+  if t.g_edges = [] then invalid_arg "Graph.start: no edges";
+  List.iter
+    (fun sn ->
+      if sn.sn_edges = [] then
+        invalid_arg "Graph.start: source with no outgoing edge")
+    sources;
+  (* One block size across the graph. *)
+  let block_size = Fs.block_size (List.hd sources).sn_fs in
+  t.block_size <- block_size;
+  List.iter
+    (fun sn ->
+      if Fs.block_size sn.sn_fs <> block_size then
+        invalid_arg "Graph.start: mismatched block sizes")
+    sources;
+  List.iter
+    (fun sk ->
+      match sk.sk_spec with
+      | Sink_file { fs; _ } ->
+        if Fs.block_size fs <> block_size then
+          invalid_arg "Graph.start: mismatched block sizes"
+      | Sink_udp _ ->
+        if block_size > 8192 then
+          invalid_arg "Graph.start: block size exceeds datagram limit"
+      | Sink_chardev _ | Sink_tcp _ -> ())
+    (List.rev t.g_sinks);
+  (* Resolve source sizes and build their physical block tables. *)
+  List.iter
+    (fun sn ->
+      sn.sn_total <- resolve_size sn ~block_size;
+      sn.sn_nblocks <- (sn.sn_total + block_size - 1) / block_size;
+      sn.sn_map <- build_src_map sn)
+    sources;
+  (* Fan-in layout and sink block tables. *)
+  List.iter
+    (fun sk ->
+      match (sk.sk_spec, sk.sk_edges) with
+      | _, [] -> invalid_arg "Graph.start: sink with no incoming edge"
+      | Sink_file { fs; ino; off_blocks }, es ->
+        (* Incoming edges concatenate at block granularity: every
+           contributor but the last must be a block multiple. *)
+        let rec assign base = function
+          | [] -> base
+          | e :: rest ->
+            e.e_dst_base <- base;
+            if rest <> [] && e.e_src.sn_total mod block_size <> 0 then
+              Fs_error.raise_err
+                (Fs_error.Einval
+                   "graph: fan-in contributor not block-aligned");
+            assign (base + e.e_src.sn_nblocks) rest
+        in
+        let nblocks = assign 0 es in
+        let total =
+          List.fold_left (fun acc e -> acc + e.e_src.sn_total) 0 es
+        in
+        (* Writing onto a range a source is concurrently reading would
+           corrupt the shared buffers. *)
+        List.iter
+          (fun sn ->
+            if
+              sn.sn_fs == fs
+              && sn.sn_ino.Inode.ino = ino.Inode.ino
+              && ranges_overlap sn.sn_off sn.sn_nblocks off_blocks nblocks
+            then
+              Fs_error.raise_err
+                (Fs_error.Einval
+                   "graph: source and destination ranges overlap"))
+          sources;
+        sk.sk_map <- build_dst_map fs ino ~off_blocks ~nblocks ~total ~block_size
+      | (Sink_chardev _ | Sink_udp _ | Sink_tcp _), _ :: _ :: _ ->
+        invalid_arg "Graph.start: fan-in requires a file sink"
+      | (Sink_chardev _ | Sink_udp _ | Sink_tcp _), [ _ ] -> ())
+    (List.rev t.g_sinks);
+  sources
+
+let start t =
+  if t.started then invalid_arg "Graph.start: already started";
+  t.started <- true;
+  let sources = validate_and_build t in
+  count t.ctx "graph.started";
+  tr t.ctx (fun () ->
+      Printf.sprintf "g%d started (%d source(s), %d sink(s), %d edge(s))"
+        t.g_id (List.length sources) (List.length t.g_sinks)
+        (List.length t.g_edges));
+  (* Empty sources complete their edges immediately. *)
+  List.iter
+    (fun sn ->
+      if sn.sn_nblocks = 0 then
+        List.iter
+          (fun e ->
+            if e.e_state = Active then begin
+              e.e_state <- Edge_done;
+              count t.ctx "graph.edges_completed"
+            end)
+          sn.sn_edges)
+    sources;
+  List.iter (fun sn -> if sn.sn_nblocks > 0 then kick t sn) sources;
+  complete_check t

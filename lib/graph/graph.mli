@@ -1,0 +1,200 @@
+(** Splice graphs — in-kernel data-path routing.
+
+    The two-endpoint splice of {!Kpath_core.Splice} generalised into a
+    DAG of I/O objects: file sources connected to sinks by edges, with
+
+    + {b fan-out}: one source feeding N sinks (one RZ58 file streamed to
+      N TCP clients). Each source block is read from disk {e once}; the
+      buffer is then {e aliased} to every outgoing edge under a
+      reference count ({!Kpath_buf.Cache.pin}), each edge's write
+      completion drops one reference, and the buffer is released when
+      the count drains — the paper's no-copy trick, shared N ways;
+    + {b fan-in}: N sources concatenated into one destination file (a
+      log assembled from per-client spools). Each incoming edge owns a
+      disjoint, precomputed physical block range of the destination, so
+      the writes never contend;
+    + {b filter stages}: a per-edge pipeline of in-kernel stages applied
+      to each block between the shared read and that edge's write —
+      checksumming, rate throttling, or a tee to an observer.
+
+    Backpressure: every edge carries its own {!Kpath_core.Flowctl}
+    watermarks, and a source only issues new reads while {e every} live
+    outgoing edge is below its write watermark {e and} the number of
+    aliased blocks is within the graph's window. A slow sink therefore
+    pauses reads (it cannot exhaust the buffer cache), and a dead one
+    can be cut loose with {!abort_edge} so it cannot stall the rest of
+    the graph; its outstanding references are dropped at that moment,
+    preserving the release-exactly-once invariant.
+
+    Graph pumping is asynchronous and runs in interrupt/callout context,
+    exactly like splice: {!start} (process context) builds the block
+    maps and primes the reads, then returns. *)
+
+open Kpath_sim
+open Kpath_dev
+open Kpath_buf
+open Kpath_fs
+open Kpath_net
+
+type ctx
+(** Shared graph machinery: buffer cache, callout list, CPU-interrupt
+    injection and cost parameters. One per machine. *)
+
+val make_ctx :
+  engine:Engine.t ->
+  callout:Callout.t ->
+  cache:Cache.t ->
+  intr:(service:Time.span -> (unit -> unit) -> unit) ->
+  ?handler_cost:Time.span ->
+  ?trace:Trace.t ->
+  unit ->
+  ctx
+(** [make_ctx ()] wires the graph machinery. [handler_cost] is the CPU
+    charged per handler or filter-stage activation (default 25 us). Pass
+    [trace] to record per-block events under the ["graph"] category. *)
+
+val ctx_stats : ctx -> Stats.t
+(** Machinery-wide counters: [graph.started], [graph.completed],
+    [graph.aborted], [graph.reads_issued], [graph.read_hits],
+    [graph.writes_issued], [graph.retries], [graph.blocks_aliased],
+    [graph.edges_completed], [graph.edges_aborted], [graph.filter_runs];
+    plus the [graph.block_latency_us] histogram of read-issue to
+    last-reference-released times per block. *)
+
+(** {1 Building a graph} *)
+
+type t
+(** A splice graph. *)
+
+type node
+(** A source or sink vertex. *)
+
+type edge
+(** A directed source→sink connection. *)
+
+type state = Running | Completed | Aborted of string
+
+type sink_spec =
+  | Sink_file of { fs : Fs.t; ino : Inode.t; off_blocks : int }
+      (** written starting at a block-aligned offset; the only sink kind
+          that accepts more than one incoming edge (fan-in) *)
+  | Sink_chardev of Chardev.t
+  | Sink_udp of { sock : Udp.t; dst : Udp.addr }
+  | Sink_tcp of Tcp.conn
+
+type filter =
+  | Checksum
+      (** fold every block into the edge's running checksum
+          ({!edge_checksum}); order-independent, so out-of-order write
+          completions do not perturb it *)
+  | Throttle of float
+      (** pace this edge to the given rate in bytes/second *)
+  | Tee of (bytes -> int -> unit)
+      (** pass each block's (data, length) to an in-kernel observer; the
+          data buffer is the shared alias and must not be mutated *)
+
+val create : ctx -> ?window:int -> unit -> t
+(** A fresh, empty graph. [window] bounds the number of source blocks
+    simultaneously held (pending reads + aliased buffers) {e per
+    source}, bounding the graph's buffer-cache footprint no matter how
+    slow a sink is (default 16). *)
+
+val add_file_source :
+  t -> fs:Fs.t -> ino:Inode.t -> ?off_blocks:int -> ?size:int -> unit -> node
+(** Add a file source streaming [size] bytes (default: to end of file)
+    from the block-aligned offset [off_blocks] (default 0). *)
+
+val add_sink : t -> sink_spec -> node
+
+val connect :
+  t ->
+  ?config:Kpath_core.Flowctl.config ->
+  ?filters:filter list ->
+  src:node ->
+  dst:node ->
+  unit ->
+  edge
+(** Connect a source node to a sink node. [config] is this edge's flow
+    control (default {!Kpath_core.Flowctl.default}); [filters] are
+    applied to each block, in order, between the shared read and this
+    edge's write. Raises [Invalid_argument] if the nodes are not a
+    (source, sink) pair, the edge already exists, or the graph has
+    started. *)
+
+(** {1 Running} *)
+
+val start : t -> unit
+(** Validate the topology and launch the transfer. Process context (the
+    block maps are built here); returns once the graph is
+    self-sustaining. Rules enforced:
+
+    - every source and every file sink must share one block size;
+    - a sink with several incoming edges must be a file, and each
+      contributing source except the last connected must be a
+      block-multiple size (the edges concatenate at block granularity);
+    - source ranges must not overlap file-sink ranges of the same file;
+    - UDP sinks require the block size to fit in a datagram.
+
+    Sparse sources raise [Fs_error.Error (Einval _)]; destination
+    allocation may raise [Fs_error.Error Enospc]. *)
+
+val state : t -> state
+
+val id : t -> int
+
+val bytes_delivered : t -> int
+(** Total bytes written to sinks, summed over edges. *)
+
+val wait : t -> (int, string) result
+(** Block the calling process until the graph finishes; [Ok bytes]
+    (total delivered) or [Error reason]. Process context. *)
+
+val on_complete : t -> (t -> unit) -> unit
+(** Register a callback fired (in interrupt context) exactly once, when
+    the graph completes or aborts. Fires immediately if already done. *)
+
+val abort : t -> reason:string -> unit
+(** Interrupt the whole graph: every live edge dies, in-flight blocks
+    are drained, then the graph completes as [Aborted]. Idempotent. *)
+
+val abort_edge : t -> edge -> reason:string -> unit
+(** Cut one edge loose without stopping the graph: its pending writes
+    are abandoned and their buffer references dropped immediately, so a
+    stalled sink stops gating the others. The graph completes normally
+    when the remaining edges finish (or aborts if none remain). *)
+
+(** {1 Introspection} *)
+
+val edges : t -> edge list
+(** Every edge, in connect order. *)
+
+val edge_id : edge -> int
+
+val edge_state : edge -> [ `Active | `Done | `Dead of string ]
+
+val edge_delivered : edge -> int
+(** Bytes this edge has written to its sink. *)
+
+val edge_checksum : edge -> int option
+(** The running checksum, if the edge carries a [Checksum] filter. *)
+
+val edge_pending_writes : edge -> int
+
+val edge_peak_writes : edge -> int
+(** High-water mark of this edge's pending writes — bounded by the
+    smaller of the graph window and [write_hi - 1 + max_in_flight] for
+    its flow-control config (new reads are gated at [write_hi], but the
+    reads already in flight may still land). *)
+
+val source_reads : t -> int
+(** Read operations this graph has consumed (device reads it issued plus
+    cache hits it reused) — for asserting the single-read invariant. *)
+
+val pinned_blocks : t -> int
+(** Source blocks currently aliased (read done, not every edge's write
+    complete) across all sources. *)
+
+val block_checksum : lblk:int -> bytes -> int -> int
+(** The digest of one block's first [len] bytes, mixed with its logical
+    block number. An edge's [Checksum] filter XORs these digests, so
+    tests can recompute the expected value from file contents. *)

@@ -13,6 +13,7 @@ type t = {
   callout : Callout.t;
   cache : Cache.t;
   splice_ctx : Splice.ctx;
+  graph_ctx : Kpath_graph.Graph.ctx;
   trace : Trace.t;
   ram_arbiter : Ramdisk.arbiter;
   mutable mounts : (string * Kpath_fs.Fs.t) list;
@@ -37,6 +38,10 @@ let create ?(config = Config.decstation_5000_200) ?engine () =
     Splice.make_ctx ~engine ~callout ~cache ~intr
       ~handler_cost:config.Config.splice_handler_cost ~trace ()
   in
+  let graph_ctx =
+    Kpath_graph.Graph.make_ctx ~engine ~callout ~cache ~intr
+      ~handler_cost:config.Config.splice_handler_cost ~trace ()
+  in
   {
     config;
     engine;
@@ -44,6 +49,7 @@ let create ?(config = Config.decstation_5000_200) ?engine () =
     callout;
     cache;
     splice_ctx;
+    graph_ctx;
     trace;
     ram_arbiter = Ramdisk.arbiter ();
     mounts = [];
@@ -62,6 +68,8 @@ let callout t = t.callout
 let cache t = t.cache
 
 let splice_ctx t = t.splice_ctx
+
+let graph_ctx t = t.graph_ctx
 
 let trace t = t.trace
 

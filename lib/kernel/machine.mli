@@ -38,6 +38,10 @@ val cache : t -> Cache.t
 
 val splice_ctx : t -> Splice.ctx
 
+val graph_ctx : t -> Kpath_graph.Graph.ctx
+(** The splice-graph machinery (fan-out / fan-in / filter routing),
+    sharing the machine's cache, callout list and interrupt path. *)
+
 val trace : t -> Trace.t
 (** The machine's trace ring (categories off by default); splice emits
     under ["splice"]. *)

@@ -279,9 +279,9 @@ let tcp_accept env l =
   syscall_exit env;
   Fd.alloc env.fds (Fd.Tcp conn)
 
-let tcp_connect env nif ~port ~dst =
+let tcp_connect env nif ~port ~dst ?rcvbuf () =
   enter env;
-  match Tcp.connect nif ~port ~dst () with
+  match Tcp.connect nif ~port ~dst ?rcvbuf () with
   | conn ->
     syscall_exit env;
     Fd.alloc env.fds (Fd.Tcp conn)
@@ -417,6 +417,114 @@ let splice env ~src ~dst size =
     match result with
     | Ok n -> n
     | Error reason -> Errno.raise_errno Errno.EIO ("splice: " ^ reason)
+  end
+
+(* {1 splice graphs} *)
+
+module Graph = Kpath_graph.Graph
+
+(* Bytes a file source will actually stream, for offset accounting
+   (mirrors the graph's own size resolution). *)
+let graph_src_total (fh : Fd.file_handle) size =
+  let avail = max 0 (fh.Fd.ino.Inode.size - fh.Fd.offset) in
+  if size = Splice.eof then avail else min size avail
+
+let graph_src_node env g (f : Fd.openfile) size =
+  match f.Fd.of_kind with
+  | Fd.File fh ->
+    if not fh.Fd.readable then Errno.raise_errno Errno.EBADF "splice_graph";
+    Graph.add_file_source g ~fs:fh.Fd.fs ~ino:fh.Fd.ino
+      ~off_blocks:(block_aligned env fh.Fd.offset)
+      ~size:(if size = Splice.eof then -1 else size)
+      ()
+  | Fd.Chardev _ | Fd.Socket _ | Fd.Tcp _ | Fd.Framebuffer _ ->
+    Errno.raise_errno Errno.EINVAL "splice_graph: sources must be files"
+
+let graph_sink_node env g (f : Fd.openfile) =
+  match f.Fd.of_kind with
+  | Fd.File fh ->
+    if not fh.Fd.writable then Errno.raise_errno Errno.EBADF "splice_graph";
+    Graph.add_sink g
+      (Graph.Sink_file
+         {
+           fs = fh.Fd.fs;
+           ino = fh.Fd.ino;
+           off_blocks = block_aligned env fh.Fd.offset;
+         })
+  | Fd.Tcp conn -> Graph.add_sink g (Graph.Sink_tcp conn)
+  | Fd.Socket s -> (
+    match s.Fd.peer with
+    | Some dst -> Graph.add_sink g (Graph.Sink_udp { sock = s.Fd.sock; dst })
+    | None ->
+      Errno.raise_errno Errno.EINVAL "splice_graph: unconnected socket sink")
+  | Fd.Chardev cd -> Graph.add_sink g (Graph.Sink_chardev cd)
+  | Fd.Framebuffer _ ->
+    Errno.raise_errno Errno.EINVAL "splice_graph: framebuffer sink"
+
+let splice_graph_start env ~srcs ~dsts ?config ?filters ?window size =
+  enter env;
+  (match (srcs, dsts) with
+   | [], _ | _, [] ->
+     Errno.raise_errno Errno.EINVAL "splice_graph: empty endpoint list"
+   | [ _ ], _ | _, [ _ ] -> ()
+   | _ ->
+     Errno.raise_errno Errno.EINVAL
+       "splice_graph: topology must be one-to-many or many-to-one");
+  let fsrcs = List.map (Fd.get env.fds) srcs in
+  let fdsts = List.map (Fd.get env.fds) dsts in
+  List.iter (fun f -> charge_setup env f size) fsrcs;
+  let g = Graph.create (Machine.graph_ctx env.machine) ?window () in
+  let g =
+    fs_guard "splice_graph" (fun () ->
+        try
+          let src_nodes =
+            List.map (fun f -> graph_src_node env g f size) fsrcs
+          in
+          let dst_nodes = List.map (graph_sink_node env g) fdsts in
+          List.iter
+            (fun src ->
+              List.iter
+                (fun dst -> ignore (Graph.connect g ?config ?filters ~src ~dst ()))
+                dst_nodes)
+            src_nodes;
+          Graph.start g;
+          g
+        with Invalid_argument msg -> Errno.raise_errno Errno.EINVAL msg)
+  in
+  (* Advance file offsets past the spliced ranges, as splice(2) does:
+     each source by what it streams, a file sink by everything it
+     receives. *)
+  let totals =
+    List.map
+      (fun (f : Fd.openfile) ->
+        match f.Fd.of_kind with
+        | Fd.File fh -> graph_src_total fh size
+        | _ -> 0)
+      fsrcs
+  in
+  List.iter2 advance_offset fsrcs totals;
+  let sum = List.fold_left ( + ) 0 totals in
+  List.iter (fun f -> advance_offset f sum) fdsts;
+  g
+
+let splice_graph env ~srcs ~dsts ?config ?filters ?window size =
+  let fasync =
+    List.exists
+      (fun fd -> (Fd.get env.fds fd).Fd.of_fasync)
+      (srcs @ dsts)
+  in
+  let g = splice_graph_start env ~srcs ~dsts ?config ?filters ?window size in
+  if fasync then begin
+    let target = env.proc and sched = Machine.sched env.machine in
+    Graph.on_complete g (fun _ -> Signal.deliver sched target Signal.sigio);
+    0
+  end
+  else begin
+    let result = Graph.wait g in
+    syscall_exit env;
+    match result with
+    | Ok n -> n
+    | Error reason -> Errno.raise_errno Errno.EIO ("splice_graph: " ^ reason)
   end
 
 (* {1 Signals and timers} *)

@@ -111,10 +111,13 @@ val tcp_listen : env -> Netif.t -> port:int -> Tcp.listener
 val tcp_accept : env -> Tcp.listener -> int
 (** Block for an inbound connection; returns its descriptor. *)
 
-val tcp_connect : env -> Netif.t -> port:int -> dst:Tcp.addr -> int
+val tcp_connect :
+  env -> Netif.t -> port:int -> dst:Tcp.addr -> ?rcvbuf:int -> unit -> int
 (** Active open; blocks for the handshake and returns the descriptor.
     [read]/[write] on it are stream operations; it is a valid splice
-    sink (the [sendfile] path). Raises [EIO] on connect timeout. *)
+    sink (the [sendfile] path). [rcvbuf] sizes the receive buffer
+    (setsockopt SO_RCVBUF; default 64 KB). Raises [EIO] on connect
+    timeout. *)
 
 val tcp_conn : env -> int -> Tcp.conn
 (** The connection behind a TCP descriptor ([EINVAL] otherwise). *)
@@ -142,6 +145,49 @@ val splice_start : env -> src:int -> dst:int -> ?config:Flowctl.config -> int ->
 (** Expert form: start the splice and hand back the descriptor (for
     custom flow control, aborting, progress inspection). Offsets advance
     immediately. *)
+
+(** {1 splice graphs} *)
+
+val splice_graph :
+  env ->
+  srcs:int list ->
+  dsts:int list ->
+  ?config:Flowctl.config ->
+  ?filters:Kpath_graph.Graph.filter list ->
+  ?window:int ->
+  int ->
+  int
+(** [splice_graph env ~srcs ~dsts size] — the graph form of {!splice}:
+    one source fanned out to many sinks, or many sources fanned in to
+    one file sink ([EINVAL] for many-to-many). Sources must be file
+    descriptors; sinks may be files, TCP connections, connected UDP
+    sockets or character devices. [size] bytes stream from each source
+    ({!splice_eof} = to end of file).
+
+    Fan-out reads each source block from the device {e once} and aliases
+    the buffer to every sink — N clients cost one disk pass. [config]
+    sets each edge's flow control, [filters] its in-kernel stages,
+    [window] the per-source buffer budget.
+
+    Blocking/FASYNC behaviour follows {!splice}: with FASYNC on any
+    descriptor the call returns 0 immediately and SIGIO arrives on
+    completion; otherwise it blocks and returns the total bytes
+    delivered over all edges, raising [EIO] if the whole graph aborts.
+    File offsets advance (sources by their streamed size, file sinks by
+    the total received) and must be block-aligned ([EINVAL]). *)
+
+val splice_graph_start :
+  env ->
+  srcs:int list ->
+  dsts:int list ->
+  ?config:Flowctl.config ->
+  ?filters:Kpath_graph.Graph.filter list ->
+  ?window:int ->
+  int ->
+  Kpath_graph.Graph.t
+(** Expert form: build, start and hand back the graph (for per-edge
+    inspection, {!Kpath_graph.Graph.abort_edge}, custom completion).
+    Offsets advance immediately. *)
 
 (** {1 Signals and timers} *)
 

@@ -24,9 +24,11 @@ let enable t cat = Hashtbl.replace t.cats cat ()
 
 let enable_all t = t.all <- true
 
-let disable t cat =
-  Hashtbl.remove t.cats cat;
-  t.all <- false
+let disable t cat = Hashtbl.remove t.cats cat
+
+let disable_all t =
+  t.all <- false;
+  Hashtbl.reset t.cats
 
 let enabled t cat = t.all || Hashtbl.mem t.cats cat
 
@@ -62,3 +64,27 @@ let pp_event fmt ev =
 
 let dump fmt t =
   List.iter (fun ev -> Format.fprintf fmt "%a@." pp_event ev) (events t)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let event_json ev =
+  Printf.sprintf "{\"t_us\":%.1f,\"seq\":%d,\"cat\":\"%s\",\"msg\":\"%s\"}"
+    (Time.to_us_f ev.ev_time) ev.ev_seq (json_escape ev.ev_cat)
+    (json_escape ev.ev_msg)
+
+let dump_json fmt t =
+  List.iter (fun ev -> Format.fprintf fmt "%s@." (event_json ev)) (events t)

@@ -26,6 +26,13 @@ val enable_all : t -> unit
 (** Record every category. *)
 
 val disable : t -> string -> unit
+(** Stop recording one category. Does not affect {!enable_all}: the
+    all-categories flag is tracked independently, so disabling a single
+    category never silently drops the others. *)
+
+val disable_all : t -> unit
+(** Clear the {!enable_all} flag and every individually enabled
+    category. *)
 
 val enabled : t -> string -> bool
 
@@ -47,3 +54,11 @@ val pp_event : Format.formatter -> event -> unit
 
 val dump : Format.formatter -> t -> unit
 (** Print every retained event, one per line. *)
+
+val event_json : event -> string
+(** One event as a single-line JSON object:
+    [{"t_us":..,"seq":..,"cat":"..","msg":".."}] (strings escaped). *)
+
+val dump_json : Format.formatter -> t -> unit
+(** Print every retained event as one JSON object per line (JSON Lines),
+    for post-processing graph traces and bench runs. *)

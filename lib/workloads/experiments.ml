@@ -488,6 +488,7 @@ let measure_sendfile ~mode ?(file_bytes = 4 * 1024 * 1024) ?(loss = 0.0)
           match
             Syscall.tcp_connect env cli_if ~port:1000
               ~dst:{ Tcp.a_if = Netif.id srv_if; a_port = 80 }
+              ()
           with
           | fd -> fd
           | exception Errno.Unix_error (Errno.EIO, _) when attempts > 0 ->
@@ -523,6 +524,139 @@ let measure_sendfile ~mode ?(file_bytes = 4 * 1024 * 1024) ?(loss = 0.0)
       (if seconds > 0.0 then float_of_int !received /. 1024.0 /. seconds else 0.0);
     sf_server_cpu_sec = Time.to_sec_f !server_cpu;
     sf_retransmits = !retx;
+  }
+
+(* {1 Fan-out: one file to N TCP clients (splice graph)} *)
+
+type fanout_measure = {
+  fo_clients : int;
+  fo_bytes_per_client : int;
+  fo_verified : bool;
+  fo_device_reads : int;
+  fo_seconds : float;
+  fo_agg_kb_per_sec : float;
+  fo_server_cpu_sec : float;
+  fo_pinned_after : int;
+}
+
+let measure_fanout ?(clients = 8) ?(file_bytes = 1024 * 1024)
+    ?(bandwidth = 2.5e6) ?config ?filters ?window ?trace_json () =
+  let engine = Engine.create () in
+  let server = Machine.create ~engine () in
+  if trace_json <> None then Trace.enable (Machine.trace server) "graph";
+  let client = Machine.create ~engine () in
+  let net = Netif.create_net ~bandwidth engine in
+  let srv_if = Netif.attach net ~name:"srv0" ~intr:(Machine.intr server) () in
+  let cli_if = Netif.attach net ~name:"cli0" ~intr:(Machine.intr client) () in
+  let bs = (Machine.config server).Config.block_size in
+  let nblocks = max 4096 ((file_bytes / bs) + 64) in
+  let drive =
+    Machine.make_drive server ~name:"rz58-0" ~kind:`Rz58 ~nblocks ()
+  in
+  let started = ref Time.zero and finished = ref Time.zero in
+  let received = Array.make clients 0 in
+  let corrupt = ref 0 in
+  let server_cpu = ref Time.zero in
+  let device_reads = ref 0 in
+  let pinned_after = ref 0 in
+  (* Server: produce the file cold, accept every client, then stream the
+     file to all of them with one splice graph — one disk pass. *)
+  let _srv =
+    Machine.spawn server ~name:"fanout-server" (fun () ->
+        let fs =
+          Fs.mkfs ~cache:(Machine.cache server) (Machine.blkdev drive)
+            ~ninodes:16
+        in
+        Machine.mount server "/" fs;
+        let env = Syscall.make_env server in
+        let fd = Syscall.openf env "/data" [ Syscall.O_CREAT; Syscall.O_WRONLY ] in
+        let chunk = Bytes.create 65536 in
+        let rec fill off =
+          if off < file_bytes then begin
+            let n = min 65536 (file_bytes - off) in
+            Programs.fill_pattern chunk ~file_off:off;
+            ignore (Syscall.write env fd chunk ~pos:0 ~len:n);
+            fill (off + n)
+          end
+        in
+        fill 0;
+        Syscall.fsync env fd;
+        Syscall.close env fd;
+        Cache.invalidate_dev (Machine.cache server) (Machine.blkdev drive);
+        let l = Syscall.tcp_listen env srv_if ~port:80 in
+        let cfds = List.init clients (fun _ -> Syscall.tcp_accept env l) in
+        started := Engine.now engine;
+        let cpu_mark = Cpu.busy (Sched.cpu (Machine.sched server)) in
+        let reads_mark =
+          Stats.get (Cache.stats (Machine.cache server)) "cache.dev_reads"
+        in
+        let src = Syscall.openf env "/data" [ Syscall.O_RDONLY ] in
+        ignore
+          (Syscall.splice_graph env ~srcs:[ src ] ~dsts:cfds ?config ?filters
+             ?window Syscall.splice_eof);
+        device_reads :=
+          Stats.get (Cache.stats (Machine.cache server)) "cache.dev_reads"
+          - reads_mark;
+        pinned_after := Cache.pinned_count (Machine.cache server);
+        Syscall.close env src;
+        List.iter (Syscall.close env) cfds;
+        server_cpu :=
+          Time.diff (Cpu.busy (Sched.cpu (Machine.sched server))) cpu_mark)
+  in
+  (* Clients: one reader process per connection on the client machine,
+     each draining and verifying its own copy of the pattern. *)
+  for i = 0 to clients - 1 do
+    ignore
+      (Machine.spawn client ~name:(Printf.sprintf "client%d" i) (fun () ->
+           let env = Syscall.make_env client in
+           let rec try_connect attempts =
+             match
+               Syscall.tcp_connect env cli_if ~port:(1000 + i)
+                 ~dst:{ Tcp.a_if = Netif.id srv_if; a_port = 80 }
+                 ~rcvbuf:(512 * 1024) ()
+             with
+             | fd -> fd
+             | exception Errno.Unix_error (Errno.EIO, _) when attempts > 0 ->
+               try_connect (attempts - 1)
+           in
+           let fd = try_connect 5 in
+           let buf = Bytes.create 8192 in
+           let rec drain () =
+             let n = Syscall.read env fd buf ~pos:0 ~len:8192 in
+             if n > 0 then begin
+               for j = 0 to n - 1 do
+                 if Bytes.get buf j <> Programs.pattern_byte (received.(i) + j)
+                 then incr corrupt
+               done;
+               received.(i) <- received.(i) + n;
+               if Time.(Engine.now engine > !finished) then
+                 finished := Engine.now engine;
+               drain ()
+             end
+           in
+           drain ();
+           Syscall.close env fd))
+  done;
+  Machine.run server;
+  (match trace_json with
+   | Some fmt -> Trace.dump_json fmt (Machine.trace server)
+   | None -> ());
+  let complete = Array.for_all (fun n -> n = file_bytes) received in
+  let total = Array.fold_left ( + ) 0 received in
+  let seconds =
+    if Time.(!finished > !started) then Time.to_sec_f (Time.diff !finished !started)
+    else 0.0
+  in
+  {
+    fo_clients = clients;
+    fo_bytes_per_client = file_bytes;
+    fo_verified = (!corrupt = 0 && complete);
+    fo_device_reads = !device_reads;
+    fo_seconds = seconds;
+    fo_agg_kb_per_sec =
+      (if seconds > 0.0 then float_of_int total /. 1024.0 /. seconds else 0.0);
+    fo_server_cpu_sec = Time.to_sec_f !server_cpu;
+    fo_pinned_after = !pinned_after;
   }
 
 (* {1 UDP relay} *)

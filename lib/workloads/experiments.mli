@@ -175,6 +175,42 @@ val measure_sendfile :
     [sendfile(2)]. [loss] injects frame loss (default 0); default file
     4 MB, segment bandwidth 2.5 MB/s. *)
 
+(** {1 Fan-out: one file to N TCP clients (splice graph)} *)
+
+type fanout_measure = {
+  fo_clients : int;
+  fo_bytes_per_client : int;
+  fo_verified : bool;
+      (** every client received the whole file, pattern-correct *)
+  fo_device_reads : int;
+      (** physical reads issued while streaming — the single-read
+          invariant says this is independent of the client count *)
+  fo_seconds : float;  (** stream start to last byte delivered *)
+  fo_agg_kb_per_sec : float;  (** aggregate over all clients *)
+  fo_server_cpu_sec : float;  (** server-machine CPU consumed *)
+  fo_pinned_after : int;
+      (** buffers still pinned when the graph finished (leak check: 0) *)
+}
+
+val measure_fanout :
+  ?clients:int ->
+  ?file_bytes:int ->
+  ?bandwidth:float ->
+  ?config:Flowctl.config ->
+  ?filters:Kpath_graph.Graph.filter list ->
+  ?window:int ->
+  ?trace_json:Format.formatter ->
+  unit ->
+  fanout_measure
+(** A server machine (RZ58 disk) streams one file to [clients]
+    (default 8) TCP readers on a client machine via a single splice
+    graph: each file block is read from the disk once and the buffer is
+    aliased to every connection. Defaults: 1 MB file, 2.5 MB/s segment.
+    [config]/[filters]/[window] pass through to the graph's edges.
+    [trace_json] enables the server's ["graph"] trace category and dumps
+    the recorded events to the formatter, one JSON object per line
+    ({!Kpath_sim.Trace.dump_json}), when the run finishes. *)
+
 (** {1 UDP relay (socket-to-socket splice)} *)
 
 type relay_measure = {

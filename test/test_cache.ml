@@ -285,6 +285,43 @@ let test_two_processes_contend_for_buffer () =
     [ "p1-release"; "p2-acquired" ] (List.rev !order);
   Cache.check_invariants cache
 
+(* {1 Alias reference counts (splice-graph fan-out)} *)
+
+let test_pin_defers_release () =
+  with_rig (fun cache dev _ ->
+      let b = Cache.getblk cache dev 7 in
+      Cache.pin cache b;
+      Cache.pin cache b;
+      Alcotest.(check int) "pinned count" 1 (Cache.pinned_count cache);
+      Alcotest.check_raises "brelse refuses a pinned buffer"
+        (Invalid_argument "brelse: buffer still pinned") (fun () ->
+          Cache.brelse cache b);
+      Cache.unpin cache b;
+      Alcotest.(check bool) "still busy after first unpin" true
+        (Buf.has b Buf.b_busy);
+      Cache.unpin cache b;
+      Alcotest.(check bool) "last unpin releases" false (Buf.has b Buf.b_busy);
+      Alcotest.(check int) "nothing busy" 0 (Cache.busy_count cache);
+      Alcotest.(check int) "nothing pinned" 0 (Cache.pinned_count cache);
+      Alcotest.(check int) "pins counted" 2
+        (Stats.get (Cache.stats cache) "cache.pins");
+      Alcotest.(check int) "unpins counted" 2
+        (Stats.get (Cache.stats cache) "cache.unpins"))
+
+let test_unpin_exactly_once () =
+  with_rig (fun cache dev _ ->
+      let b = Cache.getblk cache dev 9 in
+      Cache.pin cache b;
+      Cache.unpin cache b;
+      (* The release already happened; another unpin is a double
+         release and must be refused loudly. *)
+      Alcotest.check_raises "double release caught"
+        (Invalid_argument "Cache.unpin: buffer not pinned") (fun () ->
+          Cache.unpin cache b);
+      Alcotest.check_raises "pin requires a busy buffer"
+        (Invalid_argument "Cache.pin: buffer not busy") (fun () ->
+          Cache.pin cache b))
+
 let suite =
   [
     Alcotest.test_case "getblk claims busy" `Quick test_getblk_claims_busy;
@@ -304,4 +341,6 @@ let suite =
     Alcotest.test_case "invalidate one block" `Quick test_invalidate_cached;
     Alcotest.test_case "invalidate device" `Quick test_invalidate_dev;
     Alcotest.test_case "buffer contention" `Quick test_two_processes_contend_for_buffer;
+    Alcotest.test_case "pin defers release" `Quick test_pin_defers_release;
+    Alcotest.test_case "unpin exactly once" `Quick test_unpin_exactly_once;
   ]

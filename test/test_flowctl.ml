@@ -43,6 +43,65 @@ let prop_never_negative =
       let n = Flowctl.reads_to_issue c ~pending_reads:r ~pending_writes:w in
       n = 0 || n = burst)
 
+(* Drive the watermark policy through a random schedule of issue /
+   read-completion / write-completion events, tracking what a splice
+   pump would track. The in-flight read count must never exceed
+   [max_in_flight], whatever the completion order. *)
+type sched_op = Issue | Read_done | Write_done
+
+let op_gen =
+  QCheck.Gen.map
+    (function 0 -> Issue | 1 -> Read_done | _ -> Write_done)
+    (QCheck.Gen.int_range 0 2)
+
+let schedule_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ""
+        (List.map (function Issue -> "I" | Read_done -> "R" | Write_done -> "W") ops))
+    (QCheck.Gen.list_size (QCheck.Gen.int_range 1 200) op_gen)
+
+let run_schedule c ops ~invariant =
+  let r = ref 0 and w = ref 0 in
+  List.iter
+    (fun op ->
+      (match op with
+       | Issue ->
+         let n = Flowctl.reads_to_issue c ~pending_reads:!r ~pending_writes:!w in
+         r := !r + n
+       | Read_done ->
+         (* A completed read becomes a pending write (the pump hands the
+            block to the write side). *)
+         if !r > 0 then begin
+           decr r;
+           incr w
+         end
+       | Write_done -> if !w > 0 then decr w);
+      invariant !r !w)
+    ops;
+  true
+
+let prop_in_flight_bounded =
+  QCheck.Test.make ~name:"in-flight reads never exceed max_in_flight" ~count:500
+    QCheck.(
+      pair
+        (triple (int_range 1 8) (int_range 1 8) (int_range 1 8))
+        schedule_arb)
+    (fun ((lo, hi, burst), ops) ->
+      let c = Flowctl.make ~read_lo:lo ~write_hi:hi ~read_burst:burst in
+      let bound = Flowctl.max_in_flight c in
+      run_schedule c ops ~invariant:(fun r _ ->
+          if r > bound then
+            QCheck.Test.fail_reportf "%d reads in flight, bound %d" r bound))
+
+let prop_lockstep_one_outstanding =
+  QCheck.Test.make ~name:"lockstep never has more than one block in flight"
+    ~count:500 schedule_arb (fun ops ->
+      run_schedule Flowctl.lockstep ops ~invariant:(fun r w ->
+          if r + w > 1 then
+            QCheck.Test.fail_reportf "%d blocks outstanding under lockstep"
+              (r + w)))
+
 let suite =
   [
     Alcotest.test_case "paper defaults" `Quick test_defaults_match_paper;
@@ -51,4 +110,6 @@ let suite =
     Alcotest.test_case "max in flight" `Quick test_max_in_flight;
     Alcotest.test_case "validation" `Quick test_validation;
     Util.qcheck prop_never_negative;
+    Util.qcheck prop_in_flight_bounded;
+    Util.qcheck prop_lockstep_one_outstanding;
   ]

@@ -1,0 +1,559 @@
+(* Splice graphs: fan-out aliasing, fan-in concatenation, filters,
+   backpressure and the release-exactly-once refcount discipline. *)
+
+open Kpath_sim
+open Kpath_proc
+open Kpath_buf
+open Kpath_fs
+open Kpath_kernel
+open Kpath_workloads
+module Graph = Kpath_graph.Graph
+
+let block_size = 8192
+
+(* Rig: machine with /src (patterned file) and /dst filesystems, cold
+   caches; [body] runs in a process with the graph ctx at hand. After
+   the run the cache must satisfy its invariants with nothing pinned. *)
+let with_rig ?(disk = `Ram) ?(file_bytes = 256 * 1024) body =
+  let s = Experiments.make_setup ~disk ~file_bytes () in
+  Experiments.cold_caches s;
+  let m = s.Experiments.machine in
+  let result = ref None in
+  let p =
+    Machine.spawn m ~name:"graph-test" (fun () ->
+        result := Some (body s m (Machine.graph_ctx m)))
+  in
+  Machine.run m;
+  (match p.Process.exit_status with
+   | Some (Process.Crashed e) -> raise e
+   | _ -> ());
+  Cache.check_invariants (Machine.cache m);
+  Alcotest.(check int) "no pinned buffers left" 0
+    (Cache.pinned_count (Machine.cache m));
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "test body did not finish"
+
+let src_file s =
+  let m = s.Experiments.machine in
+  let fs, rel = Option.get (Machine.resolve m s.Experiments.src_path) in
+  (fs, Fs.lookup fs rel)
+
+let dst_fs s =
+  let m = s.Experiments.machine in
+  fst (Option.get (Machine.resolve m "/dst"))
+
+(* Read a destination file back through the normal FS path and check it
+   carries the writer pattern (restarting at [seg_off] boundaries). *)
+let check_pattern fs ino ~segments =
+  let buf = Bytes.create block_size in
+  List.iter
+    (fun (file_off, seg_bytes) ->
+      let bad = ref 0 in
+      let rec go rel =
+        if rel < seg_bytes then begin
+          let len = min block_size (seg_bytes - rel) in
+          let n = Fs.read fs ino ~off:(file_off + rel) ~len buf ~pos:0 in
+          Alcotest.(check int) "read length" len n;
+          for i = 0 to n - 1 do
+            if Bytes.get buf i <> Programs.pattern_byte (rel + i) then incr bad
+          done;
+          go (rel + len)
+        end
+      in
+      go 0;
+      Alcotest.(check int) "corrupt bytes" 0 !bad)
+    segments
+
+let ok_exn = function Ok v -> v | Error e -> Alcotest.fail e
+
+(* {1 Fan-out} *)
+
+let test_fanout_to_files () =
+  with_rig (fun s _m ctx ->
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let sinks = List.init 3 (fun i -> Fs.create_file dfs (Printf.sprintf "/c%d" i)) in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let edges =
+        List.map
+          (fun ino ->
+            let dst =
+              Graph.add_sink g (Graph.Sink_file { fs = dfs; ino; off_blocks = 0 })
+            in
+            Graph.connect g ~src ~dst ())
+          sinks
+      in
+      Graph.start g;
+      let total = ok_exn (Graph.wait g) in
+      Alcotest.(check int) "three full copies" (3 * 256 * 1024) total;
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "edge done" true (Graph.edge_state e = `Done);
+          Alcotest.(check int) "per-edge bytes" (256 * 1024)
+            (Graph.edge_delivered e))
+        edges;
+      (* The single-read invariant: one read per source block, however
+         many edges consume it. *)
+      Alcotest.(check int) "one read per block" (256 * 1024 / block_size)
+        (Graph.source_reads g);
+      Alcotest.(check bool) "blocks were aliased" true
+        (Stats.get (Graph.ctx_stats ctx) "graph.blocks_aliased" > 0);
+      Alcotest.(check int) "nothing left pinned" 0 (Graph.pinned_blocks g);
+      (* Flush and verify every copy through the read path. *)
+      List.iter (fun ino -> Fs.fsync dfs ino) sinks;
+      List.iter
+        (fun ino -> check_pattern dfs ino ~segments:[ (0, 256 * 1024) ])
+        sinks)
+
+let test_fanout_tcp_single_read_invariant () =
+  (* The acceptance experiment: an 8 MB file to N simulated TCP clients
+     issues the same number of device reads for N = 64 as for N = 1,
+     and every client receives every byte. *)
+  let run n =
+    Experiments.measure_fanout ~clients:n ~file_bytes:(8 * 1024 * 1024)
+      ~bandwidth:40e6 ()
+  in
+  let base = run 1 in
+  Alcotest.(check bool) "N=1 verified" true base.Experiments.fo_verified;
+  List.iter
+    (fun n ->
+      let r = run n in
+      Alcotest.(check bool)
+        (Printf.sprintf "N=%d all clients complete and correct" n)
+        true r.Experiments.fo_verified;
+      Alcotest.(check int)
+        (Printf.sprintf "N=%d issues no extra device reads" n)
+        base.Experiments.fo_device_reads r.Experiments.fo_device_reads;
+      Alcotest.(check int)
+        (Printf.sprintf "N=%d leaks no pins" n)
+        0 r.Experiments.fo_pinned_after)
+    [ 8; 64 ]
+
+(* {1 Fan-in} *)
+
+let test_fanin_concatenates () =
+  (* /src/data (64 KB, block multiple) ++ /src/b (40000 bytes) -> one
+     log file; each edge owns a disjoint block range. *)
+  let s = Experiments.make_setup ~disk:`Ram ~file_bytes:(64 * 1024) () in
+  let m = s.Experiments.machine in
+  let w = Programs.spawn_file_writer m ~path:"/src/b" ~bytes:40_000 () in
+  Machine.run m;
+  if not (Process.is_zombie w) then Alcotest.fail "writer stuck";
+  Experiments.cold_caches s;
+  let result = ref None in
+  let _p =
+    Machine.spawn m ~name:"fanin" (fun () ->
+        let a_fs, a_ino = src_file s in
+        let b_ino = Fs.lookup a_fs "/b" in
+        let dfs = dst_fs s in
+        let log = Fs.create_file dfs "/log" in
+        let g = Graph.create (Machine.graph_ctx m) () in
+        let a = Graph.add_file_source g ~fs:a_fs ~ino:a_ino () in
+        let b = Graph.add_file_source g ~fs:a_fs ~ino:b_ino () in
+        let dst =
+          Graph.add_sink g (Graph.Sink_file { fs = dfs; ino = log; off_blocks = 0 })
+        in
+        ignore (Graph.connect g ~src:a ~dst ());
+        ignore (Graph.connect g ~src:b ~dst ());
+        Graph.start g;
+        let total = ok_exn (Graph.wait g) in
+        Fs.fsync dfs log;
+        result := Some (total, log.Inode.size);
+        check_pattern dfs log
+          ~segments:[ (0, 64 * 1024); (64 * 1024, 40_000) ])
+  in
+  Machine.run m;
+  Cache.check_invariants (Machine.cache m);
+  match !result with
+  | Some (total, size) ->
+    Alcotest.(check int) "bytes delivered" (64 * 1024 + 40_000) total;
+    Alcotest.(check int) "log grown to the concatenation" (64 * 1024 + 40_000)
+      size
+  | None -> Alcotest.fail "fan-in did not finish"
+
+let test_fanin_requires_file_sink () =
+  with_rig (fun s m ctx ->
+      let src_fs, src_ino = src_file s in
+      let cd =
+        Kpath_dev.Chardev.create ~name:"dac" ~drain_rate:1e6
+          ~fifo_capacity:(64 * 1024) ~engine:(Machine.engine m)
+          ~intr:(Machine.intr m) ()
+      in
+      let g = Graph.create ctx () in
+      let a = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let b = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let dst = Graph.add_sink g (Graph.Sink_chardev cd) in
+      ignore (Graph.connect g ~src:a ~dst ());
+      ignore (Graph.connect g ~src:b ~dst ());
+      Alcotest.check_raises "two edges into a chardev rejected"
+        (Invalid_argument "Graph.start: fan-in requires a file sink") (fun () ->
+          Graph.start g))
+
+(* {1 Filters} *)
+
+let expected_checksum ~file_bytes =
+  let chunk = Bytes.create block_size in
+  let nblocks = (file_bytes + block_size - 1) / block_size in
+  let acc = ref 0 in
+  for lblk = 0 to nblocks - 1 do
+    Programs.fill_pattern chunk ~file_off:(lblk * block_size);
+    let len = min block_size (file_bytes - (lblk * block_size)) in
+    acc := !acc lxor Graph.block_checksum ~lblk chunk len
+  done;
+  !acc
+
+let test_checksum_filter () =
+  with_rig (fun s _m ctx ->
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let c0 = Fs.create_file dfs "/c0" and c1 = Fs.create_file dfs "/c1" in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let mk ino =
+        let dst =
+          Graph.add_sink g (Graph.Sink_file { fs = dfs; ino; off_blocks = 0 })
+        in
+        Graph.connect g ~filters:[ Graph.Checksum ] ~src ~dst ()
+      in
+      let e0 = mk c0 and e1 = mk c1 in
+      Graph.start g;
+      ignore (ok_exn (Graph.wait g));
+      let expect = expected_checksum ~file_bytes:(256 * 1024) in
+      Alcotest.(check (option int)) "edge 0 checksum" (Some expect)
+        (Graph.edge_checksum e0);
+      Alcotest.(check (option int)) "edge 1 checksum" (Some expect)
+        (Graph.edge_checksum e1))
+
+let test_tee_filter () =
+  with_rig (fun s _m ctx ->
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let c0 = Fs.create_file dfs "/c0" in
+      let seen = ref 0 and bad = ref 0 and calls = ref 0 in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let dst =
+        Graph.add_sink g (Graph.Sink_file { fs = dfs; ino = c0; off_blocks = 0 })
+      in
+      ignore
+        (Graph.connect g
+           ~filters:
+             [
+               Graph.Tee
+                 (fun data len ->
+                   incr calls;
+                   seen := !seen + len;
+                   (* In-order single-edge pump: the tee observes the
+                      stream sequentially. *)
+                   for i = 0 to len - 1 do
+                     if Bytes.get data i <> Programs.pattern_byte (!seen - len + i)
+                     then incr bad
+                   done);
+             ]
+           ~src ~dst ());
+      Graph.start g;
+      ignore (ok_exn (Graph.wait g));
+      Alcotest.(check int) "tee saw the whole stream" (256 * 1024) !seen;
+      Alcotest.(check int) "tee data matches the pattern" 0 !bad;
+      Alcotest.(check int) "one call per block" (256 * 1024 / block_size) !calls)
+
+let test_throttle_and_window () =
+  (* One fast file edge, one edge throttled to a tenth of the pace; the
+     per-source window must bound the aliased blocks (and so the buffer
+     cache footprint) while the slow edge lags. *)
+  let max_pinned = ref 0 in
+  with_rig ~file_bytes:(512 * 1024) (fun s m ctx ->
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let fast = Fs.create_file dfs "/fast" and slow = Fs.create_file dfs "/slow" in
+      let g = Graph.create ctx ~window:4 () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let fast_dst =
+        Graph.add_sink g (Graph.Sink_file { fs = dfs; ino = fast; off_blocks = 0 })
+      in
+      let slow_dst =
+        Graph.add_sink g (Graph.Sink_file { fs = dfs; ino = slow; off_blocks = 0 })
+      in
+      let ef = Graph.connect g ~src ~dst:fast_dst () in
+      let es =
+        Graph.connect g ~filters:[ Graph.Throttle 500_000.0 ] ~src ~dst:slow_dst ()
+      in
+      let engine = Machine.engine m in
+      let rec sample () =
+        max_pinned := max !max_pinned (Graph.pinned_blocks g);
+        if Graph.state g = Graph.Running then
+          ignore (Engine.schedule_after engine (Time.us 500) sample)
+      in
+      sample ();
+      Graph.start g;
+      ignore (ok_exn (Graph.wait g));
+      Alcotest.(check bool) "fast edge done" true (Graph.edge_state ef = `Done);
+      Alcotest.(check bool) "slow edge done" true (Graph.edge_state es = `Done);
+      Alcotest.(check int) "both full copies" (2 * 512 * 1024)
+        (Graph.bytes_delivered g);
+      Fs.fsync dfs fast;
+      Fs.fsync dfs slow;
+      check_pattern dfs fast ~segments:[ (0, 512 * 1024) ];
+      check_pattern dfs slow ~segments:[ (0, 512 * 1024) ]);
+  Alcotest.(check bool)
+    (Printf.sprintf "window bounds aliased blocks (max %d)" !max_pinned)
+    true
+    (!max_pinned <= 4 && !max_pinned > 0)
+
+(* {1 Abort and the release-exactly-once discipline} *)
+
+let test_abort_edge_midstream () =
+  with_rig ~file_bytes:(512 * 1024) (fun s _m ctx ->
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let keep = Fs.create_file dfs "/keep" and cut = Fs.create_file dfs "/cut" in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let keep_dst =
+        Graph.add_sink g (Graph.Sink_file { fs = dfs; ino = keep; off_blocks = 0 })
+      in
+      let cut_dst =
+        Graph.add_sink g (Graph.Sink_file { fs = dfs; ino = cut; off_blocks = 0 })
+      in
+      let e_cut = ref None in
+      let blocks_seen = ref 0 in
+      (* The tee rides the surviving edge and cuts the other one loose a
+         third of the way through — mid-stream, deterministically, from
+         interrupt context with shared blocks in flight. *)
+      let ek =
+        Graph.connect g
+          ~filters:
+            [
+              Graph.Tee
+                (fun _ _ ->
+                  incr blocks_seen;
+                  if !blocks_seen = 20 then
+                    Graph.abort_edge g (Option.get !e_cut) ~reason:"client gone");
+            ]
+          ~src ~dst:keep_dst ()
+      in
+      e_cut := Some (Graph.connect g ~src ~dst:cut_dst ());
+      Graph.start g;
+      let total = ok_exn (Graph.wait g) in
+      Alcotest.(check bool) "graph completed despite the dead edge" true
+        (Graph.state g = Graph.Completed);
+      Alcotest.(check bool) "surviving edge done" true
+        (Graph.edge_state ek = `Done);
+      (match Graph.edge_state (Option.get !e_cut) with
+       | `Dead reason -> Alcotest.(check string) "reason kept" "client gone" reason
+       | _ -> Alcotest.fail "cut edge should be dead");
+      Alcotest.(check int) "survivor delivered everything" (512 * 1024)
+        (Graph.edge_delivered ek);
+      Alcotest.(check bool) "total = survivor + partial victim" true
+        (total >= 512 * 1024 && total < 2 * 512 * 1024);
+      Alcotest.(check int) "every alias released" 0 (Graph.pinned_blocks g);
+      Fs.fsync dfs keep;
+      check_pattern dfs keep ~segments:[ (0, 512 * 1024) ])
+
+let test_abort_graph_midstream () =
+  with_rig ~file_bytes:(512 * 1024) (fun s _m ctx ->
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let c0 = Fs.create_file dfs "/c0" and c1 = Fs.create_file dfs "/c1" in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let blocks_seen = ref 0 in
+      let mk ?filters ino =
+        let dst =
+          Graph.add_sink g (Graph.Sink_file { fs = dfs; ino; off_blocks = 0 })
+        in
+        Graph.connect g ?filters ~src ~dst ()
+      in
+      let _e0 =
+        mk
+          ~filters:
+            [
+              Graph.Tee
+                (fun _ _ ->
+                  incr blocks_seen;
+                  if !blocks_seen = 8 then Graph.abort g ~reason:"shutdown");
+            ]
+          c0
+      in
+      let _e1 = mk c1 in
+      Graph.start g;
+      (match Graph.wait g with
+       | Ok n -> Alcotest.failf "graph should abort, returned %d" n
+       | Error reason -> Alcotest.(check string) "reason" "shutdown" reason);
+      Alcotest.(check bool) "aborted state" true
+        (match Graph.state g with Graph.Aborted _ -> true | _ -> false);
+      Alcotest.(check int) "every alias released on abort" 0
+        (Graph.pinned_blocks g))
+
+let test_out_of_order_release () =
+  (* A fast edge and a heavily throttled edge complete each block's
+     writes far apart and across block boundaries; the shared buffer
+     must be released exactly once, when the slower write finishes. *)
+  with_rig ~file_bytes:(128 * 1024) (fun s _m ctx ->
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let a = Fs.create_file dfs "/a" and b = Fs.create_file dfs "/b" in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let da = Graph.add_sink g (Graph.Sink_file { fs = dfs; ino = a; off_blocks = 0 }) in
+      let db = Graph.add_sink g (Graph.Sink_file { fs = dfs; ino = b; off_blocks = 0 }) in
+      ignore (Graph.connect g ~src ~dst:da ());
+      ignore (Graph.connect g ~filters:[ Graph.Throttle 100_000.0 ] ~src ~dst:db ());
+      Graph.start g;
+      let total = ok_exn (Graph.wait g) in
+      Alcotest.(check int) "both copies complete" (2 * 128 * 1024) total;
+      Alcotest.(check int) "pins drained" 0 (Graph.pinned_blocks g);
+      Alcotest.(check int) "unpins match pins"
+        (Stats.get (Cache.stats (Machine.cache s.Experiments.machine)) "cache.pins")
+        (Stats.get (Cache.stats (Machine.cache s.Experiments.machine)) "cache.unpins");
+      Fs.fsync dfs a;
+      Fs.fsync dfs b;
+      check_pattern dfs a ~segments:[ (0, 128 * 1024) ];
+      check_pattern dfs b ~segments:[ (0, 128 * 1024) ])
+
+(* {1 Sinks beyond files} *)
+
+let test_chardev_sink () =
+  with_rig ~file_bytes:(64 * 1024) (fun s m ctx ->
+      let src_fs, src_ino = src_file s in
+      let cd =
+        Kpath_dev.Chardev.create ~name:"dac" ~drain_rate:2e6
+          ~fifo_capacity:(32 * 1024) ~engine:(Machine.engine m)
+          ~intr:(Machine.intr m) ()
+      in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let dst = Graph.add_sink g (Graph.Sink_chardev cd) in
+      ignore (Graph.connect g ~src ~dst ());
+      Graph.start g;
+      let total = ok_exn (Graph.wait g) in
+      Alcotest.(check int) "whole file to the device" (64 * 1024) total;
+      let captured = Kpath_dev.Chardev.captured cd in
+      let bad = ref 0 in
+      String.iteri
+        (fun i c -> if c <> Programs.pattern_byte i then incr bad)
+        captured;
+      Alcotest.(check int) "device saw the pattern in order" 0 !bad)
+
+(* {1 Edge cases and the syscall layer} *)
+
+let test_empty_source () =
+  with_rig (fun s _m ctx ->
+      let src_fs, _ = src_file s in
+      let empty = Fs.create_file src_fs "/empty" in
+      let dfs = dst_fs s in
+      let c0 = Fs.create_file dfs "/c0" in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:empty () in
+      let dst =
+        Graph.add_sink g (Graph.Sink_file { fs = dfs; ino = c0; off_blocks = 0 })
+      in
+      let e = Graph.connect g ~src ~dst () in
+      Graph.start g;
+      Alcotest.(check int) "zero bytes" 0 (ok_exn (Graph.wait g));
+      Alcotest.(check bool) "edge done" true (Graph.edge_state e = `Done))
+
+let test_syscall_shapes () =
+  let s = Experiments.make_setup ~disk:`Ram ~file_bytes:(64 * 1024) () in
+  let m = s.Experiments.machine in
+  let w = Programs.spawn_file_writer m ~path:"/src/b" ~bytes:(32 * 1024) () in
+  Machine.run m;
+  if not (Process.is_zombie w) then Alcotest.fail "writer stuck";
+  Experiments.cold_caches s;
+  let done_ = ref false in
+  let _p =
+    Machine.spawn m ~name:"shapes" (fun () ->
+        let env = Syscall.make_env m in
+        let a = Syscall.openf env "/src/data" [ Syscall.O_RDONLY ] in
+        let b = Syscall.openf env "/src/b" [ Syscall.O_RDONLY ] in
+        let log =
+          Syscall.openf env "/dst/log" [ Syscall.O_CREAT; Syscall.O_WRONLY ]
+        in
+        let out2 =
+          Syscall.openf env "/dst/out2" [ Syscall.O_CREAT; Syscall.O_WRONLY ]
+        in
+        (* Many-to-many is not a supported topology. *)
+        (try
+           ignore
+             (Syscall.splice_graph env ~srcs:[ a; b ] ~dsts:[ log; out2 ]
+                Syscall.splice_eof);
+           Alcotest.fail "many-to-many accepted"
+         with Errno.Unix_error (Errno.EINVAL, _) -> ());
+        (* Fan-in through the system call. *)
+        let n =
+          Syscall.splice_graph env ~srcs:[ a; b ] ~dsts:[ log ]
+            Syscall.splice_eof
+        in
+        Alcotest.(check int) "fan-in total" (96 * 1024) n;
+        Alcotest.(check int) "log grown to the concatenation" (96 * 1024)
+          (Syscall.file_size env log);
+        Syscall.fsync env log;
+        List.iter (Syscall.close env) [ a; b; log; out2 ];
+        done_ := true)
+  in
+  Machine.run m;
+  Alcotest.(check bool) "ran" true !done_;
+  Cache.check_invariants (Machine.cache m)
+
+let test_trace_and_stats () =
+  let max_latency_events = ref 0 in
+  with_rig ~file_bytes:(64 * 1024) (fun s m ctx ->
+      Trace.enable (Machine.trace m) "graph";
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let c0 = Fs.create_file dfs "/c0" and c1 = Fs.create_file dfs "/c1" in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      List.iter
+        (fun ino ->
+          let dst =
+            Graph.add_sink g (Graph.Sink_file { fs = dfs; ino; off_blocks = 0 })
+          in
+          ignore (Graph.connect g ~src ~dst ()))
+        [ c0; c1 ];
+      Graph.start g;
+      ignore (ok_exn (Graph.wait g));
+      let stats = Graph.ctx_stats ctx in
+      Alcotest.(check int) "graphs started" 1 (Stats.get stats "graph.started");
+      Alcotest.(check int) "graphs completed" 1
+        (Stats.get stats "graph.completed");
+      Alcotest.(check int) "edges completed" 2
+        (Stats.get stats "graph.edges_completed");
+      Alcotest.(check int) "reads = blocks" 8
+        (Stats.get stats "graph.reads_issued" + Stats.get stats "graph.read_hits");
+      Alcotest.(check int) "writes = blocks x edges" 16
+        (Stats.get stats "graph.writes_issued");
+      max_latency_events :=
+        Histogram.count (Stats.histogram stats "graph.block_latency_us");
+      let evs = Trace.events (Machine.trace m) in
+      let has needle =
+        List.exists (fun e -> Util.contains e.Trace.ev_msg needle) evs
+      in
+      Alcotest.(check bool) "started event" true (has "started");
+      Alcotest.(check bool) "aliased read events" true (has "aliased");
+      Alcotest.(check bool) "write done events" true (has "write done");
+      Alcotest.(check bool) "completion event" true (has "completed"));
+  Alcotest.(check int) "one latency sample per block" 8 !max_latency_events
+
+let suite =
+  [
+    Alcotest.test_case "fan-out to files" `Quick test_fanout_to_files;
+    Alcotest.test_case "fan-out TCP single-read invariant" `Quick
+      test_fanout_tcp_single_read_invariant;
+    Alcotest.test_case "fan-in concatenates" `Quick test_fanin_concatenates;
+    Alcotest.test_case "fan-in needs file sink" `Quick
+      test_fanin_requires_file_sink;
+    Alcotest.test_case "checksum filter" `Quick test_checksum_filter;
+    Alcotest.test_case "tee filter" `Quick test_tee_filter;
+    Alcotest.test_case "throttle + window bound" `Quick test_throttle_and_window;
+    Alcotest.test_case "abort edge mid-stream" `Quick test_abort_edge_midstream;
+    Alcotest.test_case "abort graph mid-stream" `Quick
+      test_abort_graph_midstream;
+    Alcotest.test_case "out-of-order release" `Quick test_out_of_order_release;
+    Alcotest.test_case "chardev sink" `Quick test_chardev_sink;
+    Alcotest.test_case "empty source" `Quick test_empty_source;
+    Alcotest.test_case "syscall topologies" `Quick test_syscall_shapes;
+    Alcotest.test_case "trace and stats" `Quick test_trace_and_stats;
+  ]

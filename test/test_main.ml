@@ -20,6 +20,7 @@ let () =
       ("flowctl", Test_flowctl.suite);
       ("trace", Test_trace.suite);
       ("splice", Test_splice.suite);
+      ("graph", Test_graph.suite);
       ("kernel", Test_kernel.suite);
       ("workloads", Test_workloads.suite);
     ]

@@ -40,6 +40,58 @@ let test_enable_all () =
   Trace.emit t ~cat:"anything" (fun () -> "x");
   Alcotest.(check int) "recorded" 1 (Trace.recorded t)
 
+(* Regression: [disable cat] used to clear the [enable_all] flag, so a
+   fully-enabled trace went dark when any single category was turned
+   off. The two switches are independent. *)
+let test_disable_keeps_enable_all () =
+  let t, _ = mk () in
+  Trace.enable_all t;
+  Trace.enable t "io";
+  Trace.disable t "io";
+  Trace.emit t ~cat:"io" (fun () -> "still recorded");
+  Trace.emit t ~cat:"other" (fun () -> "also recorded");
+  Alcotest.(check int) "enable_all survives disable" 2 (Trace.recorded t);
+  Trace.disable_all t;
+  Trace.emit t ~cat:"io" (fun () -> "dark");
+  Alcotest.(check int) "disable_all stops everything" 2 (Trace.recorded t);
+  (* Per-category enables also cleared by disable_all. *)
+  let t2, _ = mk () in
+  Trace.enable t2 "io";
+  Trace.disable_all t2;
+  Trace.emit t2 ~cat:"io" (fun () -> "dark");
+  Alcotest.(check int) "categories cleared" 0 (Trace.recorded t2)
+
+let test_dump_json () =
+  let t, now = mk () in
+  Trace.enable_all t;
+  Trace.emit t ~cat:"io" (fun () -> "plain");
+  now := Time.us 1500;
+  Trace.emit t ~cat:"net" (fun () -> "quote \" backslash \\ newline \n done");
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Trace.dump_json fmt t;
+  Format.pp_print_flush fmt ();
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one object per event" 2 (List.length lines);
+  let l1 = List.nth lines 0 and l2 = List.nth lines 1 in
+  Alcotest.(check bool) "fields present" true
+    (Util.contains l1 "\"cat\":\"io\"" && Util.contains l1 "\"msg\":\"plain\"");
+  Alcotest.(check bool) "timestamp in us" true
+    (Util.contains l2 "\"t_us\":1500.0");
+  Alcotest.(check bool) "quotes escaped" true
+    (Util.contains l2 "quote \\\" backslash \\\\ newline \\n done");
+  (* Every line is minimally well-formed JSON: balanced braces, no raw
+     control characters or unescaped quotes inside values. *)
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "object shaped" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}');
+      String.iter (fun c -> Alcotest.(check bool) "no raw control" true (c >= ' ')) l)
+    lines
+
 let test_ring_wraps () =
   let t, _ = mk ~capacity:4 () in
   Trace.enable t "c";
@@ -118,6 +170,9 @@ let suite =
     Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
     Alcotest.test_case "enable/disable" `Quick test_enable_records;
     Alcotest.test_case "enable all" `Quick test_enable_all;
+    Alcotest.test_case "disable keeps enable_all" `Quick
+      test_disable_keeps_enable_all;
+    Alcotest.test_case "dump json" `Quick test_dump_json;
     Alcotest.test_case "ring wrap" `Quick test_ring_wraps;
     Alcotest.test_case "splice emits events" `Quick test_splice_emits;
     Alcotest.test_case "same-file overlap" `Quick test_splice_overlap_rejected;
