@@ -9,8 +9,8 @@
      dune exec bench/main.exe -- table2 ablation-watermarks ...
      dune exec bench/main.exe -- quick        -- everything at reduced size
    Targets: table1 table1-natural table2 ablation-watermarks
-            ablation-lockstep sweep-size sweep-fanout table-udp bechamel
-            quick all *)
+            ablation-lockstep sweep-size sweep-fanout sweep-cluster
+            sweep-cluster-quick smoke table-udp bechamel quick all *)
 
 open Kpath_workloads
 
@@ -400,6 +400,116 @@ let print_cpuspeed_sweep ?(file_bytes = 4 * mb) () =
     ];
   print_newline ()
 
+(* {1 Cluster sweep (s7 "larger transfer units")} *)
+
+let time_host f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let cluster_rows ?(file_bytes = 8 * mb) ?(ops = 2000)
+    ?(sizes = [ 1; 2; 4; 8; 16 ]) ?(disks = [ `Ram; `Rz56; `Rz58 ]) () =
+  List.concat_map
+    (fun disk ->
+      List.map
+        (fun cluster ->
+          time_host (fun () ->
+              Experiments.measure_cluster ~disk ~file_bytes ~ops ~cluster ()))
+        sizes)
+    disks
+
+let print_cluster_sweep ?(file_bytes = 8 * mb) ?ops ?sizes ?disks () =
+  header
+    (Printf.sprintf
+       "Sweep (s7): clustered multi-block I/O, %d MB splice copy --      throughput, device interrupts and CPU availability vs. max_cluster"
+       (file_bytes / mb));
+  Printf.printf "%-5s | %7s | %9s | %9s | %7s | %7s\n" "Disk" "cluster"
+    "SCP KB/s" "intrs/MB" "F_scp" "host s";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun (r, host) ->
+      Printf.printf "%-5s | %7d | %9.0f | %9.1f | %7.3f | %7.2f\n"
+        (Experiments.disk_name r.Experiments.cl_disk)
+        r.Experiments.cl_cluster r.Experiments.cl_scp_kbps
+        r.Experiments.cl_intrs_per_mb r.Experiments.cl_f_scp host)
+    (cluster_rows ~file_bytes ?ops ?sizes ?disks ());
+  Printf.printf
+    "(interrupts/MB should fall ~linearly with the cluster size; cluster=1 \
+     is the paper's per-block path)\n";
+  print_newline ()
+
+(* {1 Smoke run: small-size tables + cluster sweep, JSON for CI} *)
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let smoke ?(path = "BENCH_kpath.json") () =
+  let file_bytes = mb in
+  let ops = 500 in
+  let t1, t1_host =
+    time_host (fun () ->
+        Experiments.table1 ~file_bytes ~ops ~pace:(Some 1.0e6) ())
+  in
+  let t2, t2_host = time_host (fun () -> Experiments.table2 ~file_bytes ()) in
+  let cl, cl_host =
+    time_host (fun () ->
+        cluster_rows ~file_bytes ~ops:250 ~sizes:[ 1; 4; 8 ]
+          ~disks:[ `Ram; `Rz58 ] ())
+  in
+  let buf = Buffer.create 4096 in
+  let field last fmt = Printf.ksprintf
+      (fun s -> Buffer.add_string buf s;
+        Buffer.add_string buf (if last then "" else ", "))
+      fmt
+  in
+  let objects rows render =
+    let n = List.length rows in
+    Buffer.add_string buf "[";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf "{";
+        render r;
+        Buffer.add_string buf (if i = n - 1 then "}" else "}, "))
+      rows;
+    Buffer.add_string buf "]"
+  in
+  Buffer.add_string buf "{\n  \"benchmark\": \"kpath\",\n";
+  Printf.ksprintf (Buffer.add_string buf) "  \"file_bytes\": %d,\n" file_bytes;
+  Buffer.add_string buf "  \"table1\": ";
+  objects t1 (fun r ->
+      field false "\"disk\": \"%s\""
+        (json_escape (Experiments.disk_name r.Experiments.av_disk));
+      field false "\"f_cp\": %.4f" r.Experiments.av_f_cp;
+      field true "\"f_scp\": %.4f" r.Experiments.av_f_scp);
+  Buffer.add_string buf ",\n  \"table2\": ";
+  objects t2 (fun r ->
+      field false "\"disk\": \"%s\""
+        (json_escape (Experiments.disk_name r.Experiments.tp_disk));
+      field false "\"scp_kbps\": %.1f" r.Experiments.tp_scp_kbps;
+      field true "\"cp_kbps\": %.1f" r.Experiments.tp_cp_kbps);
+  Buffer.add_string buf ",\n  \"cluster_sweep\": ";
+  objects cl (fun (r, host) ->
+      field false "\"disk\": \"%s\""
+        (json_escape (Experiments.disk_name r.Experiments.cl_disk));
+      field false "\"cluster\": %d" r.Experiments.cl_cluster;
+      field false "\"scp_kbps\": %.1f" r.Experiments.cl_scp_kbps;
+      field false "\"intrs_per_mb\": %.2f" r.Experiments.cl_intrs_per_mb;
+      field false "\"f_scp\": %.4f" r.Experiments.cl_f_scp;
+      field true "\"host_seconds\": %.3f" host);
+  Printf.ksprintf (Buffer.add_string buf)
+    ",\n  \"host_seconds\": {\"table1\": %.3f, \"table2\": %.3f, \
+     \"cluster_sweep\": %.3f}\n}\n"
+    t1_host t2_host cl_host;
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "smoke: table1 %.1fs, table2 %.1fs, cluster sweep %.1fs; \
+                 results written to %s\n"
+    t1_host t2_host cl_host path
+
 (* {1 Bechamel microbenchmarks: one per table} *)
 
 let bechamel () =
@@ -467,6 +577,10 @@ let all_targets ~quick =
   print_media ();
   print_sendfile ();
   print_fanout ~file_bytes:(min file_bytes (2 * mb)) ();
+  (if quick then
+     print_cluster_sweep ~file_bytes:(2 * mb) ~ops:500 ~sizes:[ 1; 4; 8 ]
+       ~disks:[ `Ram; `Rz58 ] ()
+   else print_cluster_sweep ());
   print_relatedwork ();
   if not quick then print_cpuspeed_sweep ();
   print_timeline ();
@@ -500,6 +614,11 @@ let () =
         | "ablation-elevator" -> print_elevator ()
         | "table-sendfile" -> print_sendfile ()
         | "sweep-fanout" -> print_fanout ()
+        | "sweep-cluster" -> print_cluster_sweep ()
+        | "sweep-cluster-quick" ->
+          print_cluster_sweep ~file_bytes:(2 * mb) ~ops:500 ~sizes:[ 1; 4; 8 ]
+            ~disks:[ `Ram; `Rz58 ] ()
+        | "smoke" -> smoke ()
         | "table-relatedwork" -> print_relatedwork ()
         | "sweep-cpuspeed" -> print_cpuspeed_sweep ()
         | "timeline" -> print_timeline ()
@@ -508,8 +627,8 @@ let () =
         | other ->
           Printf.eprintf
             "unknown target %s (try: table1 table1-natural table2 \
-             ablation-watermarks ablation-lockstep sweep-size table-udp \
-             table-media bechamel quick all)\n"
+             ablation-watermarks ablation-lockstep sweep-size sweep-cluster \
+             smoke table-udp table-media bechamel quick all)\n"
             other;
           exit 1)
       targets

@@ -3,6 +3,7 @@
    Subcommands:
      kpathctl info                         machine cost model
      kpathctl copy   [--disk ...] ...      one measured copy
+     kpathctl cluster [--sizes N,...]      clustered-I/O transfer-size sweep
      kpathctl table1 [--ops N] [--natural] CPU availability rows
      kpathctl table2 [--size-mb N]         throughput rows
      kpathctl relay  [--datagrams N]       UDP relay comparison
@@ -29,6 +30,20 @@ let disk_arg =
 
 let size_arg =
   Arg.(value & opt int 8 & info [ "size-mb" ] ~docv:"MB" ~doc:"File size in megabytes.")
+
+let max_cluster_arg =
+  Arg.(value
+       & opt int Config.decstation_5000_200.Config.max_cluster
+       & info [ "max-cluster" ] ~docv:"BLOCKS"
+           ~doc:"Largest multi-block transfer the clustered I/O paths may \
+                 build (1 = per-block I/O, the paper's original path).")
+
+let config_with_cluster max_cluster =
+  if max_cluster < 1 then begin
+    Format.eprintf "kpathctl: --max-cluster must be at least 1@.";
+    exit 124
+  end;
+  { Config.decstation_5000_200 with Config.max_cluster }
 
 (* info *)
 
@@ -78,18 +93,19 @@ let copy_cmd =
          & info [ "trace" ] ~docv:"N"
              ~doc:"Record splice events; print the last $(docv) afterwards.")
   in
-  let run disk size_mb mode same_disk watermarks trace =
+  let run disk size_mb mode same_disk watermarks trace max_cluster =
     let config =
       Option.map
         (fun (lo, hi, burst) ->
           Kpath_core.Flowctl.make ~read_lo:lo ~write_hi:hi ~read_burst:burst)
         watermarks
     in
+    let machine_config = config_with_cluster max_cluster in
     match trace with
     | None ->
       let m =
         Experiments.measure_copy ~mode ~disk ~file_bytes:(size_mb * mb)
-          ~same_disk ?config ()
+          ~same_disk ~machine_config ?config ()
       in
       Format.printf "%s %d MB on %s%s: %.0f KB/s in %.2fs, verified=%b@."
         (match mode with `Cp -> "cp" | `Scp -> "scp" | `Mcp -> "mcp")
@@ -102,7 +118,8 @@ let copy_cmd =
       (* Traced run: drive the setup by hand so the trace ring can be
          enabled before the copy starts. *)
       let s =
-        Experiments.make_setup ~disk ~file_bytes:(size_mb * mb) ~same_disk ()
+        Experiments.make_setup ~disk ~file_bytes:(size_mb * mb) ~same_disk
+          ~machine_config ()
       in
       Experiments.cold_caches s;
       let machine = s.Experiments.machine in
@@ -141,7 +158,36 @@ let copy_cmd =
   in
   Cmd.v (Cmd.info "copy" ~doc:"Measure one cold file copy.")
     Term.(const run $ disk_arg $ size_arg $ mode_arg $ same_disk_arg
-          $ watermarks_arg $ trace_arg)
+          $ watermarks_arg $ trace_arg $ max_cluster_arg)
+
+(* cluster *)
+
+let cluster_cmd =
+  let sizes_arg =
+    Arg.(value & opt (list int) [ 1; 2; 4; 8; 16 ]
+         & info [ "sizes" ] ~docv:"N,..."
+             ~doc:"Cluster sizes to sweep (blocks per transfer).")
+  in
+  let run disk size_mb sizes =
+    if List.exists (fun s -> s < 1) sizes then begin
+      Format.eprintf "kpathctl: --sizes entries must be at least 1@.";
+      exit 124
+    end;
+    List.iter
+      (fun r ->
+        Format.printf
+          "%-5s cluster=%2d scp=%.0f KB/s intrs/MB=%.1f F_scp=%.3f@."
+          (Experiments.disk_name r.Experiments.cl_disk)
+          r.Experiments.cl_cluster r.Experiments.cl_scp_kbps
+          r.Experiments.cl_intrs_per_mb r.Experiments.cl_f_scp)
+      (Experiments.cluster_sweep ~disk ~file_bytes:(size_mb * mb) sizes)
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Sweep the clustered-I/O transfer size: splice throughput, \
+             device interrupts per MB and CPU availability vs. cluster size \
+             (the paper's s7 'larger transfer units' projection).")
+    Term.(const run $ disk_arg $ size_arg $ sizes_arg)
 
 (* table1 *)
 
@@ -342,5 +388,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ info_cmd; copy_cmd; table1_cmd; table2_cmd; relay_cmd; media_cmd;
-            graph_cmd; sendfile_cmd ]))
+          [ info_cmd; copy_cmd; cluster_cmd; table1_cmd; table2_cmd; relay_cmd;
+            media_cmd; graph_cmd; sendfile_cmd ]))

@@ -2,9 +2,16 @@ open Kpath_sim
 open Kpath_dev
 open Kpath_proc
 
+(* Which intrusive LRU list (if any) a cache-owned buffer is on. *)
+let l_none = 0
+
+let l_free = 1
+let l_dirty = 2
+
 type t = {
   block_size : int;
   n : int;
+  max_cluster : int;
   bufs : Buf.t array;
   hash : (int * int, Buf.t) Hashtbl.t;
   mutable free_waiters : (unit -> unit) list;
@@ -12,27 +19,31 @@ type t = {
   mutable next_hdr_id : int;
   mutable hdr_pool : Buf.t list;
   mutable hdrs_out : int;
+  (* O(1) LRU, BSD free-list style: every non-busy cache-owned buffer is
+     on exactly one doubly-linked list in release order (head = least
+     recently used) — clean buffers on the free list, delayed writes on
+     the dirty list. Links are indices into [bufs]; -1 terminates. Both
+     lists stay sorted by (b_stamp, b_id), matching the order the old
+     full-array victim scans implied. *)
+  fnext : int array;
+  fprev : int array;
+  onlist : int array;
+  mutable free_head : int;
+  mutable free_tail : int;
+  mutable dirty_head : int;
+  mutable dirty_tail : int;
+  (* Incrementally-maintained counts (previously O(n) folds). *)
+  mutable nbusy : int;
+  mutable ndirty : int;
+  mutable npinned : int;
   stats : Stats.t;
 }
-
-let create ~block_size ~nbufs () =
-  if block_size <= 0 || nbufs <= 0 then invalid_arg "Cache.create: bad sizes";
-  {
-    block_size;
-    n = nbufs;
-    bufs = Array.init nbufs (fun i -> Buf.make ~id:i ~data_size:block_size);
-    hash = Hashtbl.create (nbufs * 2);
-    free_waiters = [];
-    stamp = 0;
-    next_hdr_id = nbufs;
-    hdr_pool = [];
-    hdrs_out = 0;
-    stats = Stats.create ();
-  }
 
 let block_size t = t.block_size
 
 let nbufs t = t.n
+
+let max_cluster t = t.max_cluster
 
 let stats t = t.stats
 
@@ -41,6 +52,111 @@ let count name t = Stats.incr (Stats.counter t.stats name)
 let touch t (b : Buf.t) =
   t.stamp <- t.stamp + 1;
   b.b_stamp <- t.stamp
+
+(* {2 Free/dirty list plumbing} *)
+
+let unlink t (b : Buf.t) =
+  let i = b.b_id in
+  let w = t.onlist.(i) in
+  if w <> l_none then begin
+    let p = t.fprev.(i) and nx = t.fnext.(i) in
+    (if p >= 0 then t.fnext.(p) <- nx
+     else if w = l_free then t.free_head <- nx
+     else t.dirty_head <- nx);
+    (if nx >= 0 then t.fprev.(nx) <- p
+     else if w = l_free then t.free_tail <- p
+     else t.dirty_tail <- p);
+    t.onlist.(i) <- l_none;
+    t.fprev.(i) <- -1;
+    t.fnext.(i) <- -1
+  end
+
+let append t which (b : Buf.t) =
+  let i = b.b_id in
+  let tail = if which = l_free then t.free_tail else t.dirty_tail in
+  t.fprev.(i) <- tail;
+  t.fnext.(i) <- -1;
+  (if tail >= 0 then t.fnext.(tail) <- i
+   else if which = l_free then t.free_head <- i
+   else t.dirty_head <- i);
+  (if which = l_free then t.free_tail <- i else t.dirty_tail <- i);
+  t.onlist.(i) <- which
+
+(* Rebuild both lists from the flags, in (stamp, id) order. Only needed
+   after [invalidate_dev] rewrites flags wholesale: cleaned buffers keep
+   their stamps, so their LRU position must be recomputed rather than
+   appended at the tail. Rare (cold-cache resets), so O(n log n) is fine. *)
+let rebuild_lists t =
+  t.free_head <- -1;
+  t.free_tail <- -1;
+  t.dirty_head <- -1;
+  t.dirty_tail <- -1;
+  Array.iteri
+    (fun i _ ->
+      t.onlist.(i) <- l_none;
+      t.fprev.(i) <- -1;
+      t.fnext.(i) <- -1)
+    t.fnext;
+  let nonbusy =
+    Array.to_list t.bufs
+    |> List.filter (fun (b : Buf.t) -> not (Buf.has b Buf.b_busy))
+    |> List.sort (fun (a : Buf.t) (b : Buf.t) ->
+           compare (a.b_stamp, a.b_id) (b.b_stamp, b.b_id))
+  in
+  List.iter
+    (fun (b : Buf.t) ->
+      append t (if Buf.has b Buf.b_delwri then l_dirty else l_free) b)
+    nonbusy
+
+(* A non-busy cache-owned buffer becomes busy: off its list, counted. *)
+let take t (b : Buf.t) =
+  unlink t b;
+  t.nbusy <- t.nbusy + 1;
+  Buf.set b Buf.b_busy
+
+let set_delwri t (b : Buf.t) =
+  if not (Buf.has b Buf.b_delwri) then begin
+    Buf.set b Buf.b_delwri;
+    if b.b_id < t.n then t.ndirty <- t.ndirty + 1
+  end
+
+let clear_delwri t (b : Buf.t) =
+  if Buf.has b Buf.b_delwri then begin
+    Buf.clear b Buf.b_delwri;
+    if b.b_id < t.n then t.ndirty <- t.ndirty - 1
+  end
+
+let create ~block_size ~nbufs ?(max_cluster = 1) () =
+  if block_size <= 0 || nbufs <= 0 then invalid_arg "Cache.create: bad sizes";
+  if max_cluster <= 0 then invalid_arg "Cache.create: max_cluster <= 0";
+  let t =
+    {
+      block_size;
+      n = nbufs;
+      max_cluster;
+      bufs = Array.init nbufs (fun i -> Buf.make ~id:i ~data_size:block_size);
+      hash = Hashtbl.create (nbufs * 2);
+      free_waiters = [];
+      stamp = 0;
+      next_hdr_id = nbufs;
+      hdr_pool = [];
+      hdrs_out = 0;
+      fnext = Array.make nbufs (-1);
+      fprev = Array.make nbufs (-1);
+      onlist = Array.make nbufs l_none;
+      free_head = -1;
+      free_tail = -1;
+      dirty_head = -1;
+      dirty_tail = -1;
+      nbusy = 0;
+      ndirty = 0;
+      npinned = 0;
+      stats = Stats.create ();
+    }
+  in
+  (* All buffers start clean and free, in id order (stamps all zero). *)
+  Array.iter (fun b -> append t l_free b) t.bufs;
+  t
 
 let unhash t (b : Buf.t) =
   if b.b_in_hash then begin
@@ -88,6 +204,7 @@ and brelse t (b : Buf.t) =
   b.b_waiters <- [];
   if Buf.has b Buf.b_inval || Buf.has b Buf.b_error_flag then begin
     unhash t b;
+    clear_delwri t b;
     b.b_flags <- 0;
     b.b_error <- None;
     b.b_splice <- -1;
@@ -97,6 +214,10 @@ and brelse t (b : Buf.t) =
     Buf.clear b (Buf.b_busy lor Buf.b_async lor Buf.b_call lor Buf.b_read);
   b.b_iodone <- None;
   touch t b;
+  if b.b_id < t.n then begin
+    t.nbusy <- t.nbusy - 1;
+    append t (if Buf.has b Buf.b_delwri then l_dirty else l_free) b
+  end;
   wake_list ws;
   wake_free t
 
@@ -132,12 +253,14 @@ let biodone = biodone_ref
    refuses pinned buffers so a release can never happen twice. *)
 let pin t (b : Buf.t) =
   if not (Buf.has b Buf.b_busy) then invalid_arg "Cache.pin: buffer not busy";
+  if b.b_refs = 0 && b.b_id < t.n then t.npinned <- t.npinned + 1;
   b.b_refs <- b.b_refs + 1;
   count "cache.pins" t
 
 let unpin t (b : Buf.t) =
   if b.b_refs <= 0 then invalid_arg "Cache.unpin: buffer not pinned";
   b.b_refs <- b.b_refs - 1;
+  if b.b_refs = 0 && b.b_id < t.n then t.npinned <- t.npinned - 1;
   count "cache.unpins" t;
   if b.b_refs = 0 then brelse t b
 
@@ -148,39 +271,38 @@ let unpin t (b : Buf.t) =
    keeps a copy's destination disk continuously fed while its source
    disk streams reads. *)
 let victim t =
-  (* Pass 1: the least-recently-used non-busy clean buffer. *)
-  let clean = ref None in
-  Array.iter
+  (* The least-recently-used clean buffer is the free-list head; every
+     delayed write older than it (the dirty-list prefix — both lists are
+     stamp-ordered) is pushed to its device asynchronously. The pushouts
+     are issued in buffer-id order, matching the array scan this
+     replaces, so device queues see the identical request order. *)
+  let clean = if t.free_head >= 0 then Some t.bufs.(t.free_head) else None in
+  let horizon =
+    match clean with Some (c : Buf.t) -> c.b_stamp | None -> max_int
+  in
+  let to_flush = ref [] in
+  let i = ref t.dirty_head in
+  while !i >= 0 && t.bufs.(!i).Buf.b_stamp < horizon do
+    to_flush := t.bufs.(!i) :: !to_flush;
+    i := t.fnext.(!i)
+  done;
+  let flushed = !to_flush <> [] in
+  List.iter
     (fun (b : Buf.t) ->
-      if (not (Buf.has b Buf.b_busy)) && not (Buf.has b Buf.b_delwri) then
-        match !clean with
-        | Some (c : Buf.t) when c.b_stamp <= b.b_stamp -> ()
-        | _ -> clean := Some b)
-    t.bufs;
-  let horizon = match !clean with Some c -> c.b_stamp | None -> max_int in
-  (* Pass 2: push out every delayed write older than that victim — the
-     dirty buffers that reached the head of the free list. *)
-  let flushed = ref false in
-  Array.iter
-    (fun (b : Buf.t) ->
-      if
-        (not (Buf.has b Buf.b_busy))
-        && Buf.has b Buf.b_delwri
-        && b.b_stamp < horizon
-      then begin
-        flushed := true;
-        Buf.set b Buf.b_busy;
-        Buf.clear b Buf.b_delwri;
-        Buf.set b Buf.b_async;
-        count "cache.delwri_flushes" t;
-        start_io t b ~write:true
-      end)
-    t.bufs;
-  match !clean with
+      take t b;
+      clear_delwri t b;
+      Buf.set b Buf.b_async;
+      count "cache.delwri_flushes" t;
+      start_io t b ~write:true)
+    (List.sort
+       (fun (a : Buf.t) (b : Buf.t) -> compare a.b_id b.b_id)
+       !to_flush);
+  match clean with
   | Some b -> `Clean b
-  | None -> if !flushed then `Flushing else `None
+  | None -> if flushed then `Flushing else `None
 
 let reassign t (b : Buf.t) dev blkno =
+  take t b;
   rehash t b dev blkno;
   b.b_flags <- Buf.b_busy;
   b.b_refs <- 0;
@@ -198,7 +320,7 @@ let rec getblk t (dev : Blkdev.t) blkno =
     Process.block "getblk" (fun w -> b.b_waiters <- w :: b.b_waiters);
     getblk t dev blkno
   | Some b ->
-    Buf.set b Buf.b_busy;
+    take t b;
     touch t b;
     b
   | None -> (
@@ -221,7 +343,7 @@ let getblk_nb t (dev : Blkdev.t) blkno =
   match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
   | Some b when Buf.has b Buf.b_busy -> None
   | Some b ->
-    Buf.set b Buf.b_busy;
+    take t b;
     touch t b;
     Some b
   | None -> (
@@ -270,7 +392,7 @@ let breada t dev blkno ~ahead =
 let bwrite t (b : Buf.t) =
   if not (Buf.has b Buf.b_busy) then invalid_arg "bwrite: buffer not busy";
   count "cache.bwrites" t;
-  Buf.clear b Buf.b_delwri;
+  clear_delwri t b;
   start_io t b ~write:true;
   ignore (biowait b);
   brelse t b
@@ -278,14 +400,15 @@ let bwrite t (b : Buf.t) =
 let bawrite t (b : Buf.t) =
   if not (Buf.has b Buf.b_busy) then invalid_arg "bawrite: buffer not busy";
   count "cache.bawrites" t;
-  Buf.clear b Buf.b_delwri;
+  clear_delwri t b;
   Buf.set b Buf.b_async;
   start_io t b ~write:true
 
 let bdwrite t (b : Buf.t) =
   if not (Buf.has b Buf.b_busy) then invalid_arg "bdwrite: buffer not busy";
   count "cache.bdwrites" t;
-  Buf.set b (Buf.b_delwri lor Buf.b_done);
+  set_delwri t b;
+  Buf.set b Buf.b_done;
   brelse t b
 
 let cached t (dev : Blkdev.t) blkno =
@@ -300,8 +423,8 @@ let cached t (dev : Blkdev.t) blkno =
 let flush_start t (dev : Blkdev.t) blkno =
   match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
   | Some b when (not (Buf.has b Buf.b_busy)) && Buf.has b Buf.b_delwri ->
-    Buf.set b Buf.b_busy;
-    Buf.clear b Buf.b_delwri;
+    take t b;
+    clear_delwri t b;
     Buf.set b Buf.b_async;
     count "cache.fsync_writes" t;
     start_io t b ~write:true
@@ -315,22 +438,10 @@ let rec flush_await t (dev : Blkdev.t) blkno =
     flush_await t dev blkno
   | Some b when Buf.has b Buf.b_delwri ->
     (* Re-dirtied while we waited: write it synchronously. *)
-    Buf.set b Buf.b_busy;
+    take t b;
     bwrite t b;
     flush_await t dev blkno
   | Some _ -> ()
-
-let flush_blocks t dev blknos =
-  List.iter (flush_start t dev) blknos;
-  List.iter (flush_await t dev) blknos
-
-let flush_dev t (dev : Blkdev.t) =
-  let blknos =
-    Hashtbl.fold
-      (fun (d, blkno) _ acc -> if d = dev.Blkdev.dv_id then blkno :: acc else acc)
-      t.hash []
-  in
-  flush_blocks t dev (List.sort compare blknos)
 
 let invalidate_dev t (dev : Blkdev.t) =
   Array.iter
@@ -340,12 +451,15 @@ let invalidate_dev t (dev : Blkdev.t) =
         if Buf.has b Buf.b_busy then
           invalid_arg "Cache.invalidate_dev: device has busy buffers";
         unhash t b;
+        clear_delwri t b;
         b.b_flags <- 0;
         b.b_error <- None;
         b.b_dev <- None;
         b.b_blkno <- -1
       | Some _ | None -> ())
-    t.bufs
+    t.bufs;
+  (* Cleaned buffers kept their stamps; recompute list positions. *)
+  rebuild_lists t
 
 let bread_nb t dev blkno ~iodone =
   match getblk_nb t dev blkno with
@@ -368,7 +482,7 @@ let awrite_call t (b : Buf.t) ~iodone =
   count "cache.awrite_calls" t;
   Buf.set b Buf.b_call;
   b.b_iodone <- Some iodone;
-  Buf.clear b Buf.b_delwri;
+  clear_delwri t b;
   start_io t b ~write:true
 
 let rec invalidate_cached t (dev : Blkdev.t) blkno =
@@ -378,8 +492,9 @@ let rec invalidate_cached t (dev : Blkdev.t) blkno =
     Process.block "inval" (fun w -> b.b_waiters <- w :: b.b_waiters);
     invalidate_cached t dev blkno
   | Some b ->
-    Buf.set b (Buf.b_busy lor Buf.b_inval);
-    Buf.clear b Buf.b_delwri;
+    take t b;
+    Buf.set b Buf.b_inval;
+    clear_delwri t b;
     brelse t b
 
 let getblk_hdr t (dev : Blkdev.t) blkno =
@@ -415,20 +530,177 @@ let release_hdr t (b : Buf.t) =
   b.b_waiters <- [];
   t.hdr_pool <- b :: t.hdr_pool
 
-let busy_count t =
-  Array.fold_left
-    (fun acc b -> if Buf.has b Buf.b_busy then acc + 1 else acc)
-    0 t.bufs
+(* {2 Cluster I/O}
 
-let pinned_count t =
-  Array.fold_left
-    (fun acc (b : Buf.t) -> if b.b_refs > 0 then acc + 1 else acc)
-    0 t.bufs
+   Classic 4.3BSD cluster read/write: physically contiguous blocks ride
+   one multi-block strategy call, so the device raises one completion
+   interrupt per cluster instead of one per block. The transfer goes
+   through a {!getblk_hdr} header whose data area stands in for the
+   remapped member pages (BSD's [cluster_rbuild]/[cluster_wbuild]); on
+   completion the header fans out to each member buffer via [biodone].
+   An I/O error breaks the cluster up: each member is re-issued as a
+   single-block request, so the injected error lands on exactly the bad
+   block's header (the device layer leaves the poison armed for
+   multi-block requests — see [Disk.inject_error]). *)
 
-let dirty_count t =
-  Array.fold_left
-    (fun acc b -> if Buf.has b Buf.b_delwri then acc + 1 else acc)
-    0 t.bufs
+let cluster_fanout t members ~write ~per_block =
+  fun (h : Buf.t) ->
+    let err = h.b_error in
+    let data = h.b_data in
+    release_hdr t h;
+    match err with
+    | Some _ ->
+      (* Cluster breakup: single-block retries isolate the error. *)
+      count "cache.cluster_breakups" t;
+      List.iter (fun (b : Buf.t) -> start_io t b ~write) members
+    | None ->
+      List.iteri
+        (fun i (b : Buf.t) ->
+          per_block i data b;
+          biodone_ref t b None)
+        members
+
+(* Mark a member in-flight the way [start_io] would, without issuing a
+   request of its own: the cluster header carries the transfer. *)
+let cluster_member (b : Buf.t) ~write =
+  if write then Buf.clear b Buf.b_read else Buf.set b Buf.b_read;
+  Buf.clear b (Buf.b_done lor Buf.b_error_flag);
+  b.b_error <- None
+
+let cluster_read t (dev : Blkdev.t) blkno members =
+  let bs = t.block_size in
+  let k = List.length members in
+  count "cache.cluster_reads" t;
+  List.iter (fun b -> cluster_member b ~write:false) members;
+  let hdr = getblk_hdr t dev blkno in
+  hdr.b_data <- Bytes.create (k * bs);
+  hdr.b_bcount <- k * bs;
+  Buf.set hdr Buf.b_call;
+  hdr.b_iodone <-
+    Some
+      (cluster_fanout t members ~write:false ~per_block:(fun i data b ->
+           Bytes.blit data (i * bs) b.Buf.b_data 0 bs));
+  start_io t hdr ~write:false
+
+let breadn t (dev : Blkdev.t) blkno ~n ~iodone =
+  let n = max 1 (min n t.max_cluster) in
+  match getblk_nb t dev blkno with
+  | None -> `Busy
+  | Some b0 ->
+    if Buf.valid b0 then begin
+      count "cache.hits" t;
+      `Hit b0
+    end
+    else begin
+      (* Extend the run while the next block is absent from the cache (a
+         cached or busy block truncates the run — re-reading it would
+         clobber newer data) and a buffer can be recycled for it. *)
+      let members = ref [ b0 ] in
+      let k = ref 1 in
+      let stop = ref false in
+      while (not !stop) && !k < n do
+        let bn = blkno + !k in
+        if bn >= dev.Blkdev.dv_nblocks || Hashtbl.mem t.hash (dev.Blkdev.dv_id, bn)
+        then stop := true
+        else
+          match getblk_nb t dev bn with
+          | None -> stop := true
+          | Some b ->
+            members := b :: !members;
+            incr k
+      done;
+      let members = List.rev !members in
+      List.iter
+        (fun (b : Buf.t) ->
+          count "cache.misses" t;
+          Buf.set b Buf.b_call;
+          b.b_iodone <- Some iodone)
+        members;
+      (match members with
+       | [ b ] -> start_io t b ~write:false
+       | _ -> cluster_read t dev blkno members);
+      `Started members
+    end
+
+(* One coalesced write for a run of adjacent delayed-write buffers
+   (BSD's [cluster_wbuild]): the members' data rides a header transfer,
+   written with a single strategy call; completion fans out to release
+   each member ([B_ASYNC]). *)
+let flush_cluster t (dev : Blkdev.t) (members : Buf.t list) =
+  let k = List.length members in
+  count "cache.cluster_writes" t;
+  List.iter
+    (fun (b : Buf.t) ->
+      take t b;
+      clear_delwri t b;
+      Buf.set b Buf.b_async;
+      cluster_member b ~write:true;
+      count "cache.fsync_writes" t)
+    members;
+  let hdr = getblk_hdr t dev (List.hd members).Buf.b_blkno in
+  hdr.b_data <-
+    Bytes.concat Bytes.empty (List.map (fun (b : Buf.t) -> b.Buf.b_data) members);
+  hdr.b_bcount <- k * t.block_size;
+  Buf.set hdr Buf.b_call;
+  hdr.b_iodone <-
+    Some (cluster_fanout t members ~write:true ~per_block:(fun _ _ _ -> ()));
+  start_io t hdr ~write:true
+
+let flush_blocks t dev blknos =
+  let flushable blkno =
+    match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
+    | Some b when (not (Buf.has b Buf.b_busy)) && Buf.has b Buf.b_delwri ->
+      Some b
+    | Some _ | None -> None
+  in
+  (if t.max_cluster <= 1 then List.iter (flush_start t dev) blknos
+   else begin
+     (* Walk the work list coalescing runs of adjacent dirty blocks. *)
+     let rec go = function
+       | [] -> ()
+       | blkno :: rest -> (
+         match flushable blkno with
+         | None -> go rest
+         | Some b ->
+           let members = ref [ b ] in
+           let k = ref 1 in
+           let rest = ref rest in
+           let stop = ref false in
+           while (not !stop) && !k < t.max_cluster do
+             match !rest with
+             | next :: tl when next = blkno + !k -> (
+               match flushable next with
+               | Some nb ->
+                 members := nb :: !members;
+                 incr k;
+                 rest := tl
+               | None -> stop := true)
+             | _ -> stop := true
+           done;
+           (match List.rev !members with
+            | [ _ ] -> flush_start t dev blkno
+            | ms -> flush_cluster t dev ms);
+           go !rest)
+     in
+     go blknos
+   end);
+  List.iter (flush_await t dev) blknos
+
+let flush_dev t (dev : Blkdev.t) =
+  let blknos =
+    Hashtbl.fold
+      (fun (d, blkno) _ acc -> if d = dev.Blkdev.dv_id then blkno :: acc else acc)
+      t.hash []
+  in
+  flush_blocks t dev (List.sort compare blknos)
+
+(* Maintained incrementally; [check_invariants] cross-checks them
+   against full folds over the pool. *)
+let busy_count t = t.nbusy
+
+let pinned_count t = t.npinned
+
+let dirty_count t = t.ndirty
 
 let check_invariants t =
   let fail fmt = Format.kasprintf failwith fmt in
@@ -455,4 +727,48 @@ let check_invariants t =
         fail "pinned but not busy: %a" Buf.pp b)
     t.bufs;
   if Hashtbl.length t.hash > t.n then fail "hash larger than pool";
-  if t.hdrs_out < 0 then fail "negative outstanding header count"
+  if t.hdrs_out < 0 then fail "negative outstanding header count";
+  (* Incremental counters match full folds over the pool. *)
+  let fold p = Array.fold_left (fun a b -> if p b then a + 1 else a) 0 t.bufs in
+  let busy = fold (fun b -> Buf.has b Buf.b_busy) in
+  if busy <> t.nbusy then fail "busy count drift: %d counted, %d folded" t.nbusy busy;
+  let dirty = fold (fun b -> Buf.has b Buf.b_delwri) in
+  if dirty <> t.ndirty then
+    fail "dirty count drift: %d counted, %d folded" t.ndirty dirty;
+  let pinned = fold (fun (b : Buf.t) -> b.b_refs > 0) in
+  if pinned <> t.npinned then
+    fail "pinned count drift: %d counted, %d folded" t.npinned pinned;
+  (* The free and dirty lists agree with the flags: every non-busy
+     cache-owned buffer sits on exactly the list its delwri flag says,
+     links are mutually consistent, and each list is LRU (stamp) ordered. *)
+  let walk which head =
+    let rec go prev i n =
+      if i < 0 then n
+      else begin
+        let b = t.bufs.(i) in
+        if t.onlist.(i) <> which then fail "list tag mismatch on %a" Buf.pp b;
+        if t.fprev.(i) <> prev then fail "broken prev link at %a" Buf.pp b;
+        if Buf.has b Buf.b_busy then fail "busy buffer on a list: %a" Buf.pp b;
+        (if which = l_dirty && not (Buf.has b Buf.b_delwri) then
+           fail "clean buffer on the dirty list: %a" Buf.pp b);
+        (if which = l_free && Buf.has b Buf.b_delwri then
+           fail "dirty buffer on the free list: %a" Buf.pp b);
+        (if prev >= 0 then
+           let p = t.bufs.(prev) in
+           if compare (p.Buf.b_stamp, p.Buf.b_id) (b.b_stamp, b.b_id) > 0 then
+             fail "list out of LRU order at %a" Buf.pp b);
+        go i t.fnext.(i) (n + 1)
+      end
+    in
+    go (-1) head 0
+  in
+  let nfree = walk l_free t.free_head in
+  let ndirty_l = walk l_dirty t.dirty_head in
+  if nfree + ndirty_l + t.nbusy <> t.n then
+    fail "list lengths inconsistent: %d free + %d dirty + %d busy <> %d pool"
+      nfree ndirty_l t.nbusy t.n;
+  Array.iter
+    (fun (b : Buf.t) ->
+      if (not (Buf.has b Buf.b_busy)) && t.onlist.(b.b_id) = l_none then
+        fail "non-busy buffer on no list: %a" Buf.pp b)
+    t.bufs

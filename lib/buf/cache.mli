@@ -23,13 +23,19 @@ open Kpath_dev
 type t
 (** A buffer cache. *)
 
-val create : block_size:int -> nbufs:int -> unit -> t
+val create : block_size:int -> nbufs:int -> ?max_cluster:int -> unit -> t
 (** [create ~block_size ~nbufs ()] builds a cache of [nbufs] buffers of
-    [block_size] bytes (the paper's machine: 3.2 MB of 8 KB buffers). *)
+    [block_size] bytes (the paper's machine: 3.2 MB of 8 KB buffers).
+    [max_cluster] (default 1 = clustering off) bounds how many
+    physically contiguous blocks the cluster primitives ({!breadn},
+    cluster write coalescing) will combine into one device request. *)
 
 val block_size : t -> int
 
 val nbufs : t -> int
+
+val max_cluster : t -> int
+(** The cluster-size bound this cache was created with. *)
 
 val stats : t -> Stats.t
 (** Counters: [cache.hits], [cache.misses], [cache.reads],
@@ -73,7 +79,10 @@ val biowait : Buf.t -> (unit, Blkdev.error) result
 
 val flush_blocks : t -> Blkdev.t -> int list -> unit
 (** Synchronously write out any delayed-write buffers among the given
-    physical blocks (the [fsync] back end). Process context. *)
+    physical blocks (the [fsync] back end). When [max_cluster > 1],
+    runs of adjacent dirty blocks in the work list are coalesced into
+    single multi-block writes (4.3BSD [cluster_wbuild]). Process
+    context. *)
 
 val flush_dev : t -> Blkdev.t -> unit
 (** {!flush_blocks} over every cached block of the device. *)
@@ -112,6 +121,26 @@ val bread_nb :
     buffer is available. With [`Started b], [b] is the in-flight buffer —
     the caller may tag [b_splice]/[b_lblkno] immediately (completion is
     never synchronous). *)
+
+val breadn :
+  t ->
+  Blkdev.t ->
+  int ->
+  n:int ->
+  iodone:(Buf.t -> unit) ->
+  [ `Hit of Buf.t | `Started of Buf.t list | `Busy ]
+(** Clustered {!bread_nb} (4.3BSD [cluster_rbuild]): on a miss, extend
+    the read to up to [min n max_cluster] physically consecutive blocks
+    — the run is truncated by a block already in the cache (valid, dirty
+    or busy), by the end of the device, or by buffer shortage — and
+    fetch the whole run with a single strategy call. The device raises
+    one completion interrupt for the cluster; completion then fans out
+    to every member buffer, invoking [iodone] on each. [`Started bs]
+    lists the in-flight members in ascending block order; the caller may
+    tag them immediately (completion is never synchronous). An I/O error
+    breaks the cluster into single-block retries so only the failing
+    block's buffer carries the error. With [n = 1] (or [max_cluster]
+    1) this is exactly {!bread_nb}. *)
 
 val awrite_call : t -> Buf.t -> iodone:(Buf.t -> unit) -> unit
 (** Asynchronous write whose completion invokes [iodone] instead of

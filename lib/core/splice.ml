@@ -47,13 +47,23 @@ type file_pump = {
   fp_sink : file_sink;
   nblocks : int;
   mutable next_read : int;  (* next logical block to read *)
-  mutable fp_reads : int;  (* pending reads *)
-  mutable fp_writes : int;  (* pending writes *)
+  mutable fp_reads : int;  (* pending read requests (clusters) *)
+  mutable fp_writes : int;  (* pending write requests (clusters) *)
   mutable peak_reads : int;
   mutable peak_writes : int;
   inflight : (int, Buf.t) Hashtbl.t;  (* lblk -> source buffer *)
   issue_times : (int, Time.t) Hashtbl.t;  (* lblk -> read issue instant *)
   mutable retry_armed : bool;  (* a buffer-shortage retry is scheduled *)
+  (* Clustered write staging (file sinks, max_cluster > 1): completed
+     source blocks accumulate here; one callout drains the batch,
+     coalescing destination-contiguous runs into single writes. *)
+  mutable wq : (int * Buf.t) list;
+  mutable wflush_armed : bool;
+  (* Cluster slow start (4.3BSD cluster read-ahead ramp): run sizes grow
+     1, 2, 4, ... up to max_cluster as sequential progress is made, so
+     the first byte arrives with single-block latency instead of after a
+     full cluster's media time. *)
+  mutable ramp : int;
 }
 
 and file_sink =
@@ -195,7 +205,7 @@ let bytes_for t lblk = min t.block_size (t.total - (lblk * t.block_size))
 
 (* {1 File pump} *)
 
-let drained p = p.fp_reads = 0 && p.fp_writes = 0
+let drained p = p.fp_reads = 0 && p.fp_writes = 0 && p.wq = []
 
 let complete_if_done t (p : file_pump) =
   match t.st with
@@ -213,9 +223,35 @@ let rec issue_reads t (p : file_pump) n =
   if n > 0 && t.st = Running && p.next_read < p.nblocks then begin
     let lblk = p.next_read in
     let phys = p.src_map.(lblk) in
+    (* Cluster sizing: how many of the coming blocks are physically
+       contiguous on the source, capped by the cache's cluster bound.
+       Flow control counts requests, not blocks — a cluster occupies one
+       watermark slot, like one disksort entry in the BSD driver. With
+       max_cluster = 1 the run is always 1 and [Cache.breadn]
+       degenerates to the per-block [bread_nb]. *)
+    let run =
+      let cap =
+        min p.ramp (min (Cache.max_cluster t.ctx.cache) (p.nblocks - lblk))
+      in
+      let rec grow i =
+        if i < cap && p.src_map.(lblk + i) = phys + i then grow (i + 1) else i
+      in
+      grow 1
+    in
+    p.ramp <- min (Cache.max_cluster t.ctx.cache) (p.ramp * 2);
+    (* One handler activation per cluster completion: the member fan-out
+       runs back-to-back in one event, so only the first member pays the
+       callout cost — the interrupt-coalescing credit of §7 — and
+       retires the request's watermark slot. *)
+    let first = ref true in
     match
-      Cache.bread_nb t.ctx.cache (src_dev p) phys ~iodone:(fun b ->
-          read_done t p lblk b)
+      Cache.breadn t.ctx.cache (src_dev p) phys ~n:run ~iodone:(fun b ->
+          if !first then begin
+            first := false;
+            p.fp_reads <- p.fp_reads - 1;
+            charge t
+          end;
+          read_done t p b.Buf.b_lblkno b)
     with
     | `Busy ->
       (* Out of clean buffers: try again on the next clock tick. *)
@@ -239,28 +275,39 @@ let rec issue_reads t (p : file_pump) n =
       b.Buf.b_lblkno <- lblk;
       count t.ctx "splice.read_hits";
       Hashtbl.replace p.issue_times lblk (Engine.now t.ctx.engine);
+      charge t;
+      p.fp_reads <- p.fp_reads - 1;
       read_done t p lblk b;
       issue_reads t p (n - 1)
-    | `Started b ->
-      p.next_read <- lblk + 1;
+    | `Started members ->
+      let k = List.length members in
+      List.iteri
+        (fun i (b : Buf.t) ->
+          b.Buf.b_splice <- t.sd_id;
+          b.Buf.b_lblkno <- lblk + i;
+          count t.ctx "splice.reads_issued";
+          Hashtbl.replace p.issue_times (lblk + i) (Engine.now t.ctx.engine))
+        members;
+      p.next_read <- lblk + k;
       p.fp_reads <- p.fp_reads + 1;
       p.peak_reads <- max p.peak_reads p.fp_reads;
-      b.Buf.b_splice <- t.sd_id;
-      b.Buf.b_lblkno <- lblk;
-      count t.ctx "splice.reads_issued";
-      Hashtbl.replace p.issue_times lblk (Engine.now t.ctx.engine);
+      if k > 1 then count t.ctx "splice.cluster_reads";
       tr t.ctx (fun () ->
-          Printf.sprintf "sd%d read lblk %d -> phys %d (pending r=%d w=%d)"
-            t.sd_id lblk phys p.fp_reads p.fp_writes);
+          if k = 1 then
+            Printf.sprintf "sd%d read lblk %d -> phys %d (pending r=%d w=%d)"
+              t.sd_id lblk phys p.fp_reads p.fp_writes
+          else
+            Printf.sprintf
+              "sd%d clustered read lblk %d..%d -> phys %d (pending r=%d w=%d)"
+              t.sd_id lblk (lblk + k - 1) phys p.fp_reads p.fp_writes);
       issue_reads t p (n - 1)
   end
 
-(* Read handler: invoked at read completion (interrupt context). Hands
-   the locked buffer to the write side through the head of the callout
-   list (§5.3). *)
+(* Read handler: invoked at read completion (interrupt context; the
+   caller charges the handler activation and retires the pending-read
+   slot — once per cluster). Hands the locked buffer to the write side
+   through the head of the callout list (§5.3). *)
 and read_done t (p : file_pump) lblk (b : Buf.t) =
-  charge t;
-  p.fp_reads <- p.fp_reads - 1;
   match t.st with
   | Aborted _ ->
     Cache.brelse t.ctx.cache b;
@@ -278,14 +325,156 @@ and read_done t (p : file_pump) lblk (b : Buf.t) =
     end
     else begin
       Hashtbl.replace p.inflight lblk b;
-      p.fp_writes <- p.fp_writes + 1;
-      p.peak_writes <- max p.peak_writes p.fp_writes;
       tr t.ctx (fun () ->
           Printf.sprintf "sd%d read done lblk %d; write via callout head"
             t.sd_id lblk);
-      ignore
-        (Callout.schedule_head t.ctx.callout (fun () -> write_start t p lblk b))
+      match p.fp_sink with
+      | To_file _ when Cache.max_cluster t.ctx.cache > 1 ->
+        (* Clustered write staging: batch the blocks completing in this
+           event; one callout drains them, coalescing dst-contiguous
+           runs into single writes. The pending-write slot is taken when
+           a run is issued, one per write request. *)
+        p.wq <- (lblk, b) :: p.wq;
+        if not p.wflush_armed then begin
+          p.wflush_armed <- true;
+          ignore
+            (Callout.schedule_head t.ctx.callout (fun () -> flush_writes t p))
+        end
+      | _ ->
+        p.fp_writes <- p.fp_writes + 1;
+        p.peak_writes <- max p.peak_writes p.fp_writes;
+        ignore
+          (Callout.schedule_head t.ctx.callout (fun () ->
+               write_start t p lblk b))
     end
+
+(* Drain the clustered-write staging batch: runs that are consecutive
+   both logically and on the destination device (split at physical
+   discontinuities) become one multi-block write each. *)
+and flush_writes t (p : file_pump) =
+  p.wflush_armed <- false;
+  let batch = List.sort (fun (a, _) (b, _) -> compare a b) (List.rev p.wq) in
+  p.wq <- [];
+  let dst_map =
+    match p.fp_sink with To_file { dst_map; _ } -> dst_map | _ -> assert false
+  in
+  let mc = Cache.max_cluster t.ctx.cache in
+  let rec go = function
+    | [] -> ()
+    | ((lblk, _) as hd) :: rest ->
+      let rec grab acc k prev rest =
+        match rest with
+        | ((l, _) as e) :: tl
+          when k < mc && l = prev + 1 && dst_map.(l) = dst_map.(prev) + 1 ->
+          grab (e :: acc) (k + 1) l tl
+        | _ -> (List.rev acc, rest)
+      in
+      let run, rest = grab [ hd ] 1 lblk rest in
+      p.fp_writes <- p.fp_writes + 1;
+      p.peak_writes <- max p.peak_writes p.fp_writes;
+      (match run with
+       | [ (l, b) ] -> write_start t p l b
+       | _ -> write_cluster t p run);
+      go rest
+  in
+  go batch
+
+(* Clustered write: the members' data areas ride one header transfer
+   (the splice analog of cluster_wbuild), so the destination device
+   raises a single completion interrupt for the run. *)
+and write_cluster t (p : file_pump) run =
+  charge t;
+  if t.st <> Running then begin
+    p.fp_writes <- p.fp_writes - 1;
+    List.iter
+      (fun (lblk, _) ->
+        match Hashtbl.find_opt p.inflight lblk with
+        | Some src_buf ->
+          Hashtbl.remove p.inflight lblk;
+          Cache.brelse t.ctx.cache src_buf
+        | None -> ())
+      run;
+    complete_if_done t p
+  end
+  else
+    match p.fp_sink with
+    | To_file { dst_fs; dst_map } ->
+      let lblk0 = fst (List.hd run) in
+      let k = List.length run in
+      let hdr = Cache.getblk_hdr t.ctx.cache (Fs.dev dst_fs) dst_map.(lblk0) in
+      hdr.Buf.b_data <-
+        Bytes.concat Bytes.empty
+          (List.map (fun (_, (b : Buf.t)) -> b.Buf.b_data) run);
+      hdr.Buf.b_bcount <- k * t.block_size;
+      hdr.Buf.b_lblkno <- lblk0;
+      hdr.Buf.b_splice <- t.sd_id;
+      List.iter (fun _ -> count t.ctx "splice.writes_issued") run;
+      count t.ctx "splice.cluster_writes";
+      tr t.ctx (fun () ->
+          Printf.sprintf "sd%d clustered write lblk %d..%d -> phys %d" t.sd_id
+            lblk0 (lblk0 + k - 1) dst_map.(lblk0));
+      Cache.awrite_call t.ctx.cache hdr ~iodone:(fun hb ->
+          cluster_write_done t p run (Some hb))
+    | To_chardev _ | To_socket _ | To_tcp _ -> assert false
+
+(* Completion of a clustered write: one handler activation, then
+   per-block accounting (bytes moved, latency samples) and a single
+   flow-control step for the whole run. *)
+and cluster_write_done t (p : file_pump) run hdr =
+  charge t;
+  let write_error =
+    match hdr with
+    | Some (hb : Buf.t) ->
+      let e =
+        if Buf.has hb Buf.b_error_flag then
+          match hb.Buf.b_error with
+          | Some (Blkdev.Io_error m) -> Some m
+          | None -> Some "write error"
+        else None
+      in
+      Cache.release_hdr t.ctx.cache hb;
+      e
+    | None -> None
+  in
+  p.fp_writes <- p.fp_writes - 1;
+  List.iter
+    (fun (lblk, _) ->
+      match Hashtbl.find_opt p.inflight lblk with
+      | Some src_buf ->
+        Hashtbl.remove p.inflight lblk;
+        Cache.brelse t.ctx.cache src_buf
+      | None -> ())
+    run;
+  match (t.st, write_error) with
+  | Running, Some reason -> abort_pump t p reason
+  | Running, None ->
+    List.iter
+      (fun (lblk, _) ->
+        t.moved <- t.moved + bytes_for t lblk;
+        match Hashtbl.find_opt p.issue_times lblk with
+        | Some issued ->
+          Hashtbl.remove p.issue_times lblk;
+          Histogram.add
+            (Stats.histogram t.ctx.stats "splice.block_latency_us")
+            (int_of_float
+               (Time.to_us_f (Time.diff (Engine.now t.ctx.engine) issued)))
+        | None -> ())
+      run;
+    tr t.ctx (fun () ->
+        Printf.sprintf "sd%d clustered write done lblk %d..%d (%d/%d bytes)"
+          t.sd_id (fst (List.hd run))
+          (fst (List.hd run) + List.length run - 1)
+          t.moved t.total);
+    if t.moved >= t.total then complete_if_done t p
+    else begin
+      let burst =
+        Flowctl.reads_to_issue t.config ~pending_reads:p.fp_reads
+          ~pending_writes:p.fp_writes
+      in
+      issue_reads t p burst;
+      if drained p && p.next_read < p.nblocks then issue_reads t p 1
+    end
+  | (Aborted _ | Completed), _ -> complete_if_done t p
 
 (* Write side: runs from the callout list with a locked buffer of valid
    data (§5.4). *)
@@ -498,6 +687,9 @@ let start_file_pump ctx ~config ~src_fs ~src_ino ~src_off ~sink ~size =
       inflight = Hashtbl.create 16;
       issue_times = Hashtbl.create 16;
       retry_armed = false;
+      wq = [];
+      wflush_armed = false;
+      ramp = 1;
     }
   in
   let t = make_desc ctx ~config ~total ~block_size (File_pump pump) in

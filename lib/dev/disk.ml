@@ -44,6 +44,55 @@ type segment = {
 
 type queue_discipline = Fifo | Elevator
 
+(* Pending-request deque: O(1) append, O(1) FIFO pop, O(1) unlink of an
+   arbitrary node (for the elevator pick). The previous representation —
+   a list with [t.queue <- t.queue @ [req]] on every arrival and
+   [List.length] in [dv_pending] — cost O(n) per enqueue and made a
+   deep queue quadratic to drain. *)
+module Dq = struct
+  type node = {
+    req : Blkdev.req;
+    mutable prev : node option;
+    mutable next : node option;
+  }
+
+  type q = {
+    mutable head : node option;
+    mutable tail : node option;
+    mutable len : int;
+  }
+
+  let create () = { head = None; tail = None; len = 0 }
+  let is_empty q = q.len = 0
+  let length q = q.len
+
+  let push_back q req =
+    let n = { req; prev = q.tail; next = None } in
+    (match q.tail with Some t -> t.next <- Some n | None -> q.head <- Some n);
+    q.tail <- Some n;
+    q.len <- q.len + 1
+
+  let remove q n =
+    (match n.prev with Some p -> p.next <- n.next | None -> q.head <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> q.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None;
+    q.len <- q.len - 1
+
+  let pop_front q =
+    match q.head with
+    | None -> None
+    | Some n ->
+      remove q n;
+      Some n.req
+
+  (* Front-to-back, i.e. arrival order — the elevator's tie-break
+     stability depends on this. *)
+  let fold f acc q =
+    let rec go acc = function None -> acc | Some n -> go (f acc n) n.next in
+    go acc q.head
+end
+
 type t = {
   name : string;
   geometry : geometry;
@@ -56,7 +105,7 @@ type t = {
   segments : segment array;
   mutable head_pos : int; (* block following the last media access *)
   mutable stamp : int;
-  mutable queue : Blkdev.req list; (* pending, arrival order *)
+  queue : Dq.q; (* pending, arrival order *)
   mutable in_service : bool;
   store : (int, bytes) Hashtbl.t;
   mutable poisoned : int list; (* one-shot error injection *)
@@ -69,7 +118,7 @@ type t = {
 
 let geometry t = t.geometry
 
-let busy t = t.in_service || t.queue <> []
+let busy t = t.in_service || not (Dq.is_empty t.queue)
 
 let serviced t = t.serviced
 
@@ -97,6 +146,15 @@ let seek_time t ~from ~to_ =
   let frac = float_of_int dist /. float_of_int (max 1 t.nblocks) in
   let factor = 0.3 +. (2.1 *. frac) in
   Time.of_us_f (Time.to_us_f t.geometry.avg_seek *. factor)
+
+(* [find_segment], [lru_segment] and [invalidate_around] scan every
+   on-board cache segment linearly on every request. Real RZ-series
+   drives carry 1–4 segments ([rz56]/[rz58]), so the scans are constant
+   in practice; [create] rejects geometries with more than
+   [max_segments] so a future many-segment geometry cannot silently turn
+   these into a hot-path O(n) cost without someone noticing (there is an
+   invariant test pinning both facts in test_disk.ml). *)
+let max_segments = 16
 
 let find_segment t blkno =
   let found = ref None in
@@ -204,47 +262,50 @@ let transfer t (req : Blkdev.req) =
     else store_read t blkno req.r_data off
   done
 
+(* One-shot error injection. A single-block request consumes the poison
+   as before. A multi-block request fails WITHOUT consuming it: the
+   cluster layer above reacts to a failed clustered transfer by breaking
+   it up into single-block retries (the 4.3BSD cluster-breakup path), and
+   the retry of exactly the bad block must still see the error so it is
+   isolated to that block's buffer header alone. *)
 let poisoned_hit t (req : Blkdev.req) =
   let nblk = req.r_count / t.block_size in
-  let hit =
-    List.exists (fun b -> b >= req.r_blkno && b < req.r_blkno + nblk) t.poisoned
-  in
-  if hit then
-    t.poisoned <-
-      List.filter (fun b -> b < req.r_blkno || b >= req.r_blkno + nblk) t.poisoned;
+  let in_range b = b >= req.r_blkno && b < req.r_blkno + nblk in
+  let hit = List.exists in_range t.poisoned in
+  if hit && nblk = 1 then
+    t.poisoned <- List.filter (fun b -> not (in_range b)) t.poisoned;
   hit
 
 (* Pick the next request per the queue discipline. *)
 let pop_next t =
-  match t.queue with
-  | [] -> None
-  | [ only ] ->
-    t.queue <- [];
-    Some only
-  | reqs -> (
-    match t.discipline with
-    | Fifo ->
-      (match reqs with
-       | first :: rest ->
-         t.queue <- rest;
-         Some first
-       | [] -> None)
-    | Elevator ->
-      (* C-LOOK: the lowest block at or above the head, else the lowest
-         overall (wrap). Stable for equal blocks (arrival order). *)
-      let better (a : Blkdev.req) (b : Blkdev.req) =
-        let above r = r.Blkdev.r_blkno >= t.head_pos in
-        match (above a, above b) with
-        | true, false -> true
-        | false, true -> false
-        | _ -> a.Blkdev.r_blkno < b.Blkdev.r_blkno
-      in
-      let best =
-        List.fold_left (fun acc r -> if better r acc then r else acc)
-          (List.hd reqs) (List.tl reqs)
-      in
-      t.queue <- List.filter (fun r -> r != best) t.queue;
-      Some best)
+  if Dq.is_empty t.queue then None
+  else if Dq.length t.queue = 1 || t.discipline = Fifo then
+    Dq.pop_front t.queue
+  else begin
+    (* C-LOOK: the lowest block at or above the head, else the lowest
+       overall (wrap). Stable for equal blocks (arrival order: the fold
+       visits front-to-back and [better] is strict). *)
+    let better (a : Blkdev.req) (b : Blkdev.req) =
+      let above r = r.Blkdev.r_blkno >= t.head_pos in
+      match (above a, above b) with
+      | true, false -> true
+      | false, true -> false
+      | _ -> a.Blkdev.r_blkno < b.Blkdev.r_blkno
+    in
+    let best =
+      Dq.fold
+        (fun acc n ->
+          match acc with
+          | Some bn when not (better n.Dq.req bn.Dq.req) -> acc
+          | _ -> Some n)
+        None t.queue
+    in
+    match best with
+    | None -> None
+    | Some n ->
+      Dq.remove t.queue n;
+      Some n.Dq.req
+  end
 
 let rec service_next t =
   if not t.in_service then begin
@@ -272,6 +333,12 @@ let rec service_next t =
 let create ~name ~geometry ~block_size ~nblocks ~intr_service
     ?(queue = Fifo) ~engine ~intr () =
   if block_size <= 0 || nblocks <= 0 then invalid_arg "Disk.create: bad geometry";
+  if geometry.readahead_segments > max_segments then
+    invalid_arg
+      (Printf.sprintf
+         "Disk.create: %d read-ahead segments > %d (find_segment and \
+          invalidate_around scan segments linearly on every request)"
+         geometry.readahead_segments max_segments);
   let t =
     {
       name;
@@ -287,7 +354,7 @@ let create ~name ~geometry ~block_size ~nblocks ~intr_service
             { seg_next = -1; seg_media_clock = Time.zero; seg_stamp = 0 });
       head_pos = 0;
       stamp = 0;
-      queue = [];
+      queue = Dq.create ();
       in_service = false;
       store = Hashtbl.create 1024;
       poisoned = [];
@@ -310,10 +377,10 @@ let create ~name ~geometry ~block_size ~nblocks ~intr_service
           Stats.incr
             (Stats.counter t.stats
                (if req.r_write then "disk.writes" else "disk.reads"));
-          t.queue <- t.queue @ [ req ];
+          Dq.push_back t.queue req;
           service_next t);
       dv_pending =
-        (fun () -> List.length t.queue + if t.in_service then 1 else 0);
+        (fun () -> Dq.length t.queue + if t.in_service then 1 else 0);
       dv_stats = t.stats;
     }
   in

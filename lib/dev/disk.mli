@@ -76,7 +76,16 @@ val write_block_direct : t -> int -> bytes -> unit
 
 val inject_error : t -> blkno:int -> unit
 (** Make the next request touching [blkno] fail with an I/O error
-    (one-shot), for failure-injection tests. *)
+    (one-shot), for failure-injection tests. Only a single-block request
+    consumes the injected error; a failed multi-block request leaves it
+    armed so the cluster layer's single-block breakup retries can
+    isolate it to exactly the bad block. *)
+
+val max_segments : int
+(** Upper bound on [readahead_segments] accepted by [create]. The
+    segment table is scanned linearly on every request (fine for the
+    1–4 segments of real RZ drives); geometries beyond this bound are
+    rejected rather than silently degrading the hot path. *)
 
 val busy : t -> bool
 (** [true] while a request is being serviced. *)

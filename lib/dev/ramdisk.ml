@@ -25,14 +25,15 @@ let transfer t (req : Blkdev.req) =
   if req.r_write then Bytes.blit req.r_data 0 t.store off req.r_count
   else Bytes.blit t.store off req.r_data 0 req.r_count
 
+(* One-shot, but only a single-block request consumes the poison: a
+   failed multi-block transfer leaves it in place so the cluster layer's
+   single-block breakup retries still hit it (see Disk.poisoned_hit). *)
 let poisoned_hit t (req : Blkdev.req) =
   let nblk = req.r_count / t.block_size in
-  let hit =
-    List.exists (fun b -> b >= req.r_blkno && b < req.r_blkno + nblk) t.poisoned
-  in
-  if hit then
-    t.poisoned <-
-      List.filter (fun b -> b < req.r_blkno || b >= req.r_blkno + nblk) t.poisoned;
+  let in_range b = b >= req.r_blkno && b < req.r_blkno + nblk in
+  let hit = List.exists in_range t.poisoned in
+  if hit && nblk = 1 then
+    t.poisoned <- List.filter (fun b -> not (in_range b)) t.poisoned;
   hit
 
 let create ~name ~copy_rate ~block_size ~nblocks ?arbiter:arb

@@ -378,9 +378,35 @@ let rec issue_reads t (sn : source) n =
   then begin
     let lblk = sn.sn_next_read in
     let phys = sn.sn_map.(lblk) in
+    (* Cluster sizing: physically contiguous source blocks, capped by
+       the cache's cluster bound and by this burst's block allowance [n]
+       (so the window accounting in [burst_for] stays block-accurate).
+       With max_cluster = 1 this is always 1 and [Cache.breadn]
+       degenerates to the per-block [bread_nb]. *)
+    let run =
+      let cap =
+        min (Cache.max_cluster t.ctx.cache) (min n (sn.sn_nblocks - lblk))
+      in
+      let rec grow i =
+        if i < cap && sn.sn_map.(lblk + i) = phys + i then grow (i + 1) else i
+      in
+      grow 1
+    in
+    (* The member fan-out of a cluster runs back-to-back in one
+       completion event: only the first member pays the handler
+       activation (interrupt coalescing, §7), and the live-edge set is
+       snapshotted once so every member of the cluster is pinned to the
+       same edges — the cluster is aliased as a unit. *)
+    let first = ref true in
+    let live_snap = ref [] in
     match
-      Cache.bread_nb t.ctx.cache (src_dev sn) phys ~iodone:(fun b ->
-          read_done t sn lblk b)
+      Cache.breadn t.ctx.cache (src_dev sn) phys ~n:run ~iodone:(fun b ->
+          if !first then begin
+            first := false;
+            charge t;
+            live_snap := live_edges sn
+          end;
+          read_done t sn ~live:!live_snap b.Buf.b_lblkno b)
     with
     | `Busy ->
       (* Out of clean buffers (or the block is held elsewhere): try
@@ -400,27 +426,38 @@ let rec issue_reads t (sn : source) n =
       sn.sn_consumed <- sn.sn_consumed + 1;
       b.Buf.b_lblkno <- lblk;
       count t.ctx "graph.read_hits";
-      read_done t sn lblk b;
+      charge t;
+      read_done t sn ~live:(live_edges sn) lblk b;
       issue_reads t sn (n - 1)
-    | `Started b ->
-      sn.sn_next_read <- lblk + 1;
-      sn.sn_reads <- sn.sn_reads + 1;
+    | `Started members ->
+      let k = List.length members in
+      List.iteri
+        (fun i (b : Buf.t) ->
+          b.Buf.b_lblkno <- lblk + i;
+          count t.ctx "graph.reads_issued")
+        members;
+      sn.sn_next_read <- lblk + k;
+      sn.sn_reads <- sn.sn_reads + k;
       sn.sn_peak_reads <- max sn.sn_peak_reads sn.sn_reads;
-      sn.sn_consumed <- sn.sn_consumed + 1;
-      b.Buf.b_lblkno <- lblk;
-      count t.ctx "graph.reads_issued";
+      sn.sn_consumed <- sn.sn_consumed + k;
+      if k > 1 then count t.ctx "graph.cluster_reads";
       tr t.ctx (fun () ->
-          Printf.sprintf "g%d src%d read lblk %d -> phys %d (pending r=%d)"
-            t.g_id sn.sn_id lblk phys sn.sn_reads);
-      issue_reads t sn (n - 1)
+          if k = 1 then
+            Printf.sprintf "g%d src%d read lblk %d -> phys %d (pending r=%d)"
+              t.g_id sn.sn_id lblk phys sn.sn_reads
+          else
+            Printf.sprintf
+              "g%d src%d clustered read lblk %d..%d -> phys %d (pending r=%d)"
+              t.g_id sn.sn_id lblk (lblk + k - 1) phys sn.sn_reads);
+      issue_reads t sn (n - k)
   end
 
 (* Read handler (interrupt context): pin the buffer once per live edge
    and hand each edge its write through the head of the callout list.
    The block is read from the device exactly once, however many edges
-   share it. *)
-and read_done t (sn : source) lblk (b : Buf.t) =
-  charge t;
+   share it. [live] is the edge set the block is aliased to — for a
+   clustered read, the caller snapshots it once for all members. *)
+and read_done t (sn : source) ~live lblk (b : Buf.t) =
   sn.sn_reads <- sn.sn_reads - 1;
   match t.st with
   | Aborted _ ->
@@ -438,7 +475,7 @@ and read_done t (sn : source) lblk (b : Buf.t) =
       abort t ~reason
     end
     else begin
-      match live_edges sn with
+      match live with
       | [] ->
         (* Every consumer died while the read was in flight. *)
         Cache.brelse t.ctx.cache b;

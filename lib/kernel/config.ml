@@ -14,6 +14,7 @@ type t = {
   copy_rate : float;
   block_size : int;
   cache_bytes : int;
+  max_cluster : int;
   ramdisk_blocks : int;
 }
 
@@ -36,6 +37,10 @@ let decstation_5000_200 =
     copy_rate = 6.7e6;
     block_size = 8192;
     cache_bytes = 3_200 * 1024;
+    (* Cluster up to 8 contiguous blocks (64 KB) per device request —
+       the transfer unit §7 proposes to amortise per-block strategy and
+       interrupt costs. 1 disables clustering (the per-block paths). *)
+    max_cluster = 8;
     ramdisk_blocks = 2048 (* 16 MB / 8 KB *);
   }
 

@@ -34,6 +34,10 @@ type t = {
   (* Buffer cache *)
   block_size : int;  (** filesystem block size (8 KB) *)
   cache_bytes : int;  (** buffer cache size (3.2 MB) *)
+  max_cluster : int;
+      (** largest run of physically contiguous blocks coalesced into a
+          single device request by the cluster I/O paths (8 blocks =
+          64 KB, the larger transfer unit of §7; 1 disables clustering) *)
   (* RAM disk *)
   ramdisk_blocks : int;  (** 16 MB of kernel BSS *)
 }

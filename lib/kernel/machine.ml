@@ -30,7 +30,8 @@ let create ?(config = Config.decstation_5000_200) ?engine () =
   let callout = Callout.create ~tick:config.Config.callout_tick engine in
   let cache =
     Cache.create ~block_size:config.Config.block_size
-      ~nbufs:(Config.cache_nbufs config) ()
+      ~nbufs:(Config.cache_nbufs config)
+      ~max_cluster:config.Config.max_cluster ()
   in
   let intr ~service fn = Sched.interrupt sched ~service fn in
   let trace = Trace.create ~clock:(fun () -> Engine.now engine) () in

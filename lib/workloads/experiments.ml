@@ -15,6 +15,7 @@ type setup = {
   src_path : string;
   dst_path : string;
   file_bytes : int;
+  drives : Machine.drive list;  (* [src; dst] — dst aliases src when same_disk *)
 }
 
 (* Drives must hold the file plus metadata; the RAM disk is fixed at
@@ -35,6 +36,10 @@ let make_setup ~disk ?(file_bytes = 8 * 1024 * 1024) ?(same_disk = false)
   let d0 =
     Machine.make_drive m ~name:"disk0" ~kind:disk ?nblocks ?queue:disk_queue ()
   in
+  let d1 =
+    if same_disk then d0
+    else Machine.make_drive m ~name:"disk1" ~kind:disk ?nblocks ?queue:disk_queue ()
+  in
   let setup_done = ref false in
   let _init =
     Machine.spawn m ~name:"init" (fun () ->
@@ -42,10 +47,6 @@ let make_setup ~disk ?(file_bytes = 8 * 1024 * 1024) ?(same_disk = false)
         Machine.mount m "/src" fs0;
         (if same_disk then Machine.mount m "/dst" fs0
          else begin
-           let d1 =
-             Machine.make_drive m ~name:"disk1" ~kind:disk ?nblocks
-               ?queue:disk_queue ()
-           in
            let fs1 =
              Fs.mkfs ~cache:(Machine.cache m) (Machine.blkdev d1) ~ninodes:64
            in
@@ -62,7 +63,15 @@ let make_setup ~disk ?(file_bytes = 8 * 1024 * 1024) ?(same_disk = false)
   Sched.exit_hook writer (fun () -> writer_done := true);
   Machine.run m;
   if not !writer_done then failwith "source file creation failed";
-  let s = { machine = m; src_path = "/src/data"; dst_path = "/dst/copy"; file_bytes } in
+  let s =
+    {
+      machine = m;
+      src_path = "/src/data";
+      dst_path = "/dst/copy";
+      file_bytes;
+      drives = [ d0; d1 ];
+    }
+  in
   s
 
 let cold_caches s =
@@ -159,8 +168,8 @@ let idle_seconds ~ops =
   | Some t -> Time.to_sec_f t
   | None -> failwith "idle test program did not finish"
 
-let slowdown ~mode ~disk ?file_bytes ?pace ~ops () =
-  let s = make_setup ~disk ?file_bytes () in
+let slowdown ~mode ~disk ?file_bytes ?pace ?machine_config ~ops () =
+  let s = make_setup ~disk ?file_bytes ?machine_config () in
   cold_caches s;
   let test_stats = Programs.fresh_test_stats () in
   let stop = ref false in
@@ -230,6 +239,52 @@ let availability_timeline ~mode ~disk ?file_bytes ?pace ?(ops = 2000)
   sample 0;
   Machine.run s.machine;
   List.rev !samples
+
+(* {1 Cluster sweep (§7 "larger transfer units")} *)
+
+let drive_serviced = function
+  | Machine.Scsi d -> Kpath_dev.Disk.serviced d
+  | Machine.Ram r -> Kpath_dev.Ramdisk.serviced r
+
+type cluster_row = {
+  cl_cluster : int;
+  cl_disk : disk_kind;
+  cl_scp_kbps : float;
+  cl_intrs_per_mb : float;
+  cl_f_scp : float;
+}
+
+let measure_cluster ~disk ?file_bytes ?(ops = 2000) ?(pace = Some 1.0e6)
+    ~cluster () =
+  let machine_config =
+    { Config.decstation_5000_200 with max_cluster = cluster }
+  in
+  (* Throughput and device interrupts on an otherwise idle machine. *)
+  let s = make_setup ~disk ?file_bytes ~machine_config () in
+  cold_caches s;
+  let before = List.fold_left (fun a d -> a + drive_serviced d) 0 s.drives in
+  let stats = Programs.fresh_copy_stats () in
+  let _copier = Programs.spawn_scp s.machine ~src:s.src_path ~dst:s.dst_path stats in
+  Machine.run s.machine;
+  if stats.Programs.copies_done < 1 then failwith "cluster copy did not complete";
+  let seconds =
+    Time.to_sec_f (Time.diff stats.Programs.copy_finished stats.Programs.copy_started)
+  in
+  let after = List.fold_left (fun a d -> a + drive_serviced d) 0 s.drives in
+  if not (verify_dst s) then failwith "cluster copy corrupted the destination";
+  let mb = float_of_int stats.Programs.bytes_copied /. (1024.0 *. 1024.0) in
+  (* CPU availability: test-program slowdown under a paced scp loop. *)
+  let f_scp = slowdown ~mode:`Scp ~disk ?file_bytes ?pace ~machine_config ~ops () in
+  {
+    cl_cluster = cluster;
+    cl_disk = disk;
+    cl_scp_kbps = float_of_int stats.Programs.bytes_copied /. 1024.0 /. seconds;
+    cl_intrs_per_mb = float_of_int (after - before) /. mb;
+    cl_f_scp = f_scp;
+  }
+
+let cluster_sweep ~disk ?file_bytes ?ops ?pace sizes =
+  List.map (fun cluster -> measure_cluster ~disk ?file_bytes ?ops ?pace ~cluster ()) sizes
 
 (* {1 Ablations} *)
 

@@ -17,6 +17,8 @@ type setup = {
   src_path : string;
   dst_path : string;
   file_bytes : int;
+  drives : Kpath_kernel.Machine.drive list;
+      (** [src; dst] drives — [dst] aliases [src] when [same_disk] *)
 }
 
 val make_setup :
@@ -87,6 +89,7 @@ val slowdown :
   disk:disk_kind ->
   ?file_bytes:int ->
   ?pace:float ->
+  ?machine_config:Config.t ->
   ops:int ->
   unit ->
   float
@@ -113,6 +116,43 @@ val availability_timeline :
 (** Figure-equivalent for Table 1: the test program's completed
     operations per [bucket] (default 250 ms) while the copy loop
     contends — the shape of CPU availability over time. *)
+
+(** {1 Cluster sweep — §7 "larger transfer units"} *)
+
+type cluster_row = {
+  cl_cluster : int;  (** [max_cluster] this row ran with *)
+  cl_disk : disk_kind;
+  cl_scp_kbps : float;  (** splice copy throughput, idle machine *)
+  cl_intrs_per_mb : float;
+      (** device completion interrupts raised per MB copied (requests
+          completed across both drives during the copy) *)
+  cl_f_scp : float;
+      (** test-program slowdown factor under the paced splice copy *)
+}
+
+val measure_cluster :
+  disk:disk_kind ->
+  ?file_bytes:int ->
+  ?ops:int ->
+  ?pace:float option ->
+  cluster:int ->
+  unit ->
+  cluster_row
+(** One cold splice copy with [max_cluster = cluster]: throughput and
+    device interrupts per MB on an idle machine, then the Table 1-style
+    availability factor under a paced copy loop. Defaults match
+    {!table1}: 2000 ops, copy paced to 1 MB/s. *)
+
+val cluster_sweep :
+  disk:disk_kind ->
+  ?file_bytes:int ->
+  ?ops:int ->
+  ?pace:float option ->
+  int list ->
+  cluster_row list
+(** {!measure_cluster} across cluster sizes — the §7 "larger transfer
+    units" projection: interrupts per MB fall with the cluster size
+    while cluster 1 reproduces the per-block path exactly. *)
 
 (** {1 Ablations and sweeps} *)
 

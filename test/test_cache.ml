@@ -5,7 +5,7 @@ open Kpath_buf
 
 (* A small rig: engine, scheduler, one disk and a cache; [body] runs in a
    process. *)
-let with_rig ?(nbufs = 8) body =
+let with_rig ?(nbufs = 8) ?(max_cluster = 1) body =
   let engine = Engine.create () in
   let sched = Sched.create engine in
   let intr ~service fn = Sched.interrupt sched ~service fn in
@@ -14,7 +14,7 @@ let with_rig ?(nbufs = 8) body =
       ~intr_service:(Time.us 60) ~engine ~intr ()
   in
   let dev = Disk.blkdev disk in
-  let cache = Cache.create ~block_size:512 ~nbufs () in
+  let cache = Cache.create ~block_size:512 ~nbufs ~max_cluster () in
   let result = ref None in
   let p =
     Sched.spawn sched ~name:"rig" (fun () -> result := Some (body cache dev disk))
@@ -322,6 +322,181 @@ let test_unpin_exactly_once () =
         (Invalid_argument "Cache.pin: buffer not busy") (fun () ->
           Cache.pin cache b))
 
+(* {1 Clustered I/O (breadn / flush coalescing)} *)
+
+let stat cache name = Stats.get (Cache.stats cache) name
+
+let test_breadn_full_run () =
+  let results = ref [] in
+  let delta = ref (-1) in
+  with_rig ~max_cluster:4 (fun cache dev disk ->
+      for i = 0 to 3 do
+        Disk.write_block_direct disk (20 + i)
+          (Bytes.make 512 (Char.chr (Char.code 'a' + i)))
+      done;
+      let served = Disk.serviced disk in
+      (match
+         Cache.breadn cache dev 20 ~n:4 ~iodone:(fun b ->
+             results :=
+               (b.Buf.b_blkno, b.Buf.b_error <> None, Bytes.get b.Buf.b_data 0)
+               :: !results;
+             Cache.brelse cache b)
+       with
+       | `Started members ->
+         Alcotest.(check (list int))
+           "members cover the run in ascending order" [ 20; 21; 22; 23 ]
+           (List.map (fun (b : Buf.t) -> b.Buf.b_blkno) members)
+       | `Hit _ | `Busy -> Alcotest.fail "expected a started cluster");
+      (* Sleeping on any member waits out the whole transfer. *)
+      let b = Cache.bread cache dev 23 in
+      Cache.brelse cache b;
+      delta := Disk.serviced disk - served;
+      Alcotest.(check int) "one cluster read" 1 (stat cache "cache.cluster_reads"));
+  Alcotest.(check int) "one device request for four blocks" 1 !delta;
+  Alcotest.(check (list (triple int bool char)))
+    "every member completed clean with its own block's bytes"
+    [ (20, false, 'a'); (21, false, 'b'); (22, false, 'c'); (23, false, 'd') ]
+    (List.sort compare !results)
+
+let test_breadn_truncated_by_cached_and_busy () =
+  with_rig ~max_cluster:8 (fun cache dev _ ->
+      (* A valid cached block mid-run stops the cluster before it. *)
+      let b = Cache.bread cache dev 22 in
+      Cache.brelse cache b;
+      (match
+         Cache.breadn cache dev 20 ~n:8 ~iodone:(fun b -> Cache.brelse cache b)
+       with
+       | `Started members ->
+         Alcotest.(check (list int)) "run stops at the cached block" [ 20; 21 ]
+           (List.map (fun (b : Buf.t) -> b.Buf.b_blkno) members)
+       | `Hit _ | `Busy -> Alcotest.fail "expected a started cluster");
+      let b = Cache.bread cache dev 21 in
+      Cache.brelse cache b;
+      (* A busy block truncates the same way. *)
+      let held = Cache.getblk cache dev 27 in
+      (match
+         Cache.breadn cache dev 25 ~n:8 ~iodone:(fun b -> Cache.brelse cache b)
+       with
+       | `Started members ->
+         Alcotest.(check (list int)) "run stops at the busy block" [ 25; 26 ]
+           (List.map (fun (b : Buf.t) -> b.Buf.b_blkno) members)
+       | `Hit _ | `Busy -> Alcotest.fail "expected a started cluster");
+      let b = Cache.bread cache dev 26 in
+      Cache.brelse cache b;
+      Cache.brelse cache held)
+
+let test_breadn_error_poisons_one_block () =
+  let results = ref [] in
+  let breakups = ref 0 in
+  with_rig ~max_cluster:4 (fun cache dev disk ->
+      for i = 0 to 3 do
+        Disk.write_block_direct disk (20 + i) (Bytes.make 512 'e')
+      done;
+      Disk.inject_error disk ~blkno:21;
+      (match
+         Cache.breadn cache dev 20 ~n:4 ~iodone:(fun b ->
+             results := (b.Buf.b_blkno, b.Buf.b_error <> None) :: !results;
+             Cache.brelse cache b)
+       with
+       | `Started members ->
+         Alcotest.(check int) "run of 4" 4 (List.length members)
+       | `Hit _ | `Busy -> Alcotest.fail "expected a started cluster");
+      (* Block 20's retry succeeds, so sleeping on it waits out the
+         breakup; 21 stays errored, so wait on the last member too. *)
+      let b = Cache.bread cache dev 20 in
+      Cache.brelse cache b;
+      let b = Cache.bread cache dev 23 in
+      Cache.brelse cache b;
+      breakups := stat cache "cache.cluster_breakups");
+  Alcotest.(check int) "cluster broke up once" 1 !breakups;
+  Alcotest.(check (list (pair int bool)))
+    "only the poisoned block's header carries the error"
+    [ (20, false); (21, true); (22, false); (23, false) ]
+    (List.sort compare !results)
+
+let test_flush_coalesces_adjacent_only () =
+  with_rig ~max_cluster:8 (fun cache dev disk ->
+      let dirty blkno c =
+        let b = Cache.getblk cache dev blkno in
+        fill_buf b c;
+        Cache.bdwrite cache b
+      in
+      dirty 10 'a';
+      dirty 11 'b';
+      dirty 13 'c';
+      let served = Disk.serviced disk in
+      Cache.flush_blocks cache dev [ 10; 11; 13 ];
+      Alcotest.(check int) "adjacent pair rides one request: two writes" 2
+        (Disk.serviced disk - served);
+      Alcotest.(check int) "one cluster write" 1
+        (stat cache "cache.cluster_writes");
+      Alcotest.(check int) "all clean" 0 (Cache.dirty_count cache);
+      List.iter
+        (fun (blkno, c) ->
+          Alcotest.(check bytes)
+            (Printf.sprintf "block %d persisted" blkno)
+            (Bytes.make 512 c)
+            (Disk.read_block_direct disk blkno))
+        [ (10, 'a'); (11, 'b'); (13, 'c') ])
+
+(* Property: with [max_cluster = 1], [breadn] is [bread_nb] — byte- and
+   event-identical, down to the simulated clock and cache stats. *)
+let prop_cluster1_identity =
+  QCheck.Test.make
+    ~name:"max_cluster=1: breadn is byte- and event-identical to bread_nb"
+    ~count:40
+    (QCheck.make
+       ~print:
+         QCheck.Print.(list (pair int int))
+       QCheck.Gen.(list_size (1 -- 12) (pair (0 -- 40) (1 -- 4))))
+    (fun ops ->
+      let run use_breadn =
+        let engine = Engine.create () in
+        let sched = Sched.create engine in
+        let intr ~service fn = Sched.interrupt sched ~service fn in
+        let disk =
+          Disk.create ~name:"d0" ~geometry:Disk.rz58 ~block_size:512
+            ~nblocks:64 ~intr_service:(Time.us 60) ~engine ~intr ()
+        in
+        let dev = Disk.blkdev disk in
+        for i = 0 to 63 do
+          Disk.write_block_direct disk i (Bytes.make 512 (Char.chr (32 + i)))
+        done;
+        let cache = Cache.create ~block_size:512 ~nbufs:6 ~max_cluster:1 () in
+        let log = Buffer.create 64 in
+        let record (b : Buf.t) =
+          Buffer.add_char log (Bytes.get b.Buf.b_data 0);
+          Cache.brelse cache b
+        in
+        let _p =
+          Sched.spawn sched ~name:"drv" (fun () ->
+              List.iter
+                (fun (blkno, n) ->
+                  (if use_breadn then
+                     match Cache.breadn cache dev blkno ~n ~iodone:record with
+                     | `Hit b -> record b
+                     | `Started _ | `Busy -> ()
+                   else
+                     match Cache.bread_nb cache dev blkno ~iodone:record with
+                     | `Hit b -> record b
+                     | `Started _ | `Busy -> ());
+                  (* Serialise: wait out any in-flight read. *)
+                  let b = Cache.bread cache dev blkno in
+                  Buffer.add_char log (Bytes.get b.Buf.b_data 0);
+                  Cache.brelse cache b)
+                ops)
+        in
+        Engine.run engine;
+        Sched.check_deadlock sched;
+        Cache.check_invariants cache;
+        ( Buffer.contents log,
+          Disk.serviced disk,
+          Time.to_us_f (Engine.now engine),
+          Stats.get (Cache.stats cache) "cache.hits",
+          Stats.get (Cache.stats cache) "cache.misses" )
+      in
+      run true = run false)
+
 let suite =
   [
     Alcotest.test_case "getblk claims busy" `Quick test_getblk_claims_busy;
@@ -343,4 +518,13 @@ let suite =
     Alcotest.test_case "buffer contention" `Quick test_two_processes_contend_for_buffer;
     Alcotest.test_case "pin defers release" `Quick test_pin_defers_release;
     Alcotest.test_case "unpin exactly once" `Quick test_unpin_exactly_once;
+    Alcotest.test_case "breadn full run, one interrupt" `Quick
+      test_breadn_full_run;
+    Alcotest.test_case "breadn truncated by cached/busy block" `Quick
+      test_breadn_truncated_by_cached_and_busy;
+    Alcotest.test_case "breadn error isolated by breakup" `Quick
+      test_breadn_error_poisons_one_block;
+    Alcotest.test_case "flush coalesces adjacent dirty blocks" `Quick
+      test_flush_coalesces_adjacent_only;
+    Util.qcheck prop_cluster1_identity;
   ]

@@ -330,6 +330,32 @@ let test_elevator_beats_fifo_on_interleaved_streams () =
   let fifo = run Disk.Fifo and elev = run Disk.Elevator in
   Alcotest.(check bool) "elevator no slower" true Time.(elev <= fifo)
 
+(* [find_segment] / [invalidate_around] scan read-ahead segments linearly
+   on every request, so [create] caps [readahead_segments]: the shipped
+   geometries must fit under the cap, and an oversized geometry must be
+   refused loudly. *)
+let test_max_segments_guard () =
+  List.iter
+    (fun (name, (g : Disk.geometry)) ->
+      Alcotest.(check bool)
+        (name ^ " fits under max_segments")
+        true
+        (g.Disk.readahead_segments <= Disk.max_segments))
+    [ ("rz56", Disk.rz56); ("rz58", Disk.rz58) ];
+  let engine = Engine.create () in
+  let bad =
+    { Disk.rz58 with Disk.readahead_segments = Disk.max_segments + 1 }
+  in
+  Alcotest.check_raises "oversized geometry refused"
+    (Invalid_argument
+       (Printf.sprintf
+          "Disk.create: %d read-ahead segments > %d (find_segment and \
+           invalidate_around scan segments linearly on every request)"
+          (Disk.max_segments + 1) Disk.max_segments)) (fun () ->
+      ignore
+        (Disk.create ~name:"bad" ~geometry:bad ~block_size:8192 ~nblocks:64
+           ~intr_service:(Time.us 60) ~engine ~intr:Util.free_intr ()))
+
 let suite =
   [
     Alcotest.test_case "write/read round trip" `Quick test_write_read_roundtrip;
@@ -347,4 +373,5 @@ let suite =
     Alcotest.test_case "segmented read-ahead" `Quick test_segmented_readahead_handles_two_streams;
     Alcotest.test_case "elevator ordering" `Quick test_elevator_orders_by_position;
     Alcotest.test_case "elevator vs FIFO" `Quick test_elevator_beats_fifo_on_interleaved_streams;
+    Alcotest.test_case "max_segments guard" `Quick test_max_segments_guard;
   ]

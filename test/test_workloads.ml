@@ -197,6 +197,22 @@ let test_paper_shapes_hold () =
   Alcotest.(check bool) "improvement largest on the fastest device" true
     (ram1.Experiments.av_pct > best_disk)
 
+(* The clustering acceptance claim: multi-block transfers collapse
+   per-block completion interrupts, so interrupts/MB must drop by at
+   least the cluster factor's ballpark (>= 4x at max_cluster = 8), while
+   the copy still verifies and throughput does not regress. *)
+let test_clustering_cuts_interrupts () =
+  let at cluster =
+    Experiments.measure_cluster ~disk:`Rz58 ~file_bytes:mb ~ops:200 ~cluster ()
+  in
+  let c1 = at 1 and c8 = at 8 in
+  Alcotest.(check bool) "interrupt rate drops at least 4x" true
+    (c1.Experiments.cl_intrs_per_mb >= 4.0 *. c8.Experiments.cl_intrs_per_mb);
+  Alcotest.(check bool) "throughput does not regress" true
+    (c8.Experiments.cl_scp_kbps >= 0.97 *. c1.Experiments.cl_scp_kbps);
+  Alcotest.(check bool) "clustered copy leaves more CPU available" true
+    (c8.Experiments.cl_f_scp <= c1.Experiments.cl_f_scp +. 0.001)
+
 let suite =
   [
     Alcotest.test_case "measure_copy verifies" `Quick test_measure_copy_verifies;
@@ -214,4 +230,6 @@ let suite =
     Alcotest.test_case "mmap copier (related work)" `Quick test_mcp_copy;
     Alcotest.test_case "paper shapes hold at 8MB" `Slow test_paper_shapes_hold;
     Alcotest.test_case "availability timeline" `Quick test_timeline_shape;
+    Alcotest.test_case "clustering cuts interrupts" `Quick
+      test_clustering_cuts_interrupts;
   ]
