@@ -10,7 +10,8 @@
      dune exec bench/main.exe -- quick        -- everything at reduced size
    Targets: table1 table1-natural table2 ablation-watermarks
             ablation-lockstep sweep-size sweep-fanout sweep-cluster
-            sweep-cluster-quick smoke table-udp bechamel quick all *)
+            sweep-cluster-quick sweep-wallclock smoke table-udp bechamel
+            quick all *)
 
 open Kpath_workloads
 
@@ -510,6 +511,214 @@ let smoke ?(path = "BENCH_kpath.json") () =
                  results written to %s\n"
     t1_host t2_host cl_host path
 
+(* {1 Wall-clock sweep: heap vs wheel engine, events/sec + GC, JSON} *)
+
+(* Run [f] with the GC settled, returning its result plus host seconds,
+   minor words allocated and major collections triggered. *)
+let gc_run f =
+  Gc.full_major ();
+  let s0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let host = Unix.gettimeofday () -. t0 in
+  let s1 = Gc.quick_stat () in
+  ( r,
+    host,
+    s1.Gc.minor_words -. s0.Gc.minor_words,
+    s1.Gc.major_collections - s0.Gc.major_collections )
+
+(* Run [f] in a forked child and marshal its result back. A 1024-client
+   fan-out legitimately holds ~1 GB of queued frames live; OCaml 5.1
+   cannot compact the major heap afterwards, so without process
+   isolation every later row would pay sweep cost proportional to the
+   accumulated heap of the rows before it — the measurements would
+   depend on their position in the sweep. *)
+(* Throughput-oriented GC for the measurement children: a 32 MB minor
+   heap and a relaxed space overhead trade transient footprint (the
+   children die right after the row) for fewer collections, the same
+   way one sizes a JVM heap for a benchmark host. Recorded in the JSON
+   so the numbers are interpretable. *)
+let bench_gc_space_overhead = 200
+let bench_gc_minor_heap = 4 * 1024 * 1024 (* words *)
+
+let in_child (f : unit -> 'a) : 'a =
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close rd;
+    Gc.set
+      { (Gc.get ()) with
+        Gc.space_overhead = bench_gc_space_overhead;
+        minor_heap_size = bench_gc_minor_heap;
+      };
+    let result = (try Ok (f ()) with e -> Error (Printexc.to_string e)) in
+    let oc = Unix.out_channel_of_descr wr in
+    Marshal.to_channel oc result [];
+    flush oc;
+    Unix._exit 0
+  | pid -> (
+    Unix.close wr;
+    let ic = Unix.in_channel_of_descr rd in
+    let result : ('a, string) result = Marshal.from_channel ic in
+    close_in ic;
+    ignore (Unix.waitpid [] pid);
+    match result with
+    | Ok v -> v
+    | Error msg -> failwith ("sweep-wallclock child: " ^ msg))
+
+(* Pure engine scheduling rate: 64 self-rescheduling callouts, no
+   processes or devices — isolates the queue backend's per-event cost
+   and shows the pooled handles' steady-state allocation (~0 words). *)
+let engine_microbench backend =
+  let open Kpath_sim in
+  let e = Engine.create ~backend ~tick:(Time.us 1000) () in
+  let stop_at = ref 0 in
+  let rec tick () =
+    if Engine.events_fired e < !stop_at then
+      ignore (Engine.schedule_after e (Time.us 700) tick)
+  in
+  let run_batch target =
+    stop_at := target;
+    for _ = 1 to 64 do
+      ignore (Engine.schedule_after e (Time.us 700) tick)
+    done;
+    Engine.run e
+  in
+  run_batch 10_000 (* warm-up: pool and wheel reach steady state *);
+  let base = Engine.events_fired e in
+  let n = 500_000 in
+  let (), host, minor, majors = gc_run (fun () -> run_batch (base + n)) in
+  let fired = Engine.events_fired e - base in
+  (fired, host, minor /. float_of_int fired, majors)
+
+let backend_config backend =
+  { Kpath_kernel.Config.decstation_5000_200 with
+    Kpath_kernel.Config.sim_engine = backend;
+  }
+
+let sweep_wallclock ?(path = "BENCH_wallclock.json") () =
+  header
+    "Sweep (host): simulator wall-clock and GC cost, binary-heap vs \
+     timing-wheel event queue";
+  let backends = [ ("heap", `Heap); ("wheel", `Wheel) ] in
+  let fan_clients = [ 1; 4; 16; 64; 256; 1024 ] in
+  let evps events host = float_of_int events /. host in
+  Printf.printf "%-22s | %-5s | %9s | %8s | %11s | %11s | %5s\n" "workload"
+    "queue" "events" "host s" "events/s" "minor words" "major";
+  Printf.printf "%s\n" line;
+  let micro_rows =
+    List.map
+      (fun (name, backend) ->
+        let fired, host, words_per_event, majors =
+          in_child (fun () -> engine_microbench backend)
+        in
+        Printf.printf
+          "%-22s | %-5s | %9d | %8.3f | %11.0f | %8.2f/ev | %5d\n"
+          "engine-only callouts" name fired host
+          (evps fired host) words_per_event majors;
+        (name, fired, host, words_per_event, majors))
+      backends
+  in
+  let copy_rows =
+    List.map
+      (fun (name, backend) ->
+        let m, host, minor, majors =
+          in_child (fun () ->
+              gc_run (fun () ->
+                  Experiments.measure_copy ~mode:`Scp ~disk:`Rz58
+                    ~file_bytes:(8 * mb)
+                    ~machine_config:(backend_config backend) ()))
+        in
+        Printf.printf "%-22s | %-5s | %9d | %8.3f | %11.0f | %11.0f | %5d\n"
+          "scp copy 8 MB rz58" name m.Experiments.cm_events host
+          (evps m.Experiments.cm_events host)
+          minor majors;
+        (name, m, host, minor, majors))
+      backends
+  in
+  let fan_rows =
+    List.concat_map
+      (fun (name, backend) ->
+        List.map
+          (fun clients ->
+            let m, host, minor, majors =
+              in_child (fun () ->
+                  gc_run (fun () ->
+                      Experiments.measure_fanout ~clients ~file_bytes:mb
+                        ~bandwidth:40e6
+                        ~machine_config:(backend_config backend) ()))
+            in
+            Printf.printf
+              "%-22s | %-5s | %9d | %8.3f | %11.0f | %11.0f | %5d\n"
+              (Printf.sprintf "fan-out %d clients" clients)
+              name m.Experiments.fo_events host
+              (evps m.Experiments.fo_events host)
+              minor majors;
+            (name, clients, m, host, minor, majors))
+          fan_clients)
+      backends
+  in
+  let buf = Buffer.create 4096 in
+  let field last fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_string buf (if last then "" else ", "))
+      fmt
+  in
+  let objects rows render =
+    let n = List.length rows in
+    Buffer.add_string buf "[";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf "{";
+        render r;
+        Buffer.add_string buf (if i = n - 1 then "}" else "}, "))
+      rows;
+    Buffer.add_string buf "]"
+  in
+  Buffer.add_string buf "{\n  \"benchmark\": \"kpath-wallclock\",\n";
+  Printf.ksprintf (Buffer.add_string buf)
+    "  \"gc\": {\"space_overhead\": %d, \"minor_heap_words\": %d},\n"
+    bench_gc_space_overhead bench_gc_minor_heap;
+  Buffer.add_string buf "  \"engine_micro\": ";
+  objects micro_rows (fun (name, fired, host, words_per_event, majors) ->
+      field false "\"engine\": \"%s\"" (json_escape name);
+      field false "\"events\": %d" fired;
+      field false "\"host_seconds\": %.4f" host;
+      field false "\"events_per_sec\": %.0f" (evps fired host);
+      field false "\"minor_words_per_event\": %.3f" words_per_event;
+      field true "\"major_collections\": %d" majors);
+  Buffer.add_string buf ",\n  \"copy\": ";
+  objects copy_rows (fun (name, m, host, minor, majors) ->
+      field false "\"engine\": \"%s\"" (json_escape name);
+      field false "\"file_bytes\": %d" (8 * mb);
+      field false "\"events\": %d" m.Experiments.cm_events;
+      field false "\"host_seconds\": %.4f" host;
+      field false "\"events_per_sec\": %.0f"
+        (evps m.Experiments.cm_events host);
+      field false "\"minor_words\": %.0f" minor;
+      field false "\"major_collections\": %d" majors;
+      field true "\"verified\": %b" m.Experiments.cm_verified);
+  Buffer.add_string buf ",\n  \"fanout\": ";
+  objects fan_rows (fun (name, clients, m, host, minor, majors) ->
+      field false "\"engine\": \"%s\"" (json_escape name);
+      field false "\"clients\": %d" clients;
+      field false "\"file_bytes\": %d" mb;
+      field false "\"events\": %d" m.Experiments.fo_events;
+      field false "\"host_seconds\": %.4f" host;
+      field false "\"events_per_sec\": %.0f"
+        (evps m.Experiments.fo_events host);
+      field false "\"minor_words\": %.0f" minor;
+      field false "\"major_collections\": %d" majors;
+      field true "\"verified\": %b" m.Experiments.fo_verified);
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "(results written to %s)\n" path;
+  print_newline ()
+
 (* {1 Bechamel microbenchmarks: one per table} *)
 
 let bechamel () =
@@ -619,6 +828,7 @@ let () =
           print_cluster_sweep ~file_bytes:(2 * mb) ~ops:500 ~sizes:[ 1; 4; 8 ]
             ~disks:[ `Ram; `Rz58 ] ()
         | "smoke" -> smoke ()
+        | "sweep-wallclock" -> sweep_wallclock ()
         | "table-relatedwork" -> print_relatedwork ()
         | "sweep-cpuspeed" -> print_cpuspeed_sweep ()
         | "timeline" -> print_timeline ()
@@ -628,7 +838,8 @@ let () =
           Printf.eprintf
             "unknown target %s (try: table1 table1-natural table2 \
              ablation-watermarks ablation-lockstep sweep-size sweep-cluster \
-             smoke table-udp table-media bechamel quick all)\n"
+             sweep-wallclock smoke table-udp table-media bechamel quick \
+             all)\n"
             other;
           exit 1)
       targets

@@ -38,12 +38,32 @@ let max_cluster_arg =
            ~doc:"Largest multi-block transfer the clustered I/O paths may \
                  build (1 = per-block I/O, the paper's original path).")
 
-let config_with_cluster max_cluster =
+let engine_conv =
+  let parse = function
+    | "heap" -> Ok `Heap
+    | "wheel" -> Ok `Wheel
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S (heap|wheel)" s))
+  in
+  let print fmt e =
+    Format.pp_print_string fmt
+      (match e with `Heap -> "heap" | `Wheel -> "wheel")
+  in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  Arg.(value
+       & opt engine_conv Config.decstation_5000_200.Config.sim_engine
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Event-queue backend: heap (binary heap) or wheel \
+                 (hierarchical timing wheel). The simulation is identical \
+                 either way; only host speed differs.")
+
+let config_with_cluster max_cluster sim_engine =
   if max_cluster < 1 then begin
     Format.eprintf "kpathctl: --max-cluster must be at least 1@.";
     exit 124
   end;
-  { Config.decstation_5000_200 with Config.max_cluster }
+  { Config.decstation_5000_200 with Config.max_cluster; sim_engine }
 
 (* info *)
 
@@ -93,14 +113,14 @@ let copy_cmd =
          & info [ "trace" ] ~docv:"N"
              ~doc:"Record splice events; print the last $(docv) afterwards.")
   in
-  let run disk size_mb mode same_disk watermarks trace max_cluster =
+  let run disk size_mb mode same_disk watermarks trace max_cluster engine =
     let config =
       Option.map
         (fun (lo, hi, burst) ->
           Kpath_core.Flowctl.make ~read_lo:lo ~write_hi:hi ~read_burst:burst)
         watermarks
     in
-    let machine_config = config_with_cluster max_cluster in
+    let machine_config = config_with_cluster max_cluster engine in
     match trace with
     | None ->
       let m =
@@ -158,7 +178,7 @@ let copy_cmd =
   in
   Cmd.v (Cmd.info "copy" ~doc:"Measure one cold file copy.")
     Term.(const run $ disk_arg $ size_arg $ mode_arg $ same_disk_arg
-          $ watermarks_arg $ trace_arg $ max_cluster_arg)
+          $ watermarks_arg $ trace_arg $ max_cluster_arg $ engine_arg)
 
 (* cluster *)
 
@@ -302,7 +322,7 @@ let graph_cmd =
          & info [ "trace-json" ] ~docv:"FILE"
              ~doc:"Dump the per-block graph event log to $(docv), one JSON object per line.")
   in
-  let run clients size_kb bandwidth window throttle checksum trace =
+  let run clients size_kb bandwidth window throttle checksum trace engine =
     let usage_error msg =
       Format.eprintf "kpathctl: %s@." msg;
       exit 124
@@ -323,9 +343,13 @@ let graph_cmd =
          | None -> [])
     in
     let filters = if filters = [] then None else Some filters in
+    let machine_config =
+      { Config.decstation_5000_200 with Config.sim_engine = engine }
+    in
     let measure trace_json =
       Experiments.measure_fanout ~clients ~file_bytes:(size_kb * 1024)
-        ~bandwidth:(bandwidth *. 1e6) ?filters ?window ?trace_json ()
+        ~bandwidth:(bandwidth *. 1e6) ?filters ?window ?trace_json
+        ~machine_config ()
     in
     let r =
       match trace with
@@ -355,7 +379,7 @@ let graph_cmd =
     (Cmd.info "graph"
        ~doc:"Stream one file to N TCP clients through a splice graph (fan-out).")
     Term.(const run $ clients_arg $ size_kb_arg $ bandwidth_arg $ window_arg
-          $ throttle_arg $ checksum_arg $ trace_arg)
+          $ throttle_arg $ checksum_arg $ trace_arg $ engine_arg)
 
 (* sendfile *)
 

@@ -219,6 +219,21 @@ let complete_if_done t (p : file_pump) =
 
 let src_dev p = Fs.dev p.src_fs
 
+(* Staging insert keeping [wq] sorted by descending lblk: completions
+   almost always arrive in ascending order, so the common case is an
+   O(1) cons; the rare out-of-order completion walks to its slot. The
+   flush then just reverses — no per-flush sort. *)
+let wq_insert (p : file_pump) lblk b =
+  match p.wq with
+  | [] -> p.wq <- [ (lblk, b) ]
+  | (l, _) :: _ when l < lblk -> p.wq <- (lblk, b) :: p.wq
+  | _ ->
+    let rec ins = function
+      | ((l, _) as hd) :: tl when l > lblk -> hd :: ins tl
+      | rest -> (lblk, b) :: rest
+    in
+    p.wq <- ins p.wq
+
 let rec issue_reads t (p : file_pump) n =
   if n > 0 && t.st = Running && p.next_read < p.nblocks then begin
     let lblk = p.next_read in
@@ -334,7 +349,7 @@ and read_done t (p : file_pump) lblk (b : Buf.t) =
            event; one callout drains them, coalescing dst-contiguous
            runs into single writes. The pending-write slot is taken when
            a run is issued, one per write request. *)
-        p.wq <- (lblk, b) :: p.wq;
+        wq_insert p lblk b;
         if not p.wflush_armed then begin
           p.wflush_armed <- true;
           ignore
@@ -353,7 +368,8 @@ and read_done t (p : file_pump) lblk (b : Buf.t) =
    discontinuities) become one multi-block write each. *)
 and flush_writes t (p : file_pump) =
   p.wflush_armed <- false;
-  let batch = List.sort (fun (a, _) (b, _) -> compare a b) (List.rev p.wq) in
+  (* [wq] is kept sorted descending by [wq_insert]. *)
+  let batch = List.rev p.wq in
   p.wq <- [];
   let dst_map =
     match p.fp_sink with To_file { dst_map; _ } -> dst_map | _ -> assert false

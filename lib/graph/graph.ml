@@ -77,14 +77,27 @@ type source = {
   mutable sn_peak_reads : int;
   mutable sn_consumed : int;  (* reads issued + cache hits reused *)
   sn_inflight : (int, block) Hashtbl.t;  (* lblk -> aliased block *)
-  mutable sn_edges : edge list;  (* outgoing, in connect order *)
+  mutable sn_edges : edge list;
+      (* outgoing; built newest-first, reversed to connect order at start *)
   mutable sn_retry_armed : bool;
+  (* Live-edge cache: rebuilt (as a fresh array, so in-flight snapshots
+     stay frozen) only when the epoch moves — every Active edge
+     retirement bumps [sn_epoch]. The three flow-control aggregates are
+     recomputed with it and maintained incrementally between rebuilds,
+     making [burst_for] O(1) instead of a per-block fold. *)
+  mutable sn_epoch : int;
+  mutable sn_live_epoch : int;  (* epoch [sn_live] was built at *)
+  mutable sn_live : edge array;  (* Active outgoing edges, connect order *)
+  mutable sn_blocked : int;  (* live edges at/over their write watermark *)
+  mutable sn_min_read_lo : int;  (* min read_lo across live edges *)
+  mutable sn_min_burst : int;  (* min read_burst across live edges *)
 }
 
 and sink = {
   sk_id : int;
   sk_spec : sink_spec;
-  mutable sk_edges : edge list;  (* incoming, in connect order *)
+  mutable sk_edges : edge list;
+      (* incoming; built newest-first, reversed to connect order at start *)
   mutable sk_map : int array;  (* file sinks: the concatenation's blocks *)
 }
 
@@ -115,6 +128,8 @@ type t = {
   mutable g_sources : source list;  (* reverse add order until start *)
   mutable g_sinks : sink list;
   mutable g_edges : edge list;
+  g_conns : (int * int, unit) Hashtbl.t;  (* (src, sink) pairs connected *)
+  mutable g_active_edges : int;  (* edges still [Active] *)
   mutable st : state;
   mutable started : bool;
   mutable finalized : bool;
@@ -133,6 +148,8 @@ let create ctx ?(window = 16) () =
     g_sources = [];
     g_sinks = [];
     g_edges = [];
+    g_conns = Hashtbl.create 16;
+    g_active_edges = 0;
     st = Running;
     started = false;
     finalized = false;
@@ -201,6 +218,12 @@ let add_file_source t ~fs ~ino ?(off_blocks = 0) ?(size = -1) () =
       sn_inflight = Hashtbl.create 16;
       sn_edges = [];
       sn_retry_armed = false;
+      sn_epoch = 1;
+      sn_live_epoch = 0;
+      sn_live = [||];
+      sn_blocked = 0;
+      sn_min_read_lo = max_int;
+      sn_min_burst = max_int;
     }
   in
   t.ctx.next_node <- sn.sn_id + 1;
@@ -225,7 +248,7 @@ let connect t ?(config = Flowctl.default) ?(filters = []) ~src ~dst () =
     | N_src sn, N_sink sk -> (sn, sk)
     | _ -> invalid_arg "Graph.connect: edges run source -> sink"
   in
-  if List.exists (fun e -> e.e_src == sn) sk.sk_edges then
+  if Hashtbl.mem t.g_conns (sn.sn_id, sk.sk_id) then
     invalid_arg "Graph.connect: edge already exists";
   List.iter
     (function
@@ -251,9 +274,11 @@ let connect t ?(config = Flowctl.default) ?(filters = []) ~src ~dst () =
     }
   in
   t.ctx.next_edge <- e.e_id + 1;
-  sn.sn_edges <- sn.sn_edges @ [ e ];
-  sk.sk_edges <- sk.sk_edges @ [ e ];
+  Hashtbl.add t.g_conns (sn.sn_id, sk.sk_id) ();
+  sn.sn_edges <- e :: sn.sn_edges;
+  sk.sk_edges <- e :: sk.sk_edges;
   t.g_edges <- e :: t.g_edges;
+  t.g_active_edges <- t.g_active_edges + 1;
   e
 
 (* {1 Completion} *)
@@ -300,8 +325,7 @@ let complete_check t =
     | Aborted _ -> if drained t then finalize t
     | Completed -> ()
     | Running ->
-      if List.for_all (fun e -> e.e_state <> Active) t.g_edges && drained t
-      then begin
+      if t.g_active_edges = 0 && drained t then begin
         (* If every edge died, the graph as a whole failed; a mix of
            finished and dead edges is a (partial) success the caller can
            inspect per edge. *)
@@ -324,7 +348,38 @@ let complete_check t =
 (* Charge one handler activation to the CPU (interrupt bucket). *)
 let charge t = t.ctx.intr ~service:t.ctx.handler_cost (fun () -> ())
 
-let live_edges sn = List.filter (fun e -> e.e_state = Active) sn.sn_edges
+(* Every Active -> (Edge_done | Dead) transition goes through here so
+   the graph's active-edge count and the source's live-edge epoch stay
+   coherent with [e_state]. *)
+let retire_edge t (e : edge) st =
+  e.e_state <- st;
+  t.g_active_edges <- t.g_active_edges - 1;
+  e.e_src.sn_epoch <- e.e_src.sn_epoch + 1
+
+(* The cached Active-edge array, rebuilt only when the epoch moved.
+   Each rebuild allocates a fresh array, so the snapshot a clustered
+   read captured for its completion handler is never mutated under it.
+   The flow-control aggregates are recomputed here and maintained
+   incrementally at every [e_writes] transition in between. *)
+let live_edges sn =
+  if sn.sn_live_epoch <> sn.sn_epoch then begin
+    let live =
+      Array.of_list (List.filter (fun e -> e.e_state = Active) sn.sn_edges)
+    in
+    sn.sn_live <- live;
+    sn.sn_live_epoch <- sn.sn_epoch;
+    let blocked = ref 0 and rlo = ref max_int and bst = ref max_int in
+    Array.iter
+      (fun e ->
+        if e.e_writes >= e.e_config.Flowctl.write_hi then incr blocked;
+        rlo := min !rlo e.e_config.Flowctl.read_lo;
+        bst := min !bst e.e_config.Flowctl.read_burst)
+      live;
+    sn.sn_blocked <- !blocked;
+    sn.sn_min_read_lo <- !rlo;
+    sn.sn_min_burst <- !bst
+  end;
+  sn.sn_live
 
 let src_dev sn = Fs.dev sn.sn_fs
 
@@ -337,22 +392,18 @@ let bytes_for t sn lblk = min t.block_size (sn.sn_total - (lblk * t.block_size))
    slowest sink), and the window bounds pending reads + aliased blocks
    so a stalled edge cannot pile the buffer cache full. *)
 let burst_for t sn =
-  match live_edges sn with
-  | [] -> 0
-  | live ->
+  if Array.length (live_edges sn) = 0 then 0
+  else begin
     let held = sn.sn_reads + Hashtbl.length sn.sn_inflight in
     let slots = t.window - held in
     if slots <= 0 then 0
-    else
-      let burst =
-        List.fold_left
-          (fun acc e ->
-            min acc
-              (Flowctl.reads_to_issue e.e_config ~pending_reads:sn.sn_reads
-                 ~pending_writes:e.e_writes))
-          max_int live
-      in
-      min burst slots
+      (* O(1) image of folding [Flowctl.reads_to_issue] over the live
+         edges: any edge at its write watermark — or too many reads in
+         flight for the tightest read_lo — zeroes the min, otherwise
+         the min is the smallest burst allowance. *)
+    else if sn.sn_blocked > 0 || sn.sn_reads >= sn.sn_min_read_lo then 0
+    else min sn.sn_min_burst slots
+  end
 
 (* Drop edge [e]'s reference on [blk], if still owed; [true] when this
    call actually released a reference. The block leaves the in-flight
@@ -374,7 +425,7 @@ let settle_ref t (e : edge) (blk : block) =
 
 let rec issue_reads t (sn : source) n =
   if n > 0 && t.st = Running && sn.sn_next_read < sn.sn_nblocks
-     && live_edges sn <> []
+     && Array.length (live_edges sn) > 0
   then begin
     let lblk = sn.sn_next_read in
     let phys = sn.sn_map.(lblk) in
@@ -398,7 +449,7 @@ let rec issue_reads t (sn : source) n =
        snapshotted once so every member of the cluster is pinned to the
        same edges — the cluster is aliased as a unit. *)
     let first = ref true in
-    let live_snap = ref [] in
+    let live_snap = ref [||] in
     match
       Cache.breadn t.ctx.cache (src_dev sn) phys ~n:run ~iodone:(fun b ->
           if !first then begin
@@ -474,38 +525,40 @@ and read_done t (sn : source) ~live lblk (b : Buf.t) =
       Cache.brelse t.ctx.cache b;
       abort t ~reason
     end
+    else if Array.length live = 0 then begin
+      (* Every consumer died while the read was in flight. *)
+      Cache.brelse t.ctx.cache b;
+      complete_check t
+    end
     else begin
-      match live with
-      | [] ->
-        (* Every consumer died while the read was in flight. *)
-        Cache.brelse t.ctx.cache b;
-        complete_check t
-      | live ->
-        let blk =
-          {
-            blk_lblk = lblk;
-            blk_buf = b;
-            blk_bytes = bytes_for t sn lblk;
-            blk_issued = Engine.now t.ctx.engine;
-            blk_owers = Hashtbl.create 4;
-          }
-        in
-        Hashtbl.replace sn.sn_inflight lblk blk;
-        if List.compare_length_with live 1 > 0 then
-          count t.ctx "graph.blocks_aliased";
-        tr t.ctx (fun () ->
-            Printf.sprintf "g%d src%d read done lblk %d; aliased to %d edge(s)"
-              t.g_id sn.sn_id lblk (List.length live));
-        List.iter
-          (fun e ->
-            Cache.pin t.ctx.cache b;
-            Hashtbl.replace blk.blk_owers e.e_id ();
-            e.e_writes <- e.e_writes + 1;
-            e.e_peak_writes <- max e.e_peak_writes e.e_writes;
-            ignore
-              (Callout.schedule_head t.ctx.callout (fun () ->
-                   edge_write_start t e blk)))
-          live
+      let blk =
+        {
+          blk_lblk = lblk;
+          blk_buf = b;
+          blk_bytes = bytes_for t sn lblk;
+          blk_issued = Engine.now t.ctx.engine;
+          blk_owers = Hashtbl.create 4;
+        }
+      in
+      Hashtbl.replace sn.sn_inflight lblk blk;
+      if Array.length live > 1 then count t.ctx "graph.blocks_aliased";
+      tr t.ctx (fun () ->
+          Printf.sprintf "g%d src%d read done lblk %d; aliased to %d edge(s)"
+            t.g_id sn.sn_id lblk (Array.length live));
+      Array.iter
+        (fun e ->
+          Cache.pin t.ctx.cache b;
+          Hashtbl.replace blk.blk_owers e.e_id ();
+          e.e_writes <- e.e_writes + 1;
+          e.e_peak_writes <- max e.e_peak_writes e.e_writes;
+          (* Crossing the write watermark blocks the source (flow
+             control); only live edges count toward the aggregate. *)
+          if e.e_state = Active && e.e_writes = e.e_config.Flowctl.write_hi
+          then sn.sn_blocked <- sn.sn_blocked + 1;
+          ignore
+            (Callout.schedule_head t.ctx.callout (fun () ->
+                 edge_write_start t e blk)))
+        live
     end
 
 (* Per-edge write side: runs from the callout list against the shared,
@@ -607,6 +660,8 @@ and edge_write_done t (e : edge) (blk : block) hdr =
   if not owed then complete_check t
   else begin
     e.e_writes <- e.e_writes - 1;
+    if e.e_state = Active && e.e_writes = e.e_config.Flowctl.write_hi - 1 then
+      e.e_src.sn_blocked <- e.e_src.sn_blocked - 1;
     match (e.e_state, write_error) with
     | Active, Some reason -> edge_abort_internal t e ~reason
     | Active, None ->
@@ -616,7 +671,7 @@ and edge_write_done t (e : edge) (blk : block) hdr =
           Printf.sprintf "g%d e%d write done lblk %d (%d/%d bytes)" t.g_id
             e.e_id blk.blk_lblk e.e_delivered e.e_src.sn_total);
       if e.e_done_blocks >= e.e_src.sn_nblocks then begin
-        e.e_state <- Edge_done;
+        retire_edge t e Edge_done;
         count t.ctx "graph.edges_completed";
         tr t.ctx (fun () ->
             Printf.sprintf "g%d e%d completed (%d bytes)" t.g_id e.e_id
@@ -638,7 +693,7 @@ and kick t (sn : source) =
       sn.sn_reads = 0
       && Hashtbl.length sn.sn_inflight = 0
       && sn.sn_next_read < sn.sn_nblocks
-      && live_edges sn <> []
+      && Array.length (live_edges sn) > 0
     then issue_reads t sn 1
   end
 
@@ -647,7 +702,7 @@ and kick t (sn : source) =
    holding can drain and the source stops being gated by it. *)
 and edge_abort_internal t (e : edge) ~reason =
   if e.e_state = Active then begin
-    e.e_state <- Dead reason;
+    retire_edge t e (Dead reason);
     e.e_writes <- 0;
     count t.ctx "graph.edges_aborted";
     tr t.ctx (fun () ->
@@ -715,6 +770,10 @@ let validate_and_build t =
    | [] -> invalid_arg "Graph.start: no sources"
    | _ -> ());
   if t.g_edges = [] then invalid_arg "Graph.start: no edges";
+  (* Edge lists were built by prepending (O(1) connect): restore connect
+     order once, now that the topology is frozen. *)
+  List.iter (fun sn -> sn.sn_edges <- List.rev sn.sn_edges) sources;
+  List.iter (fun sk -> sk.sk_edges <- List.rev sk.sk_edges) t.g_sinks;
   List.iter
     (fun sn ->
       if sn.sn_edges = [] then
@@ -804,7 +863,7 @@ let start t =
         List.iter
           (fun e ->
             if e.e_state = Active then begin
-              e.e_state <- Edge_done;
+              retire_edge t e Edge_done;
               count t.ctx "graph.edges_completed"
             end)
           sn.sn_edges)

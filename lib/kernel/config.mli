@@ -27,6 +27,11 @@ type t = {
       (** trap + PTE handling per page fault, excluding any disk I/O
           (500 us — §7's memory-mapped alternative pays this per page) *)
   callout_tick : Time.span;  (** callout list clock period (1 ms) *)
+  sim_engine : Engine.backend;
+      (** event-queue implementation backing the simulation ([`Wheel]:
+          hierarchical timing wheel keyed on [callout_tick]; [`Heap]:
+          binary heap). Both produce identical executions — the wheel
+          is simply faster on host wall-clock. *)
   (* Memory rates (bytes/second) *)
   copy_rate : float;
       (** kernel/user copy (copyin/copyout) and driver bcopy: the

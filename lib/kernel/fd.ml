@@ -21,14 +21,21 @@ type kind =
 
 type openfile = { of_kind : kind; mutable of_fasync : bool }
 
-type table = { mutable next : int; slots : (int, openfile) Hashtbl.t }
+type table = {
+  mutable next : int;
+  slots : (int, openfile) Hashtbl.t;
+  mutable fds : int list;
+      (* open descriptors, descending — [next] is monotonic, so alloc
+         is an O(1) cons and [all_fds] a reversal, never a sort *)
+}
 
-let create () = { next = 3; slots = Hashtbl.create 16 }
+let create () = { next = 3; slots = Hashtbl.create 16; fds = [] }
 
 let alloc t kind =
   let fd = t.next in
   t.next <- fd + 1;
   Hashtbl.add t.slots fd { of_kind = kind; of_fasync = false };
+  t.fds <- fd :: t.fds;
   fd
 
 let get t fd =
@@ -39,8 +46,9 @@ let get t fd =
 let close t fd =
   let f = get t fd in
   Hashtbl.remove t.slots fd;
+  t.fds <- List.filter (fun x -> x <> fd) t.fds;
   f
 
 let open_count t = Hashtbl.length t.slots
 
-let all_fds t = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.slots [] |> List.sort compare
+let all_fds t = List.rev t.fds

@@ -22,7 +22,13 @@ type t = {
 }
 
 let create ?(config = Config.decstation_5000_200) ?engine () =
-  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let engine =
+    match engine with
+    | Some e -> e
+    | None ->
+      Engine.create ~backend:config.Config.sim_engine
+        ~tick:config.Config.callout_tick ()
+  in
   let sched =
     Sched.create ~ctx_switch_cost:config.Config.ctx_switch_cost
       ~quantum:config.Config.quantum engine

@@ -11,42 +11,57 @@ let mss net = Netif.mtu net - header_bytes
 
 (* {1 Sliding byte buffer}
 
-   A window of the byte stream supporting append at the tail, random
-   peeks, and drop-front (on acknowledgement) without re-copying the
-   whole buffer each time. *)
+   A circular window of the byte stream supporting append at the tail,
+   random peeks, and drop-front (on acknowledgement). Being a ring, a
+   buffer that sits near-full (a send buffer against a slow receiver)
+   costs one blit of the appended bytes per append — never a whole-
+   buffer compaction — and its capacity tracks the peak occupancy
+   instead of growing with the stream. *)
 module Sbuf = struct
   type t = { mutable data : Bytes.t; mutable start : int; mutable len : int }
 
-  let create cap = { data = Bytes.create (max cap 64); start = 0; len = 0 }
+  (* Storage is allocated lazily: a connection advertising a large
+     window whose queue stays shallow (the common case — readers drain
+     as data lands) never materialises the full capacity. *)
+  let create cap = { data = Bytes.create (max 64 (min cap 4096)); start = 0; len = 0 }
 
   let length b = b.len
 
-  let compact b extra =
-    let need = b.len + extra in
-    if b.start + need > Bytes.length b.data then begin
-      let ndata =
-        if need > Bytes.length b.data then
-          Bytes.create (max need (2 * Bytes.length b.data))
-        else b.data
-      in
-      Bytes.blit b.data b.start ndata 0 b.len;
+  let grow b need =
+    let cap = Bytes.length b.data in
+    if need > cap then begin
+      let ndata = Bytes.create (max need (2 * cap)) in
+      let tail = min b.len (cap - b.start) in
+      Bytes.blit b.data b.start ndata 0 tail;
+      Bytes.blit b.data 0 ndata tail (b.len - tail);
       b.data <- ndata;
       b.start <- 0
     end
 
   let append b src pos n =
-    compact b n;
-    Bytes.blit src pos b.data (b.start + b.len) n;
+    grow b (b.len + n);
+    let cap = Bytes.length b.data in
+    let tpos = b.start + b.len in
+    let tpos = if tpos >= cap then tpos - cap else tpos in
+    let first = min n (cap - tpos) in
+    Bytes.blit src pos b.data tpos first;
+    if n > first then Bytes.blit src (pos + first) b.data 0 (n - first);
     b.len <- b.len + n
 
   (* Copy [n] bytes at logical offset [off] into [dst] at [dpos]. *)
   let peek b ~off ~n dst dpos =
     if off < 0 || n < 0 || off + n > b.len then invalid_arg "Sbuf.peek";
-    Bytes.blit b.data (b.start + off) dst dpos n
+    let cap = Bytes.length b.data in
+    let p = b.start + off in
+    let p = if p >= cap then p - cap else p in
+    let first = min n (cap - p) in
+    Bytes.blit b.data p dst dpos first;
+    if n > first then Bytes.blit b.data 0 dst (dpos + first) (n - first)
 
   let drop b n =
     if n < 0 || n > b.len then invalid_arg "Sbuf.drop";
-    b.start <- b.start + n;
+    let s = b.start + n in
+    b.start <- (if s >= Bytes.length b.data then s - Bytes.length b.data else s);
     b.len <- b.len - n;
     if b.len = 0 then b.start <- 0
 end
@@ -60,16 +75,31 @@ let f_syn = 1
 let f_ack = 2
 let f_fin = 4
 
-let encode ~flags ~seq ~ack ~wnd data pos len =
-  let b = Bytes.create (header_bytes + len) in
+let set_header b ~flags ~seq ~ack ~wnd =
   Bytes.set b 0 (Char.chr flags);
   Bytes.set_int64_le b 1 (Int64.of_int seq);
   Bytes.set_int64_le b 9 (Int64.of_int ack);
-  Bytes.set_int32_le b 17 (Int32.of_int wnd);
+  Bytes.set_int32_le b 17 (Int32.of_int wnd)
+
+let encode ~flags ~seq ~ack ~wnd data pos len =
+  let b = Bytes.create (header_bytes + len) in
+  set_header b ~flags ~seq ~ack ~wnd;
   if len > 0 then Bytes.blit data pos b header_bytes len;
   b
 
-type seg = { g_flags : int; g_seq : int; g_ack : int; g_wnd : int; g_data : bytes }
+(* A decoded segment aliases the frame payload rather than copying the
+   data out: [g_len] data bytes start at [header_bytes] in [g_payload].
+   Frames are never mutated after transmission, so the alias is safe,
+   and the receive path performs exactly one copy (into the receive
+   queue). *)
+type seg = {
+  g_flags : int;
+  g_seq : int;
+  g_ack : int;
+  g_wnd : int;
+  g_payload : bytes;
+  g_len : int;
+}
 
 let decode payload =
   if Bytes.length payload < header_bytes then None
@@ -80,8 +110,8 @@ let decode payload =
         g_seq = Int64.to_int (Bytes.get_int64_le payload 1);
         g_ack = Int64.to_int (Bytes.get_int64_le payload 9);
         g_wnd = Int32.to_int (Bytes.get_int32_le payload 17);
-        g_data =
-          Bytes.sub payload header_bytes (Bytes.length payload - header_bytes);
+        g_payload = payload;
+        g_len = Bytes.length payload - header_bytes;
       }
 
 (* {1 Connections} *)
@@ -192,10 +222,13 @@ let tx c ~flags ?(seq = 0) ?(data_off = 0) ?(data_len = 0) () =
   c.last_wnd_sent <- wnd;
   let payload =
     if data_len > 0 then begin
-      (* Data lives in sndbuf at logical offset seq - snd_una. *)
-      let tmp = Bytes.create data_len in
-      Sbuf.peek c.sndbuf ~off:data_off ~n:data_len tmp 0;
-      encode ~flags ~seq ~ack:c.rcv_nxt ~wnd tmp 0 data_len
+      (* Data lives in sndbuf at logical offset seq - snd_una; peek it
+         straight into the frame after the header — one copy, one
+         allocation per segment. *)
+      let b = Bytes.create (header_bytes + data_len) in
+      set_header b ~flags ~seq ~ack:c.rcv_nxt ~wnd;
+      Sbuf.peek c.sndbuf ~off:data_off ~n:data_len b header_bytes;
+      b
     end
     else encode ~flags ~seq ~ack:c.rcv_nxt ~wnd Bytes.empty 0 0
   in
@@ -423,14 +456,14 @@ let check_fin c =
   | _ -> ()
 
 let process_data c (g : seg) =
-  let len = Bytes.length g.g_data in
+  let len = g.g_len in
   (if len > 0 then begin
      count c "tcp.segs_data_in";
      if g.g_seq = c.rcv_nxt then begin
        let space = c.rcvbuf_cap - Sbuf.length c.rcvq in
        let n = min space len in
        if n > 0 then begin
-         Sbuf.append c.rcvq g.g_data 0 n;
+         Sbuf.append c.rcvq g.g_payload header_bytes n;
          c.rcv_nxt <- c.rcv_nxt + n;
          drain_ooo c;
          wake_readers c
@@ -440,7 +473,9 @@ let process_data c (g : seg) =
        g.g_seq > c.rcv_nxt
        && g.g_seq - c.rcv_nxt < c.rcvbuf_cap
        && Hashtbl.length c.ooo < 64
-     then Hashtbl.replace c.ooo g.g_seq g.g_data
+     then
+       (* Out-of-order (rare): copy the data, the hold can be long. *)
+       Hashtbl.replace c.ooo g.g_seq (Bytes.sub g.g_payload header_bytes len)
    end);
   (if g.g_flags land f_fin <> 0 then begin
      let fin_pos = g.g_seq + len in

@@ -22,6 +22,9 @@ type t = {
   mutable intr_waker : (unit -> unit) option;
   mutable sig_pending : int;
   mutable sig_handlers : (int * (unit -> unit)) list;
+  mutable rq_next : t;
+      (* intrusive run-queue link (owned by Sched); points to itself
+         when the process is unlinked or is the tail of its bucket *)
 }
 
 type _ Effect.t +=
@@ -31,23 +34,27 @@ type _ Effect.t +=
   | Self : t Effect.t
 
 let make ~pid ~name ~priority =
-  {
-    pid;
-    name;
-    state = Runnable;
-    priority;
-    base_priority = priority;
-    resume = None;
-    cpu_user = Time.zero;
-    cpu_sys = Time.zero;
-    ctx_switches = 0;
-    wakeup_count = 0;
-    exit_status = None;
-    exit_hooks = [];
-    intr_waker = None;
-    sig_pending = 0;
-    sig_handlers = [];
-  }
+  let rec p =
+    {
+      pid;
+      name;
+      state = Runnable;
+      priority;
+      base_priority = priority;
+      resume = None;
+      cpu_user = Time.zero;
+      cpu_sys = Time.zero;
+      ctx_switches = 0;
+      wakeup_count = 0;
+      exit_status = None;
+      exit_hooks = [];
+      intr_waker = None;
+      sig_pending = 0;
+      sig_handlers = [];
+      rq_next = p;
+    }
+  in
+  p
 
 let use_cpu mode d =
   if Time.(d > Time.zero) then Effect.perform (Use_cpu (mode, d))

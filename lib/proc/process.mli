@@ -48,6 +48,9 @@ type t = {
   mutable sig_pending : int;  (** pending-signal bitmask *)
   mutable sig_handlers : (int * (unit -> unit)) list;
       (** signal number to handler, run in process context *)
+  mutable rq_next : t;
+      (** intrusive run-queue link, owned by {!Sched}: points to itself
+          when the process is unlinked or last in its priority bucket *)
 }
 
 type _ Effect.t +=

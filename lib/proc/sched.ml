@@ -17,6 +17,19 @@ type slice = {
   s_cont : unit -> unit; (* run when the slice completes *)
 }
 
+(* The run queue is an array of intrusive FIFO buckets, one per
+   priority level (priorities outside [0, nbuckets) are clamped for
+   ordering). Enqueue is O(1); picking the best process scans from a
+   monotone low-water-mark hint, so dispatch is O(1) amortised instead
+   of the old O(n) fold + O(n) removal per pick. Links are the
+   processes' own [rq_next] fields — no list cells are allocated. *)
+let nbuckets = 256
+
+let bucket_of priority =
+  if priority < 0 then 0
+  else if priority >= nbuckets then nbuckets - 1
+  else priority
+
 type t = {
   engine : Engine.t;
   cpu : Cpu.t;
@@ -25,7 +38,11 @@ type t = {
   kernel_priority : int;
   user_priority : int;
   mutable current : slice option;
-  mutable runq : Process.t list; (* FIFO; selection scans for best priority *)
+  rq_nil : Process.t; (* sentinel marking empty bucket heads/tails *)
+  rq_head : Process.t array;
+  rq_tail : Process.t array;
+  mutable runq_len : int;
+  mutable rq_min : int; (* lower bound on the lowest occupied bucket *)
   mutable last_ran : Process.t option;
   mutable rr_accum : Time.span; (* CPU consumed by current proc since dispatch *)
   mutable executing : bool; (* a coroutine body is running right now *)
@@ -41,6 +58,7 @@ exception Deadlock of string
 
 let create ?(ctx_switch_cost = Time.us 100) ?(quantum = Time.ms 10)
     ?(kernel_priority = 30) ?(user_priority = 50) engine =
+  let rq_nil = Process.make ~pid:0 ~name:"<rq-nil>" ~priority:max_int in
   {
     engine;
     cpu = Cpu.create ();
@@ -49,7 +67,11 @@ let create ?(ctx_switch_cost = Time.us 100) ?(quantum = Time.ms 10)
     kernel_priority;
     user_priority;
     current = None;
-    runq = [];
+    rq_nil;
+    rq_head = Array.make nbuckets rq_nil;
+    rq_tail = Array.make nbuckets rq_nil;
+    runq_len = 0;
+    rq_min = nbuckets;
     last_ran = None;
     rr_accum = Time.zero;
     executing = false;
@@ -67,7 +89,17 @@ let stats t = t.stats
 
 let current t = Option.map (fun s -> s.s_proc) t.current
 
-let runnable t = t.runq
+let runnable t =
+  let acc = ref [] in
+  for b = nbuckets - 1 downto 0 do
+    if t.rq_head.(b) != t.rq_nil then begin
+      let rec chain (p : Process.t) =
+        if p.rq_next == p then [ p ] else p :: chain p.rq_next
+      in
+      acc := chain t.rq_head.(b) @ !acc
+    end
+  done;
+  !acc
 
 let processes t = List.rev t.procs
 
@@ -79,25 +111,41 @@ let blocked t =
 
 let enqueue t (p : Process.t) =
   p.state <- Runnable;
-  t.runq <- t.runq @ [ p ]
+  let b = bucket_of p.priority in
+  p.rq_next <- p; (* new tail: terminate the chain *)
+  if t.rq_head.(b) == t.rq_nil then t.rq_head.(b) <- p
+  else t.rq_tail.(b).rq_next <- p;
+  t.rq_tail.(b) <- p;
+  t.runq_len <- t.runq_len + 1;
+  if b < t.rq_min then t.rq_min <- b
+
+(* First occupied bucket at or above the low-water mark; caller must
+   have checked [runq_len > 0]. *)
+let first_bucket t =
+  let b = ref t.rq_min in
+  while t.rq_head.(!b) == t.rq_nil do incr b done;
+  t.rq_min <- !b;
+  !b
 
 (* Highest-priority (lowest number) runnable process, FIFO within a
    priority level. *)
 let pick t =
-  match t.runq with
-  | [] -> None
-  | first :: _ ->
-    let best =
-      List.fold_left
-        (fun (acc : Process.t) (p : Process.t) ->
-          if p.priority < acc.priority then p else acc)
-        first t.runq
-    in
-    t.runq <- List.filter (fun p -> p != best) t.runq;
-    Some best
+  if t.runq_len = 0 then None
+  else begin
+    let b = first_bucket t in
+    let p = t.rq_head.(b) in
+    if p.rq_next == p then begin
+      t.rq_head.(b) <- t.rq_nil;
+      t.rq_tail.(b) <- t.rq_nil
+    end
+    else t.rq_head.(b) <- p.rq_next;
+    p.rq_next <- p;
+    t.runq_len <- t.runq_len - 1;
+    Some p
+  end
 
 let best_waiting_priority t =
-  List.fold_left (fun acc (p : Process.t) -> min acc p.priority) max_int t.runq
+  if t.runq_len = 0 then max_int else (t.rq_head.(first_bucket t)).priority
 
 (* Fire the completion of the slice currently on the CPU: charge its
    time, then let the process run (instantaneously) until its next
@@ -176,7 +224,7 @@ let request_cpu t (proc : Process.t) mode span k_run =
   (if mode = Process.User && proc.priority < proc.base_priority then
      proc.priority <- proc.base_priority);
   let preempt =
-    t.runq <> []
+    t.runq_len > 0
     &&
     let best = best_waiting_priority t in
     best < proc.priority
@@ -324,7 +372,7 @@ let join (target : Process.t) =
     Process.block "join" (fun waker -> exit_hook target waker)
 
 let check_deadlock t =
-  if Engine.pending t.engine = 0 && t.current = None && t.runq = [] then begin
+  if Engine.pending t.engine = 0 && t.current = None && t.runq_len = 0 then begin
     let stuck = blocked t in
     if stuck <> [] then begin
       let names =

@@ -81,7 +81,8 @@ val current : t -> Process.t option
 (** The process owning the CPU, if any. *)
 
 val runnable : t -> Process.t list
-(** Processes currently waiting on the run queue. *)
+(** Processes currently waiting on the run queue, in dispatch order
+    (best priority first, FIFO within a priority level). *)
 
 val processes : t -> Process.t list
 (** Every process ever spawned, oldest first. *)

@@ -3,16 +3,40 @@
     The engine owns the simulated clock and a queue of pending events.
     Events scheduled for the same instant fire in scheduling order
     (FIFO), which makes every simulation fully deterministic. Event
-    handles support O(1) cancellation (lazily removed from the queue). *)
+    handles support O(1) cancellation (lazily removed from the queue).
+
+    Two interchangeable queue backends are provided; both produce
+    event-for-event identical executions:
+
+    - [`Heap]: a binary heap keyed on (time, seq) — O(log n) per event.
+    - [`Wheel]: a hierarchical timing wheel (Varghese & Lauck) keyed on
+      the callout tick, with far-future events spilling to an overflow
+      heap — O(1) amortised per event for the timeout-dense workloads
+      the splice paths generate.
+
+    Event records are pooled on a freelist and handles are immediate
+    integers, so steady-state scheduling performs no OCaml heap
+    allocation under either backend. *)
 
 type t
 (** An engine: a clock plus an event queue. *)
 
 type handle
-(** A scheduled event, usable for cancellation. *)
+(** A scheduled event, usable for cancellation. Handles are immediate
+    (unboxed) values carrying a generation stamp: operations on a
+    handle whose event finished long ago are safe no-ops. *)
 
-val create : unit -> t
-(** A fresh engine with the clock at {!Time.zero} and no events. *)
+type backend = [ `Heap | `Wheel ]
+
+val create : ?backend:backend -> ?tick:Time.span -> unit -> t
+(** A fresh engine with the clock at {!Time.zero} and no events.
+    [backend] selects the queue implementation (default [`Heap]);
+    [tick] is the wheel's slot granularity (default 1 ms — pass the
+    callout tick so level 0 resolves one callout slot per tick).
+    Raises [Invalid_argument] if [tick <= 0]. *)
+
+val backend : t -> backend
+(** Which queue implementation this engine runs on. *)
 
 val now : t -> Time.t
 (** Current simulated time. *)
@@ -31,11 +55,14 @@ val cancel : t -> handle -> unit
 (** [cancel t h] prevents the event from firing. Cancelling an event that
     already fired (or was already cancelled) is a no-op. *)
 
-val cancelled : handle -> bool
-(** [cancelled h] is [true] iff [h] was cancelled before firing. *)
+val cancelled : t -> handle -> bool
+(** [cancelled t h] is [true] iff [h] was cancelled before firing.
+    Exact until the handle's pool slot is recycled by later scheduling;
+    a recycled handle reports [false]. *)
 
-val fired : handle -> bool
-(** [fired h] is [true] iff the event's callback has run. *)
+val fired : t -> handle -> bool
+(** [fired t h] is [true] iff the event's callback has run. Same
+    recycling caveat as {!cancelled}. *)
 
 val run : ?until:Time.t -> t -> unit
 (** [run t] processes events in time order until the queue is empty, or —
@@ -53,3 +80,15 @@ exception Stopped
 
 val stop : unit -> 'a
 (** [stop ()] raises {!Stopped}; sugar for use inside callbacks. *)
+
+(** {1 Introspection} *)
+
+val events_fired : t -> int
+(** Total callbacks run since creation — the numerator of events/sec. *)
+
+val pool_size : t -> int
+(** Event records ever allocated (high-water mark of concurrent
+    events, including cancelled tombstones awaiting collection). *)
+
+val pool_free : t -> int
+(** Records currently parked on the freelist. *)

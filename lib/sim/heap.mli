@@ -22,11 +22,16 @@ val push : 'a t -> 'a -> unit
 val peek : 'a t -> 'a option
 (** [peek h] is the minimum element, without removing it. *)
 
+val peek_exn : 'a t -> 'a
+(** Like {!peek} but raises [Invalid_argument] on an empty heap —
+    allocation-free (no [Some] box). *)
+
 val pop : 'a t -> 'a option
 (** [pop h] removes and returns the minimum element. *)
 
 val pop_exn : 'a t -> 'a
-(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+(** Like {!pop} but raises [Invalid_argument] on an empty heap —
+    allocation-free (no [Some] box). *)
 
 val clear : 'a t -> unit
 (** Remove all elements. *)

@@ -90,6 +90,7 @@ type copy_measure = {
   cm_seconds : float;
   cm_kb_per_sec : float;
   cm_verified : bool;
+  cm_events : int;
 }
 
 let verify_dst s =
@@ -115,6 +116,7 @@ let measure_copy ~mode ~disk ?file_bytes ?same_disk ?disk_queue
   in
   Machine.run s.machine;
   if stats.Programs.copies_done < 1 then failwith "copy did not complete";
+  let events = Engine.events_fired (Machine.engine s.machine) in
   let seconds =
     Time.to_sec_f (Time.diff stats.Programs.copy_finished stats.Programs.copy_started)
   in
@@ -124,6 +126,7 @@ let measure_copy ~mode ~disk ?file_bytes ?same_disk ?disk_queue
     cm_seconds = seconds;
     cm_kb_per_sec = float_of_int stats.Programs.bytes_copied /. 1024.0 /. seconds;
     cm_verified = verified;
+    cm_events = events;
   }
 
 type tput_row = {
@@ -474,10 +477,13 @@ type sendfile_measure = {
 }
 
 let measure_sendfile ~mode ?(file_bytes = 4 * 1024 * 1024) ?(loss = 0.0)
-    ?(bandwidth = 2.5e6) () =
-  let engine = Engine.create () in
-  let server = Machine.create ~engine () in
-  let client = Machine.create ~engine () in
+    ?(bandwidth = 2.5e6) ?(machine_config = Config.decstation_5000_200) () =
+  let engine =
+    Engine.create ~backend:machine_config.Config.sim_engine
+      ~tick:machine_config.Config.callout_tick ()
+  in
+  let server = Machine.create ~config:machine_config ~engine () in
+  let client = Machine.create ~config:machine_config ~engine () in
   let net = Netif.create_net ~bandwidth engine in
   if loss > 0.0 then Netif.set_loss net loss;
   let srv_if = Netif.attach net ~name:"srv0" ~intr:(Machine.intr server) () in
@@ -592,14 +598,19 @@ type fanout_measure = {
   fo_agg_kb_per_sec : float;
   fo_server_cpu_sec : float;
   fo_pinned_after : int;
+  fo_events : int;
 }
 
 let measure_fanout ?(clients = 8) ?(file_bytes = 1024 * 1024)
-    ?(bandwidth = 2.5e6) ?config ?filters ?window ?trace_json () =
-  let engine = Engine.create () in
-  let server = Machine.create ~engine () in
+    ?(bandwidth = 2.5e6) ?config ?filters ?window ?trace_json
+    ?(machine_config = Config.decstation_5000_200) () =
+  let engine =
+    Engine.create ~backend:machine_config.Config.sim_engine
+      ~tick:machine_config.Config.callout_tick ()
+  in
+  let server = Machine.create ~config:machine_config ~engine () in
   if trace_json <> None then Trace.enable (Machine.trace server) "graph";
-  let client = Machine.create ~engine () in
+  let client = Machine.create ~config:machine_config ~engine () in
   let net = Netif.create_net ~bandwidth engine in
   let srv_if = Netif.attach net ~name:"srv0" ~intr:(Machine.intr server) () in
   let cli_if = Netif.attach net ~name:"cli0" ~intr:(Machine.intr client) () in
@@ -679,10 +690,10 @@ let measure_fanout ?(clients = 8) ?(file_bytes = 1024 * 1024)
            let rec drain () =
              let n = Syscall.read env fd buf ~pos:0 ~len:8192 in
              if n > 0 then begin
-               for j = 0 to n - 1 do
-                 if Bytes.get buf j <> Programs.pattern_byte (received.(i) + j)
-                 then incr corrupt
-               done;
+               corrupt :=
+                 !corrupt
+                 + Programs.pattern_mismatches buf ~pos:0 ~len:n
+                     ~file_off:received.(i);
                received.(i) <- received.(i) + n;
                if Time.(Engine.now engine > !finished) then
                  finished := Engine.now engine;
@@ -712,6 +723,7 @@ let measure_fanout ?(clients = 8) ?(file_bytes = 1024 * 1024)
       (if seconds > 0.0 then float_of_int total /. 1024.0 /. seconds else 0.0);
     fo_server_cpu_sec = Time.to_sec_f !server_cpu;
     fo_pinned_after = !pinned_after;
+    fo_events = Engine.events_fired engine;
   }
 
 (* {1 UDP relay} *)

@@ -45,6 +45,9 @@ type copy_measure = {
   cm_seconds : float;
   cm_kb_per_sec : float;
   cm_verified : bool;  (** destination matched the source pattern *)
+  cm_events : int;
+      (** simulation events the copy fired (before verification) — with
+          host wall-clock this gives the engine's events/sec *)
 }
 
 val measure_copy :
@@ -206,6 +209,7 @@ val measure_sendfile :
   ?file_bytes:int ->
   ?loss:float ->
   ?bandwidth:float ->
+  ?machine_config:Config.t ->
   unit ->
   sendfile_measure
 (** A server machine (RZ58 disk) serves one file over TCP to a client
@@ -230,6 +234,9 @@ type fanout_measure = {
   fo_server_cpu_sec : float;  (** server-machine CPU consumed *)
   fo_pinned_after : int;
       (** buffers still pinned when the graph finished (leak check: 0) *)
+  fo_events : int;
+      (** simulation events the whole run fired — with host wall-clock
+          this gives the engine's events/sec *)
 }
 
 val measure_fanout :
@@ -240,6 +247,7 @@ val measure_fanout :
   ?filters:Kpath_graph.Graph.filter list ->
   ?window:int ->
   ?trace_json:Format.formatter ->
+  ?machine_config:Config.t ->
   unit ->
   fanout_measure
 (** A server machine (RZ58 disk) streams one file to [clients]

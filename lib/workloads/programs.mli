@@ -34,6 +34,11 @@ val pattern_byte : int -> char
 val fill_pattern : bytes -> file_off:int -> unit
 (** Fill a buffer with the pattern for a chunk starting at [file_off]. *)
 
+val pattern_mismatches : bytes -> pos:int -> len:int -> file_off:int -> int
+(** Number of bytes in [buf.[pos..pos+len)] that differ from the pattern
+    at [file_off..] — a bounds-unchecked tight loop, the verifier for
+    streaming experiments that cross gigabytes. *)
+
 val spawn_test_program :
   Machine.t -> ops:int -> ?op_cost:Time.span -> test_stats -> Process.t
 (** The CPU-availability probe: performs [ops] compute operations of

@@ -35,10 +35,10 @@ let test_cancellation () =
   Alcotest.(check int) "pending" 1 (Engine.pending e);
   Engine.cancel e h;
   Alcotest.(check int) "pending after cancel" 0 (Engine.pending e);
-  Alcotest.(check bool) "cancelled" true (Engine.cancelled h);
+  Alcotest.(check bool) "cancelled" true (Engine.cancelled e h);
   Engine.run e;
   Alcotest.(check bool) "did not fire" false !fired;
-  Alcotest.(check bool) "not fired flag" false (Engine.fired h);
+  Alcotest.(check bool) "not fired flag" false (Engine.fired e h);
   (* double cancel is a no-op *)
   Engine.cancel e h
 

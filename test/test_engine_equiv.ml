@@ -1,0 +1,233 @@
+(* Differential tests: the timing-wheel engine must be observationally
+   identical to the binary-heap engine — same fire order, same clock at
+   each firing, same [run ~until] horizon behaviour — on randomized
+   schedule/cancel workloads, including callbacks that schedule and
+   cancel further events while the simulation runs. *)
+
+open Kpath_sim
+
+(* A workload program interpreted identically against both engines.
+   Times are in microseconds so events routinely share a wheel tick
+   (sub-tick ordering) and routinely cross slot/cascade boundaries. *)
+type op =
+  | Sched of int (* schedule at now + us; remember handle *)
+  | Sched_chain of int * int (* at now + fst us, callback schedules + snd us *)
+  | Cancel of int (* cancel the k-th remembered handle (mod count) *)
+  | Cancel_in_cb of int * int (* at now + us, callback cancels k-th handle *)
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun d -> Sched d) (int_bound 600_000));
+        (3, map2 (fun a b -> Sched_chain (a, b)) (int_bound 400_000) (int_bound 3_000));
+        (2, map (fun k -> Cancel k) (int_bound 64));
+        (1, map2 (fun d k -> Cancel_in_cb (d, k)) (int_bound 400_000) (int_bound 64));
+      ])
+
+let arb_ops =
+  QCheck.make
+    ~print:
+      (Format.asprintf "%a"
+         (Format.pp_print_list (fun fmt -> function
+            | Sched d -> Format.fprintf fmt "S%d;" d
+            | Sched_chain (a, b) -> Format.fprintf fmt "C%d+%d;" a b
+            | Cancel k -> Format.fprintf fmt "X%d;" k
+            | Cancel_in_cb (d, k) -> Format.fprintf fmt "XC%d@%d;" k d)))
+    QCheck.Gen.(list_size (1 -- 60) gen_op)
+
+(* Run [ops] on an engine: the trace is the list of (event tag, firing
+   time in ns) in fire order. *)
+let run_ops ~backend ?until ops =
+  let e = Engine.create ~backend ~tick:(Time.ms 1) () in
+  let trace = ref [] in
+  let handles = ref [||] in
+  let nh = ref 0 in
+  let remember h =
+    if !nh = Array.length !handles then begin
+      let n = Array.make (max 8 (2 * !nh)) h in
+      Array.blit !handles 0 n 0 !nh;
+      handles := n
+    end;
+    !handles.(!nh) <- h;
+    incr nh
+  in
+  let tag = ref 0 in
+  let note id () = trace := (id, Time.to_ns (Engine.now e)) :: !trace in
+  List.iter
+    (fun op ->
+      incr tag;
+      let id = !tag in
+      match op with
+      | Sched d ->
+        remember
+          (Engine.schedule e ~at:(Time.us d) (note id))
+      | Sched_chain (a, b) ->
+        remember
+          (Engine.schedule e ~at:(Time.us a) (fun () ->
+               note id ();
+               ignore
+                 (Engine.schedule_after e (Time.us b) (note (id + 10_000)))))
+      | Cancel k -> if !nh > 0 then Engine.cancel e !handles.(k mod !nh)
+      | Cancel_in_cb (d, k) ->
+        remember
+          (Engine.schedule e ~at:(Time.us d) (fun () ->
+               note id ();
+               if !nh > 0 then Engine.cancel e !handles.(k mod !nh))))
+    ops;
+  Engine.run ?until e;
+  (List.rev !trace, Time.to_ns (Engine.now e), Engine.pending e)
+
+let trace_pp =
+  QCheck.Print.(triple (list (pair int int)) int int)
+
+let prop_equiv =
+  QCheck.Test.make ~name:"wheel trace = heap trace" ~count:500 arb_ops
+    (fun ops ->
+      let h = run_ops ~backend:`Heap ops in
+      let w = run_ops ~backend:`Wheel ops in
+      if h <> w then
+        QCheck.Test.fail_reportf "heap %s <> wheel %s" (trace_pp h) (trace_pp w)
+      else true)
+
+let prop_equiv_until =
+  QCheck.Test.make ~name:"wheel = heap under run ~until + resume" ~count:300
+    QCheck.(pair arb_ops (make QCheck.Gen.(int_bound 500_000)))
+    (fun (ops, horizon_us) ->
+      let run backend =
+        (* Stop at the horizon, observe, then resume to completion —
+           exercises the requeue of the first beyond-horizon event. *)
+        let e = Engine.create ~backend ~tick:(Time.ms 1) () in
+        let trace = ref [] in
+        let tag = ref 0 in
+        List.iter
+          (fun op ->
+            incr tag;
+            let id = !tag in
+            match op with
+            | Sched d | Sched_chain (d, _) | Cancel_in_cb (d, _) ->
+              ignore
+                (Engine.schedule e ~at:(Time.us d) (fun () ->
+                     trace := (id, Time.to_ns (Engine.now e)) :: !trace))
+            | Cancel _ -> ())
+          ops;
+        Engine.run ~until:(Time.us horizon_us) e;
+        let mid = (Time.to_ns (Engine.now e), Engine.pending e) in
+        Engine.run e;
+        (List.rev !trace, mid, Time.to_ns (Engine.now e))
+      in
+      run `Heap = run `Wheel)
+
+(* Far-future events: exercise level-2 cascades and the overflow heap
+   (ticks beyond 2^24 are > 4.6 simulated hours at the 1 ms tick). *)
+let prop_equiv_far =
+  QCheck.Test.make ~name:"wheel = heap with far-future events" ~count:50
+    QCheck.(
+      make
+        Gen.(
+          list_size (1 -- 20)
+            (pair (int_bound 30_000) (int_bound 3))))
+    (fun evs ->
+      let run backend =
+        let e = Engine.create ~backend ~tick:(Time.ms 1) () in
+        let trace = ref [] in
+        List.iteri
+          (fun i (sec, scale) ->
+            (* scale 0-3 spreads events from seconds to days *)
+            let at = Time.sec (sec * int_of_float (10. ** float_of_int scale)) in
+            ignore
+              (Engine.schedule e ~at (fun () ->
+                   trace := (i, Time.to_ns (Engine.now e)) :: !trace)))
+          evs;
+        Engine.run e;
+        List.rev !trace
+      in
+      run `Heap = run `Wheel)
+
+(* {1 Pool invariants} *)
+
+(* No callback may run twice and no record may leak: after a run every
+   allocated record is back on the freelist, however events were
+   cancelled, and the fired count matches exactly. *)
+let test_pool_reuse () =
+  let e = Engine.create ~backend:`Wheel () in
+  let fires = Array.make 200 0 in
+  let handles = ref [] in
+  for round = 0 to 9 do
+    for i = 0 to 19 do
+      let id = (round * 20) + i in
+      let h =
+        Engine.schedule_after e
+          (Time.us ((i * 137) + 1))
+          (fun () -> fires.(id) <- fires.(id) + 1)
+      in
+      handles := (id, h) :: !handles
+    done;
+    (* Cancel every third event of this round. *)
+    List.iteri
+      (fun j (_, h) -> if j mod 3 = 0 then Engine.cancel e h)
+      (List.filteri (fun j _ -> j < 20) !handles);
+    Engine.run e
+  done;
+  Array.iteri
+    (fun id n ->
+      if n > 1 then Alcotest.failf "event %d fired %d times" id n)
+    fires;
+  Alcotest.(check int) "no live events left" 0 (Engine.pending e);
+  Alcotest.(check int)
+    "every record back on the freelist" (Engine.pool_size e)
+    (Engine.pool_free e);
+  (* The pool stays small however many events flowed through it. *)
+  Alcotest.(check bool)
+    "pool bounded by peak concurrency" true
+    (Engine.pool_size e <= 40)
+
+(* Steady-state scheduling allocates nothing: after warm-up, a
+   schedule/fire cycle must not grow the pool and must not allocate
+   words on the OCaml minor heap. *)
+let test_steady_state_no_alloc () =
+  let e = Engine.create ~backend:`Wheel () in
+  let fn = ignore in
+  (* Warm-up: reach steady state. *)
+  for _ = 1 to 1000 do
+    ignore (Engine.schedule_after e (Time.us 50) fn);
+    ignore (Engine.step e)
+  done;
+  let pool_before = Engine.pool_size e in
+  let minor_before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Engine.schedule_after e (Time.us 50) fn);
+    ignore (Engine.step e)
+  done;
+  let per_event =
+    (Gc.minor_words () -. minor_before) /. 10_000.0
+  in
+  Alcotest.(check int) "pool did not grow" pool_before (Engine.pool_size e);
+  if per_event > 1.0 then
+    Alcotest.failf "steady-state allocation: %.2f words/event" per_event
+
+let test_stale_handle_ops_are_noops () =
+  let e = Engine.create ~backend:`Wheel () in
+  let fired = ref 0 in
+  let h1 = Engine.schedule_after e (Time.us 1) (fun () -> incr fired) in
+  Engine.run e;
+  (* h1's record is now recycled into h2. *)
+  let h2 = Engine.schedule_after e (Time.us 1) (fun () -> incr fired) in
+  Engine.cancel e h1;
+  (* Cancelling the stale h1 must not kill h2. *)
+  Alcotest.(check int) "h2 still pending" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "both fired" 2 !fired;
+  Alcotest.(check bool) "h2 fired" true (Engine.fired e h2)
+
+let suite =
+  [
+    Util.qcheck prop_equiv;
+    Util.qcheck prop_equiv_until;
+    Util.qcheck prop_equiv_far;
+    Alcotest.test_case "pool reuse invariants" `Quick test_pool_reuse;
+    Alcotest.test_case "steady state allocates nothing" `Quick
+      test_steady_state_no_alloc;
+    Alcotest.test_case "stale handles are no-ops" `Quick
+      test_stale_handle_ops_are_noops;
+  ]

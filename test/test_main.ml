@@ -6,6 +6,7 @@ let () =
       ("time", Test_time.suite);
       ("heap", Test_heap.suite);
       ("engine", Test_engine.suite);
+      ("engine-equiv", Test_engine_equiv.suite);
       ("callout", Test_callout.suite);
       ("rng-stats", Test_rng_stats.suite);
       ("sched", Test_sched.suite);

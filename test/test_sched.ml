@@ -231,6 +231,44 @@ let test_deadlock_detection () =
     Alcotest.(check bool) "names the process" true
       (Util.contains msg "stuck")
 
+(* The run queue must be strictly FIFO within a priority level, across
+   many processes and priorities: dispatch order follows spawn order
+   inside each level, never starves anyone, and [runnable] reports the
+   queue in dispatch order. *)
+let test_runq_fifo_fairness () =
+  let e = Engine.create () in
+  let sched = Sched.create ~ctx_switch_cost:Time.zero e in
+  let order = ref [] in
+  let mk name priority =
+    Sched.spawn sched ~name ~priority (fun () ->
+        order := name :: !order;
+        Process.use_cpu Process.User (Time.ms 1))
+  in
+  (* Spawn from inside a process so all children queue before any runs;
+     interleave priorities so buckets fill out of order. *)
+  let _starter =
+    Sched.spawn sched ~name:"starter" ~priority:10 (fun () ->
+        ignore (mk "b1" 30);
+        ignore (mk "c1" 50);
+        ignore (mk "b2" 30);
+        ignore (mk "a1" 20);
+        ignore (mk "c2" 50);
+        ignore (mk "a2" 20);
+        ignore (mk "b3" 30);
+        let waiting =
+          List.map (fun (p : Process.t) -> p.name) (Sched.runnable sched)
+        in
+        Alcotest.(check (list string))
+          "runnable reports dispatch order"
+          [ "a1"; "a2"; "b1"; "b2"; "b3"; "c1"; "c2" ]
+          waiting)
+  in
+  Engine.run e;
+  Alcotest.(check (list string))
+    "ran best priority first, FIFO within each level"
+    [ "a1"; "a2"; "b1"; "b2"; "b3"; "c1"; "c2" ]
+    (List.rev !order)
+
 let test_quantum_rotation_counted () =
   let e = Engine.create () in
   let sched = Sched.create e in
@@ -262,5 +300,6 @@ let suite =
     Alcotest.test_case "crash recorded" `Quick test_crash_recorded;
     Alcotest.test_case "join and exit hooks" `Quick test_join_and_exit_hook;
     Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "runq FIFO fairness" `Quick test_runq_fifo_fairness;
     Alcotest.test_case "quantum rotation" `Quick test_quantum_rotation_counted;
   ]

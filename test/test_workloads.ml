@@ -132,6 +132,44 @@ let test_determinism () =
   let a = run () and b = run () in
   Alcotest.(check (pair (float 0.0) (float 0.0))) "bit-identical" a b
 
+let test_engine_parity () =
+  (* The timing-wheel engine is a host-speed optimisation only: every
+     simulated quantity — times, rates, event counts — must come out
+     bit-identical to the binary-heap engine. *)
+  let cfg engine =
+    { Kpath_kernel.Config.decstation_5000_200 with
+      Kpath_kernel.Config.sim_engine = engine }
+  in
+  let copy engine =
+    let m =
+      Experiments.measure_copy ~mode:`Scp ~disk:`Rz58 ~file_bytes:(512 * 1024)
+        ~machine_config:(cfg engine) ()
+    in
+    Experiments.
+      (m.cm_bytes, m.cm_seconds, m.cm_kb_per_sec, m.cm_verified, m.cm_events)
+  in
+  let hb, hs, hk, hv, he = copy `Heap and wb, ws, wk, wv, we = copy `Wheel in
+  Alcotest.(check int) "copy bytes" hb wb;
+  Alcotest.(check (float 0.0)) "copy seconds" hs ws;
+  Alcotest.(check (float 0.0)) "copy KB/s" hk wk;
+  Alcotest.(check bool) "copy verified" hv wv;
+  Alcotest.(check int) "copy events" he we;
+  let fanout engine =
+    let m =
+      Experiments.measure_fanout ~clients:4 ~file_bytes:(256 * 1024)
+        ~machine_config:(cfg engine) ()
+    in
+    Experiments.
+      ( (m.fo_clients, m.fo_bytes_per_client, m.fo_device_reads),
+        (m.fo_seconds, m.fo_agg_kb_per_sec, m.fo_server_cpu_sec),
+        (m.fo_verified, m.fo_pinned_after, m.fo_events) )
+  in
+  let hi, hf, hp = fanout `Heap and wi, wf, wp = fanout `Wheel in
+  Alcotest.(check (triple int int int)) "fanout shape" hi wi;
+  Alcotest.(check (triple (float 0.0) (float 0.0) (float 0.0)))
+    "fanout timings" hf wf;
+  Alcotest.(check (triple bool int int)) "fanout pins and events" hp wp
+
 let test_timeline_shape () =
   let cp =
     Experiments.availability_timeline ~mode:`Cp ~disk:`Ram
@@ -227,6 +265,7 @@ let suite =
     Alcotest.test_case "media playback" `Quick test_media_playback;
     Alcotest.test_case "elevator same-disk" `Quick test_elevator_helps_same_disk_cp;
     Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "engine parity" `Quick test_engine_parity;
     Alcotest.test_case "mmap copier (related work)" `Quick test_mcp_copy;
     Alcotest.test_case "paper shapes hold at 8MB" `Slow test_paper_shapes_hold;
     Alcotest.test_case "availability timeline" `Quick test_timeline_shape;
