@@ -182,7 +182,7 @@ let wake_free t =
 
 (* Start the device operation described by the buffer. Completion is
    delivered through [biodone]. *)
-let rec start_io t (b : Buf.t) ~write =
+let[@kpath.intr] rec start_io t (b : Buf.t) ~write =
   let dev = match b.b_dev with Some d -> d | None -> invalid_arg "start_io" in
   count (if write then "cache.dev_writes" else "cache.dev_reads") t;
   if write then Buf.clear b Buf.b_read else Buf.set b Buf.b_read;
@@ -197,7 +197,7 @@ let rec start_io t (b : Buf.t) ~write =
       r_done = (fun err -> biodone_ref t b err);
     }
 
-and brelse t (b : Buf.t) =
+and[@kpath.intr] brelse t (b : Buf.t) =
   if not (Buf.has b Buf.b_busy) then invalid_arg "brelse: buffer not busy";
   if b.b_refs > 0 then invalid_arg "brelse: buffer still pinned";
   let ws = b.b_waiters in
@@ -221,7 +221,7 @@ and brelse t (b : Buf.t) =
   wake_list ws;
   wake_free t
 
-and biodone_ref t (b : Buf.t) err =
+and[@kpath.intr] biodone_ref t (b : Buf.t) err =
   (match err with
    | Some e ->
      Buf.set b Buf.b_error_flag;
@@ -251,13 +251,13 @@ let biodone = biodone_ref
    per writer; the last unpin releases it. The count only defers the
    release — ownership rules are otherwise unchanged, and [brelse]
    refuses pinned buffers so a release can never happen twice. *)
-let pin t (b : Buf.t) =
+let[@kpath.intr] pin t (b : Buf.t) =
   if not (Buf.has b Buf.b_busy) then invalid_arg "Cache.pin: buffer not busy";
   if b.b_refs = 0 && b.b_id < t.n then t.npinned <- t.npinned + 1;
   b.b_refs <- b.b_refs + 1;
   count "cache.pins" t
 
-let unpin t (b : Buf.t) =
+let[@kpath.intr] unpin t (b : Buf.t) =
   if b.b_refs <= 0 then invalid_arg "Cache.unpin: buffer not pinned";
   b.b_refs <- b.b_refs - 1;
   if b.b_refs = 0 && b.b_id < t.n then t.npinned <- t.npinned - 1;
@@ -313,7 +313,7 @@ let reassign t (b : Buf.t) dev blkno =
   b.b_splice <- -1;
   touch t b
 
-let rec getblk t (dev : Blkdev.t) blkno =
+let[@kpath.blocks] rec getblk t (dev : Blkdev.t) blkno =
   match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
   | Some b when Buf.has b Buf.b_busy ->
     count "cache.sleeps" t;
@@ -339,7 +339,7 @@ let rec getblk t (dev : Blkdev.t) blkno =
           t.free_waiters <- w :: t.free_waiters);
       getblk t dev blkno)
 
-let getblk_nb t (dev : Blkdev.t) blkno =
+let[@kpath.intr] getblk_nb t (dev : Blkdev.t) blkno =
   match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
   | Some b when Buf.has b Buf.b_busy -> None
   | Some b ->
@@ -353,7 +353,7 @@ let getblk_nb t (dev : Blkdev.t) blkno =
       Some b
     | `Flushing | `None -> None)
 
-let rec biowait (b : Buf.t) =
+let[@kpath.blocks] rec biowait (b : Buf.t) =
   if Buf.has b Buf.b_done then
     match b.b_error with Some e -> Error e | None -> Ok ()
   else begin
@@ -361,7 +361,7 @@ let rec biowait (b : Buf.t) =
     biowait b
   end
 
-let bread t dev blkno =
+let[@kpath.blocks] bread t dev blkno =
   let b = getblk t dev blkno in
   if Buf.valid b then begin
     count "cache.hits" t;
@@ -374,7 +374,7 @@ let bread t dev blkno =
     b
   end
 
-let breada t dev blkno ~ahead =
+let[@kpath.blocks] breada t dev blkno ~ahead =
   (* Fire the read-ahead first so the device can pipeline it behind the
      demand read. *)
   (if ahead >= 0
@@ -389,7 +389,7 @@ let breada t dev blkno ~ahead =
      | None -> ());
   bread t dev blkno
 
-let bwrite t (b : Buf.t) =
+let[@kpath.blocks] bwrite t (b : Buf.t) =
   if not (Buf.has b Buf.b_busy) then invalid_arg "bwrite: buffer not busy";
   count "cache.bwrites" t;
   clear_delwri t b;
@@ -430,7 +430,7 @@ let flush_start t (dev : Blkdev.t) blkno =
     start_io t b ~write:true
   | Some _ | None -> ()
 
-let rec flush_await t (dev : Blkdev.t) blkno =
+let[@kpath.blocks] rec flush_await t (dev : Blkdev.t) blkno =
   match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
   | None -> ()
   | Some b when Buf.has b Buf.b_busy ->
@@ -461,7 +461,7 @@ let invalidate_dev t (dev : Blkdev.t) =
   (* Cleaned buffers kept their stamps; recompute list positions. *)
   rebuild_lists t
 
-let bread_nb t dev blkno ~iodone =
+let[@kpath.intr] bread_nb t dev blkno ~iodone =
   match getblk_nb t dev blkno with
   | None -> `Busy
   | Some b ->
@@ -477,7 +477,7 @@ let bread_nb t dev blkno ~iodone =
       `Started b
     end
 
-let awrite_call t (b : Buf.t) ~iodone =
+let[@kpath.intr] awrite_call t (b : Buf.t) ~iodone =
   if not (Buf.has b Buf.b_busy) then invalid_arg "awrite_call: buffer not busy";
   count "cache.awrite_calls" t;
   Buf.set b Buf.b_call;
@@ -485,7 +485,7 @@ let awrite_call t (b : Buf.t) ~iodone =
   clear_delwri t b;
   start_io t b ~write:true
 
-let rec invalidate_cached t (dev : Blkdev.t) blkno =
+let[@kpath.blocks] rec invalidate_cached t (dev : Blkdev.t) blkno =
   match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
   | None -> ()
   | Some b when Buf.has b Buf.b_busy ->
@@ -497,7 +497,7 @@ let rec invalidate_cached t (dev : Blkdev.t) blkno =
     clear_delwri t b;
     brelse t b
 
-let getblk_hdr t (dev : Blkdev.t) blkno =
+let[@kpath.intr] getblk_hdr t (dev : Blkdev.t) blkno =
   let b =
     match t.hdr_pool with
     | b :: rest ->
@@ -520,7 +520,7 @@ let getblk_hdr t (dev : Blkdev.t) blkno =
   b.b_splice <- -1;
   b
 
-let release_hdr t (b : Buf.t) =
+let[@kpath.intr] release_hdr t (b : Buf.t) =
   if b.b_in_hash then invalid_arg "Cache.release_hdr: cache-owned buffer";
   t.hdrs_out <- t.hdrs_out - 1;
   b.b_flags <- 0;
@@ -543,7 +543,7 @@ let release_hdr t (b : Buf.t) =
    block's header (the device layer leaves the poison armed for
    multi-block requests — see [Disk.inject_error]). *)
 
-let cluster_fanout t members ~write ~per_block =
+let[@kpath.intr] cluster_fanout t members ~write ~per_block =
   fun (h : Buf.t) ->
     let err = h.b_error in
     let data = h.b_data in
@@ -567,7 +567,7 @@ let cluster_member (b : Buf.t) ~write =
   Buf.clear b (Buf.b_done lor Buf.b_error_flag);
   b.b_error <- None
 
-let cluster_read t (dev : Blkdev.t) blkno members =
+let[@kpath.intr] cluster_read t (dev : Blkdev.t) blkno members =
   let bs = t.block_size in
   let k = List.length members in
   count "cache.cluster_reads" t;
@@ -582,7 +582,7 @@ let cluster_read t (dev : Blkdev.t) blkno members =
            Bytes.blit data (i * bs) b.Buf.b_data 0 bs));
   start_io t hdr ~write:false
 
-let breadn t (dev : Blkdev.t) blkno ~n ~iodone =
+let[@kpath.intr] breadn t (dev : Blkdev.t) blkno ~n ~iodone =
   let n = max 1 (min n t.max_cluster) in
   match getblk_nb t dev blkno with
   | None -> `Busy
@@ -646,7 +646,7 @@ let flush_cluster t (dev : Blkdev.t) (members : Buf.t list) =
     Some (cluster_fanout t members ~write:true ~per_block:(fun _ _ _ -> ()));
   start_io t hdr ~write:true
 
-let flush_blocks t dev blknos =
+let[@kpath.blocks] flush_blocks t dev blknos =
   let flushable blkno =
     match Hashtbl.find_opt t.hash (dev.Blkdev.dv_id, blkno) with
     | Some b when (not (Buf.has b Buf.b_busy)) && Buf.has b Buf.b_delwri ->
@@ -686,13 +686,14 @@ let flush_blocks t dev blknos =
    end);
   List.iter (flush_await t dev) blknos
 
-let flush_dev t (dev : Blkdev.t) =
+let[@kpath.blocks] flush_dev t (dev : Blkdev.t) =
   let blknos =
     Hashtbl.fold
       (fun (d, blkno) _ acc -> if d = dev.Blkdev.dv_id then blkno :: acc else acc)
       t.hash []
+    |> List.sort compare
   in
-  flush_blocks t dev (List.sort compare blknos)
+  flush_blocks t dev blknos
 
 (* Maintained incrementally; [check_invariants] cross-checks them
    against full folds over the pool. *)
@@ -704,14 +705,15 @@ let dirty_count t = t.ndirty
 
 let check_invariants t =
   let fail fmt = Format.kasprintf failwith fmt in
-  (* Hash entries point at buffers with the matching identity. *)
-  Hashtbl.iter
-    (fun (dev_id, blkno) (b : Buf.t) ->
-      if not b.b_in_hash then fail "hash entry for un-hashed %a" Buf.pp b;
-      match b.b_dev with
-      | Some d when d.Blkdev.dv_id = dev_id && b.b_blkno = blkno -> ()
-      | _ -> fail "hash key mismatch for %a" Buf.pp b)
-    t.hash;
+  (* Hash entries point at buffers with the matching identity. Checked
+     in (dev, blkno) order so any failure message is deterministic. *)
+  Hashtbl.fold (fun key b acc -> (key, b) :: acc) t.hash []
+  |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+  |> List.iter (fun ((dev_id, blkno), (b : Buf.t)) ->
+         if not b.b_in_hash then fail "hash entry for un-hashed %a" Buf.pp b;
+         match b.b_dev with
+         | Some d when d.Blkdev.dv_id = dev_id && b.b_blkno = blkno -> ()
+         | _ -> fail "hash key mismatch for %a" Buf.pp b);
   (* Hashed buffers are present in the hash under their own key. *)
   Array.iter
     (fun (b : Buf.t) ->

@@ -146,7 +146,10 @@ let peak_pending_writes t =
 
 let inflight_buffers t =
   match t.kind with
-  | File_pump p -> Hashtbl.fold (fun _ b acc -> b :: acc) p.inflight []
+  | File_pump p ->
+    Hashtbl.fold (fun _ b acc -> b :: acc) p.inflight []
+    |> List.sort (fun (a : Buf.t) (b : Buf.t) ->
+           compare a.Buf.b_lblkno b.Buf.b_lblkno)
   | Dgram_pump _ | Frame_pump _ | Stream_pump _ -> []
 
 let overruns t =
@@ -189,7 +192,7 @@ let finalize t =
 let on_complete t cb =
   if t.finalized then cb t else t.callbacks <- cb :: t.callbacks
 
-let wait t =
+let[@kpath.blocks] wait t =
   let finished () = t.st <> Running in
   if not (finished ()) then
     Process.block "splice" (fun waker -> on_complete t (fun _ -> waker ()));
@@ -234,7 +237,7 @@ let wq_insert (p : file_pump) lblk b =
     in
     p.wq <- ins p.wq
 
-let rec issue_reads t (p : file_pump) n =
+let[@kpath.intr] rec issue_reads t (p : file_pump) n =
   if n > 0 && t.st = Running && p.next_read < p.nblocks then begin
     let lblk = p.next_read in
     let phys = p.src_map.(lblk) in
@@ -322,7 +325,7 @@ let rec issue_reads t (p : file_pump) n =
    caller charges the handler activation and retires the pending-read
    slot — once per cluster). Hands the locked buffer to the write side
    through the head of the callout list (§5.3). *)
-and read_done t (p : file_pump) lblk (b : Buf.t) =
+and[@kpath.intr] read_done t (p : file_pump) lblk (b : Buf.t) =
   match t.st with
   | Aborted _ ->
     Cache.brelse t.ctx.cache b;
@@ -366,7 +369,7 @@ and read_done t (p : file_pump) lblk (b : Buf.t) =
 (* Drain the clustered-write staging batch: runs that are consecutive
    both logically and on the destination device (split at physical
    discontinuities) become one multi-block write each. *)
-and flush_writes t (p : file_pump) =
+and[@kpath.intr] flush_writes t (p : file_pump) =
   p.wflush_armed <- false;
   (* [wq] is kept sorted descending by [wq_insert]. *)
   let batch = List.rev p.wq in
@@ -398,7 +401,7 @@ and flush_writes t (p : file_pump) =
 (* Clustered write: the members' data areas ride one header transfer
    (the splice analog of cluster_wbuild), so the destination device
    raises a single completion interrupt for the run. *)
-and write_cluster t (p : file_pump) run =
+and[@kpath.intr] write_cluster t (p : file_pump) run =
   charge t;
   if t.st <> Running then begin
     p.fp_writes <- p.fp_writes - 1;
@@ -436,7 +439,7 @@ and write_cluster t (p : file_pump) run =
 (* Completion of a clustered write: one handler activation, then
    per-block accounting (bytes moved, latency samples) and a single
    flow-control step for the whole run. *)
-and cluster_write_done t (p : file_pump) run hdr =
+and[@kpath.intr] cluster_write_done t (p : file_pump) run hdr =
   charge t;
   let write_error =
     match hdr with
@@ -494,7 +497,7 @@ and cluster_write_done t (p : file_pump) run hdr =
 
 (* Write side: runs from the callout list with a locked buffer of valid
    data (§5.4). *)
-and write_start t (p : file_pump) lblk (src_buf : Buf.t) =
+and[@kpath.intr] write_start t (p : file_pump) lblk (src_buf : Buf.t) =
   charge t;
   if t.st <> Running then write_done t p lblk None
   else
@@ -537,7 +540,7 @@ and write_start t (p : file_pump) lblk (src_buf : Buf.t) =
 (* Write handler: invoked at write completion (§5.4): free the source
    buffer, free the header just written, account, and apply flow control
    (§5.5). *)
-and write_done t (p : file_pump) lblk hdr =
+and[@kpath.intr] write_done t (p : file_pump) lblk hdr =
   charge t;
   p.fp_writes <- p.fp_writes - 1;
   let write_error =
@@ -586,7 +589,7 @@ and write_done t (p : file_pump) lblk hdr =
     end
   | (Aborted _ | Completed), _ -> complete_if_done t p
 
-and abort_pump t (p : file_pump) reason =
+and[@kpath.intr] abort_pump t (p : file_pump) reason =
   if t.st = Running then begin
     t.st <- Aborted reason;
     complete_if_done t p
@@ -795,7 +798,7 @@ let start_frame_pump ctx ~config ~fb ~sock ~dst ~size =
 
 (* {1 Stream (recording) pump} *)
 
-let stream_flush_block t (p : stream_pump) =
+let[@kpath.intr] stream_flush_block t (p : stream_pump) =
   let lblk = p.sp_next in
   let dst_dev = Fs.dev p.sp_fs in
   let hdr = Cache.getblk_hdr t.ctx.cache dst_dev p.sp_map.(lblk) in
@@ -836,7 +839,7 @@ let stream_flush_block t (p : stream_pump) =
       | Completed -> ())
 
 (* Interrupt-context chunk arrival from the device. *)
-let stream_on_chunk t (p : stream_pump) data =
+let[@kpath.intr] stream_on_chunk t (p : stream_pump) data =
   if t.st = Running then begin
     charge t;
     let len = Bytes.length data in

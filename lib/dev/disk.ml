@@ -307,7 +307,7 @@ let pop_next t =
       Some n.Dq.req
   end
 
-let rec service_next t =
+let[@kpath.intr] rec service_next t =
   if not t.in_service then begin
     match pop_next t with
     | None -> ()

@@ -29,7 +29,7 @@ let count name t = Stats.incr (Stats.counter t.stats name)
 
 (* {1 Locking} *)
 
-let ilock (ino : Inode.t) =
+let[@kpath.blocks] ilock (ino : Inode.t) =
   while ino.locked do
     Process.block "ilock" (fun w -> ino.lock_waiters <- w :: ino.lock_waiters)
   done;
@@ -54,7 +54,7 @@ let with_ilock ino f =
 
 (* {1 Cache access helpers} *)
 
-let bread_checked t blkno =
+let[@kpath.transfers] bread_checked t blkno =
   let b = Cache.bread t.cache t.dev blkno in
   match b.Buf.b_error with
   | Some (Blkdev.Io_error msg) ->

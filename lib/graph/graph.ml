@@ -306,7 +306,7 @@ let finalize t =
 let on_complete t cb =
   if t.finalized then cb t else t.callbacks <- cb :: t.callbacks
 
-let wait t =
+let[@kpath.blocks] wait t =
   if not (t.st <> Running && t.finalized) then
     Process.block "graph" (fun waker -> on_complete t (fun _ -> waker ()));
   match t.st with
@@ -408,7 +408,7 @@ let burst_for t sn =
 (* Drop edge [e]'s reference on [blk], if still owed; [true] when this
    call actually released a reference. The block leaves the in-flight
    table when its last reference drains (release exactly once). *)
-let settle_ref t (e : edge) (blk : block) =
+let[@kpath.intr] settle_ref t (e : edge) (blk : block) =
   if Hashtbl.mem blk.blk_owers e.e_id then begin
     Hashtbl.remove blk.blk_owers e.e_id;
     if Hashtbl.length blk.blk_owers = 0 then begin
@@ -423,7 +423,7 @@ let settle_ref t (e : edge) (blk : block) =
   end
   else false
 
-let rec issue_reads t (sn : source) n =
+let[@kpath.intr] rec issue_reads t (sn : source) n =
   if n > 0 && t.st = Running && sn.sn_next_read < sn.sn_nblocks
      && Array.length (live_edges sn) > 0
   then begin
@@ -508,7 +508,7 @@ let rec issue_reads t (sn : source) n =
    The block is read from the device exactly once, however many edges
    share it. [live] is the edge set the block is aliased to — for a
    clustered read, the caller snapshots it once for all members. *)
-and read_done t (sn : source) ~live lblk (b : Buf.t) =
+and[@kpath.intr] read_done t (sn : source) ~live lblk (b : Buf.t) =
   sn.sn_reads <- sn.sn_reads - 1;
   match t.st with
   | Aborted _ ->
@@ -565,7 +565,7 @@ and read_done t (sn : source) ~live lblk (b : Buf.t) =
    pinned buffer. The filter pipeline is applied first; each stage may
    defer (throttling), so every continuation re-checks that the edge
    still owes this block before touching the data. *)
-and edge_write_start t (e : edge) (blk : block) =
+and[@kpath.intr] edge_write_start t (e : edge) (blk : block) =
   charge t;
   if not (Hashtbl.mem blk.blk_owers e.e_id) then ()
   else if e.e_state <> Active then begin
@@ -574,7 +574,7 @@ and edge_write_start t (e : edge) (blk : block) =
   end
   else apply_filters t e blk e.e_filters
 
-and apply_filters t (e : edge) (blk : block) filters =
+and[@kpath.intr] apply_filters t (e : edge) (blk : block) filters =
   if not (Hashtbl.mem blk.blk_owers e.e_id) then ()
   else if e.e_state <> Active then begin
     ignore (settle_ref t e blk);
@@ -607,7 +607,7 @@ and apply_filters t (e : edge) (blk : block) filters =
                  apply_filters t e blk rest))
         else apply_filters t e blk rest)
 
-and edge_sink_write t (e : edge) (blk : block) =
+and[@kpath.intr] edge_sink_write t (e : edge) (blk : block) =
   let lblk = blk.blk_lblk in
   let src_buf = blk.blk_buf in
   count t.ctx "graph.writes_issued";
@@ -640,7 +640,7 @@ and edge_sink_write t (e : edge) (blk : block) =
 (* Write handler for one edge (interrupt context): drop this edge's
    reference (the last one releases the shared buffer), account, and
    refill the source's read pipeline. *)
-and edge_write_done t (e : edge) (blk : block) hdr =
+and[@kpath.intr] edge_write_done t (e : edge) (blk : block) hdr =
   charge t;
   let write_error =
     match hdr with
@@ -685,7 +685,7 @@ and edge_write_done t (e : edge) (blk : block) hdr =
 (* Refill the read pipeline of one source (flow control, §5.5 applied
    per edge), with a belt-and-braces single read so a source with work
    left can never stall. *)
-and kick t (sn : source) =
+and[@kpath.intr] kick t (sn : source) =
   if t.st = Running then begin
     let burst = burst_for t sn in
     if burst > 0 then issue_reads t sn burst;
@@ -700,7 +700,7 @@ and kick t (sn : source) =
 (* Cut an edge loose: its outstanding references are dropped right away
    (abandoning any in-flight writes), so the shared buffers it was
    holding can drain and the source stops being gated by it. *)
-and edge_abort_internal t (e : edge) ~reason =
+and[@kpath.intr] edge_abort_internal t (e : edge) ~reason =
   if e.e_state = Active then begin
     retire_edge t e (Dead reason);
     e.e_writes <- 0;
@@ -709,6 +709,7 @@ and edge_abort_internal t (e : edge) ~reason =
         Printf.sprintf "g%d e%d dead: %s" t.g_id e.e_id reason);
     let blocks =
       Hashtbl.fold (fun _ blk acc -> blk :: acc) e.e_src.sn_inflight []
+      |> List.sort (fun a b -> compare a.blk_lblk b.blk_lblk)
     in
     List.iter (fun blk -> ignore (settle_ref t e blk)) blocks;
     kick t e.e_src;

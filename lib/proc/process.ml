@@ -59,9 +59,11 @@ let make ~pid ~name ~priority =
 let use_cpu mode d =
   if Time.(d > Time.zero) then Effect.perform (Use_cpu (mode, d))
 
-let block chan register = Effect.perform (Block (chan, register))
+(* The two ways a process gives up the CPU; everything the kpath-verify
+   [intr-blocks] rule forbids in interrupt context bottoms out here. *)
+let[@kpath.blocks] block chan register = Effect.perform (Block (chan, register))
 
-let yield () = Effect.perform Yield
+let[@kpath.blocks] yield () = Effect.perform Yield
 
 let self () = Effect.perform Self
 

@@ -39,7 +39,9 @@ let to_list t =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset t =
-  Hashtbl.iter (fun _ c -> c.v <- 0) t.counters;
+  (Hashtbl.iter (fun _ c -> c.v <- 0) t.counters)
+  [@kpath.nolint "hashtbl-order: zeroing each counter commutes, no \
+                  order-dependent effect"];
   Hashtbl.reset t.histograms
 
 let pp fmt t =

@@ -1,0 +1,17 @@
+(* Known-bad fixture: a buffer acquired via getblk is released twice on
+   the same path. Expected: exactly one [buf-double-release] finding. *)
+
+module Buf = struct
+  type t = { mutable data : int }
+end
+
+module Cache = struct
+  let getblk (_dev : int) (_blkno : int) : Buf.t = { Buf.data = 0 }
+
+  let brelse (_b : Buf.t) = ()
+end
+
+let double_release () =
+  let b = Cache.getblk 0 9 in
+  Cache.brelse b;
+  Cache.brelse b

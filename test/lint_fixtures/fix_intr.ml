@@ -1,0 +1,14 @@
+(* Known-bad fixture: an interrupt-context completion handler that
+   reaches a blocking primitive through an intermediate call.
+   Expected: exactly one [intr-blocks] finding, reporting the chain
+   completion_handler -> Cache.biowait -> Process.block. *)
+
+module Process = struct
+  let[@kpath.blocks] block (_chan : string) = ()
+end
+
+module Cache = struct
+  let biowait () = Process.block "biowait"
+end
+
+let[@kpath.intr] completion_handler () = Cache.biowait ()

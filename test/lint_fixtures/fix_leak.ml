@@ -1,0 +1,20 @@
+(* Known-bad fixture: a buffer acquired via bread is released on the
+   success branch only, leaking on the other path.
+   Expected: exactly one [buf-leak] finding. *)
+
+module Buf = struct
+  type t = { mutable data : int }
+end
+
+module Cache = struct
+  let bread (_dev : int) (_blkno : int) : Buf.t = { Buf.data = 0 }
+
+  let brelse (_b : Buf.t) = ()
+end
+
+let use_block ok =
+  let b = Cache.bread 0 7 in
+  if ok then begin
+    ignore b.Buf.data;
+    Cache.brelse b
+  end

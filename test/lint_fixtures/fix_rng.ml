@@ -1,0 +1,4 @@
+(* Known-bad fixture: Stdlib.Random outside lib/sim/rng makes runs
+   irreproducible. Expected: exactly one [rng] finding. *)
+
+let jitter () = Random.int 100

@@ -24,4 +24,5 @@ let () =
       ("graph", Test_graph.suite);
       ("kernel", Test_kernel.suite);
       ("workloads", Test_workloads.suite);
+      ("lint", Test_lint.suite);
     ]

@@ -1,0 +1,65 @@
+(* kpath-verify CLI: run the static analysis pass over .cmt files.
+
+   Usage: kpath_verify [--json FILE] [--exit-zero] <path>...
+
+   Each <path> is a .cmt file or a directory searched recursively for
+   .cmt files. Exit status is 1 when findings are reported (so the dune
+   @lint alias fails the build), 0 otherwise; --exit-zero forces 0 for
+   report-only CI steps that upload the JSON artifact. *)
+
+module Lint = Kpath_lint.Lint
+
+let rec collect_cmts path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry -> collect_cmts (Filename.concat path entry) acc)
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let () =
+  let json_out = ref None in
+  let exit_zero = ref false in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+      json_out := Some file;
+      parse rest
+    | "--exit-zero" :: rest ->
+      exit_zero := true;
+      parse rest
+    | ("--help" | "-h") :: _ ->
+      print_endline "usage: kpath_verify [--json FILE] [--exit-zero] <cmt-or-dir>...";
+      exit 0
+    | arg :: rest ->
+      paths := arg :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let cmts =
+    List.fold_left (fun acc p -> collect_cmts p acc) [] !paths
+    |> List.sort_uniq compare
+  in
+  if cmts = [] then begin
+    prerr_endline "kpath_verify: no .cmt files given";
+    exit 2
+  end;
+  let result = Lint.run cmts in
+  (match !json_out with
+   | Some file ->
+     let oc = open_out file in
+     output_string oc (Lint.to_json result);
+     close_out oc
+   | None -> ());
+  List.iter
+    (fun f -> Format.printf "%a@." Lint.pp_finding f)
+    result.Lint.r_findings;
+  let n = List.length result.Lint.r_findings in
+  Format.printf "kpath-verify: %d finding%s in %d module%s (%d functions)@."
+    n
+    (if n = 1 then "" else "s")
+    result.Lint.r_modules
+    (if result.Lint.r_modules = 1 then "" else "s")
+    result.Lint.r_nodes;
+  if n > 0 && not !exit_zero then exit 1
