@@ -439,6 +439,80 @@ let print_cluster_sweep ?(file_bytes = 8 * mb) ?ops ?sizes ?disks () =
      is the paper's per-block path)\n";
   print_newline ()
 
+(* {1 Filter-program sweep: VM interpreter overhead vs built-in stages} *)
+
+let prog_stages () =
+  [
+    `Plain;
+    `Checksum;
+    `Prog ("prog-checksum", [ Kpath_vm.Samples.checksum () ]);
+    (* Two identical masks chain to the identity, so the pattern check
+       still passes while the row prices a transforming program (and
+       the copy-on-write it triggers) -- twice over. *)
+    `Prog
+      ( "prog-xor2",
+        [
+          Kpath_vm.Samples.xor_mask ~key:0x5a;
+          Kpath_vm.Samples.xor_mask ~key:0x5a;
+        ] );
+  ]
+
+let prog_rows ?(file_bytes = 4 * mb) ?(disks = [ `Ram; `Rz58 ]) () =
+  List.map
+    (fun disk ->
+      ( disk,
+        List.map
+          (fun stage ->
+            time_host (fun () ->
+                Experiments.measure_prog ~disk ~file_bytes ~stage ()))
+          (prog_stages ()) ))
+    disks
+
+let print_prog_sweep ?(file_bytes = 4 * mb) () =
+  header
+    (Printf.sprintf
+       "Sweep: verified filter programs, %d MB splice-graph copy --      interpreter CPU per block vs the built-in Checksum stage"
+       (file_bytes / mb));
+  let nblocks = file_bytes / 8192 in
+  Printf.printf "%-5s | %-13s | %9s | %7s | %9s | %9s | %6s\n" "Disk" "stage"
+    "KB/s" "CPU s" "insns/blk" "us/blk" "host s";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun (disk, rows) ->
+      let plain_cpu =
+        List.fold_left
+          (fun acc (r, _) ->
+            if r.Experiments.pr_stage = "plain" then r.Experiments.pr_cpu_sec
+            else acc)
+          0.0 rows
+      in
+      let builtin = ref None and interp = ref None in
+      List.iter
+        (fun (r, host) ->
+          (match r.Experiments.pr_stage with
+           | "checksum" -> builtin := r.Experiments.pr_checksum
+           | "prog-checksum" -> interp := r.Experiments.pr_checksum
+           | _ -> ());
+          Printf.printf "%-5s | %-13s | %9.0f | %7.3f | %9.1f | %9.2f | %6.2f\n"
+            (Experiments.disk_name disk) r.Experiments.pr_stage
+            r.Experiments.pr_kb_per_sec r.Experiments.pr_cpu_sec
+            (float_of_int r.Experiments.pr_insns /. float_of_int nblocks)
+            ((r.Experiments.pr_cpu_sec -. plain_cpu) /. float_of_int nblocks
+             *. 1e6)
+            host)
+        rows;
+      Printf.printf "%-5s   checksum(builtin) = checksum(prog): %b\n"
+        (Experiments.disk_name disk)
+        (match (!builtin, !interp) with
+         | Some a, Some b -> a = b
+         | _ -> false))
+    (prog_rows ~file_bytes ());
+  Printf.printf
+    "(us/blk is the simulated CPU the stage adds per 8 KB block over the \
+     plain edge; the FNV program\n interprets ~6 instructions per payload \
+     byte, the price of running user logic in the kernel path)\n";
+  print_newline ()
+
 (* {1 Smoke run: small-size tables + cluster sweep, JSON for CI} *)
 
 let json_escape s =
@@ -459,6 +533,24 @@ let smoke ?(path = "BENCH_kpath.json") () =
     time_host (fun () ->
         cluster_rows ~file_bytes ~ops:250 ~sizes:[ 1; 4; 8 ]
           ~disks:[ `Ram; `Rz58 ] ())
+  in
+  let pr, pr_host =
+    time_host (fun () ->
+        match prog_rows ~file_bytes ~disks:[ `Ram ] () with
+        | [ (_, rows) ] -> rows
+        | _ -> assert false)
+  in
+  let prog_checksums_match =
+    let find stage =
+      List.find_map
+        (fun (r, _) ->
+          if r.Experiments.pr_stage = stage then r.Experiments.pr_checksum
+          else None)
+        pr
+    in
+    match (find "checksum", find "prog-checksum") with
+    | Some a, Some b -> a = b
+    | _ -> false
   in
   let buf = Buffer.create 4096 in
   let field last fmt = Printf.ksprintf
@@ -500,16 +592,27 @@ let smoke ?(path = "BENCH_kpath.json") () =
       field false "\"intrs_per_mb\": %.2f" r.Experiments.cl_intrs_per_mb;
       field false "\"f_scp\": %.4f" r.Experiments.cl_f_scp;
       field true "\"host_seconds\": %.3f" host);
+  Buffer.add_string buf ",\n  \"prog_sweep\": ";
+  objects pr (fun (r, host) ->
+      field false "\"stage\": \"%s\"" (json_escape r.Experiments.pr_stage);
+      field false "\"kb_per_sec\": %.1f" r.Experiments.pr_kb_per_sec;
+      field false "\"cpu_sec\": %.4f" r.Experiments.pr_cpu_sec;
+      field false "\"runs\": %d" r.Experiments.pr_runs;
+      field false "\"insns\": %d" r.Experiments.pr_insns;
+      field false "\"verified\": %b" r.Experiments.pr_verified;
+      field true "\"host_seconds\": %.3f" host);
+  Printf.ksprintf (Buffer.add_string buf)
+    ",\n  \"prog_checksum_match\": %b" prog_checksums_match;
   Printf.ksprintf (Buffer.add_string buf)
     ",\n  \"host_seconds\": {\"table1\": %.3f, \"table2\": %.3f, \
-     \"cluster_sweep\": %.3f}\n}\n"
-    t1_host t2_host cl_host;
+     \"cluster_sweep\": %.3f, \"prog_sweep\": %.3f}\n}\n"
+    t1_host t2_host cl_host pr_host;
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "smoke: table1 %.1fs, table2 %.1fs, cluster sweep %.1fs; \
-                 results written to %s\n"
-    t1_host t2_host cl_host path
+  Printf.printf "smoke: table1 %.1fs, table2 %.1fs, cluster sweep %.1fs, \
+                 prog sweep %.1fs; results written to %s\n"
+    t1_host t2_host cl_host pr_host path
 
 (* {1 Wall-clock sweep: heap vs wheel engine, events/sec + GC, JSON} *)
 
@@ -636,6 +739,24 @@ let sweep_wallclock ?(path = "BENCH_wallclock.json") () =
         (name, m, host, minor, majors))
       backends
   in
+  let prog_wc_rows =
+    List.map
+      (fun (name, backend) ->
+        let r, host, minor, majors =
+          in_child (fun () ->
+              gc_run (fun () ->
+                  Experiments.measure_prog ~disk:`Rz58 ~file_bytes:(8 * mb)
+                    ~stage:
+                      (`Prog ("prog-checksum", [ Kpath_vm.Samples.checksum () ]))
+                    ~machine_config:(backend_config backend) ()))
+        in
+        Printf.printf "%-22s | %-5s | %9d | %8.3f | %11.0f | %11.0f | %5d\n"
+          "prog copy 8 MB rz58" name r.Experiments.pr_events host
+          (evps r.Experiments.pr_events host)
+          minor majors;
+        (name, r, host, minor, majors))
+      backends
+  in
   let fan_rows =
     List.concat_map
       (fun (name, backend) ->
@@ -700,6 +821,17 @@ let sweep_wallclock ?(path = "BENCH_wallclock.json") () =
       field false "\"minor_words\": %.0f" minor;
       field false "\"major_collections\": %d" majors;
       field true "\"verified\": %b" m.Experiments.cm_verified);
+  Buffer.add_string buf ",\n  \"prog\": ";
+  objects prog_wc_rows (fun (name, r, host, minor, majors) ->
+      field false "\"engine\": \"%s\"" (json_escape name);
+      field false "\"file_bytes\": %d" (8 * mb);
+      field false "\"events\": %d" r.Experiments.pr_events;
+      field false "\"host_seconds\": %.4f" host;
+      field false "\"events_per_sec\": %.0f" (evps r.Experiments.pr_events host);
+      field false "\"insns\": %d" r.Experiments.pr_insns;
+      field false "\"minor_words\": %.0f" minor;
+      field false "\"major_collections\": %d" majors;
+      field true "\"verified\": %b" r.Experiments.pr_verified);
   Buffer.add_string buf ",\n  \"fanout\": ";
   objects fan_rows (fun (name, clients, m, host, minor, majors) ->
       field false "\"engine\": \"%s\"" (json_escape name);
@@ -790,6 +922,7 @@ let all_targets ~quick =
      print_cluster_sweep ~file_bytes:(2 * mb) ~ops:500 ~sizes:[ 1; 4; 8 ]
        ~disks:[ `Ram; `Rz58 ] ()
    else print_cluster_sweep ());
+  print_prog_sweep ~file_bytes:(if quick then mb else 4 * mb) ();
   print_relatedwork ();
   if not quick then print_cpuspeed_sweep ();
   print_timeline ();
@@ -827,6 +960,8 @@ let () =
         | "sweep-cluster-quick" ->
           print_cluster_sweep ~file_bytes:(2 * mb) ~ops:500 ~sizes:[ 1; 4; 8 ]
             ~disks:[ `Ram; `Rz58 ] ()
+        | "sweep-prog" -> print_prog_sweep ()
+        | "sweep-prog-quick" -> print_prog_sweep ~file_bytes:mb ()
         | "smoke" -> smoke ()
         | "sweep-wallclock" -> sweep_wallclock ()
         | "table-relatedwork" -> print_relatedwork ()
@@ -838,8 +973,8 @@ let () =
           Printf.eprintf
             "unknown target %s (try: table1 table1-natural table2 \
              ablation-watermarks ablation-lockstep sweep-size sweep-cluster \
-             sweep-wallclock smoke table-udp table-media bechamel quick \
-             all)\n"
+             sweep-prog sweep-wallclock smoke table-udp table-media bechamel \
+             quick all)\n"
             other;
           exit 1)
       targets

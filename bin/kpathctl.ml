@@ -317,12 +317,19 @@ let graph_cmd =
     Arg.(value & flag
          & info [ "checksum" ] ~doc:"Run a Checksum filter stage on every edge.")
   in
+  let prog_arg =
+    Arg.(value & opt (some string) None
+         & info [ "prog" ] ~docv:"FILE"
+             ~doc:"Attach the filter program assembled from $(docv) to every \
+                   edge. The program must pass the in-kernel verifier; a \
+                   rejection prints the violated rule and instruction offset.")
+  in
   let trace_arg =
     Arg.(value & opt (some string) None
          & info [ "trace-json" ] ~docv:"FILE"
              ~doc:"Dump the per-block graph event log to $(docv), one JSON object per line.")
   in
-  let run clients size_kb bandwidth window throttle checksum trace engine =
+  let run clients size_kb bandwidth window throttle checksum prog trace engine =
     let usage_error msg =
       Format.eprintf "kpathctl: %s@." msg;
       exit 124
@@ -336,11 +343,29 @@ let graph_cmd =
     (match window with
      | Some w when w < 1 -> usage_error "--window must be at least 1"
      | _ -> ());
+    let prog_filter =
+      match prog with
+      | None -> []
+      | Some path ->
+        let text =
+          try
+            let ic = open_in_bin path in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            s
+          with Sys_error msg -> usage_error ("cannot read program: " ^ msg)
+        in
+        (match Kpath_vm.Asm.load text with
+         | Ok p -> [ Kpath_graph.Graph.Prog p ]
+         | Error diag -> usage_error (Printf.sprintf "%s: %s" path diag))
+    in
     let filters =
       (if checksum then [ Kpath_graph.Graph.Checksum ] else [])
       @ (match throttle with
          | Some bps -> [ Kpath_graph.Graph.Throttle bps ]
          | None -> [])
+      @ prog_filter
     in
     let filters = if filters = [] then None else Some filters in
     let machine_config =
@@ -371,6 +396,9 @@ let graph_cmd =
       size_kb r.Experiments.fo_clients r.Experiments.fo_agg_kb_per_sec
       r.Experiments.fo_seconds r.Experiments.fo_device_reads
       r.Experiments.fo_server_cpu_sec r.Experiments.fo_verified;
+    if Option.is_some prog then
+      Format.printf "filter program: %d runs, %d instructions interpreted@."
+        r.Experiments.fo_prog_runs r.Experiments.fo_prog_insns;
     if r.Experiments.fo_pinned_after <> 0 then
       Format.printf "WARNING: %d buffers still pinned after completion@."
         r.Experiments.fo_pinned_after
@@ -379,7 +407,7 @@ let graph_cmd =
     (Cmd.info "graph"
        ~doc:"Stream one file to N TCP clients through a splice graph (fan-out).")
     Term.(const run $ clients_arg $ size_kb_arg $ bandwidth_arg $ window_arg
-          $ throttle_arg $ checksum_arg $ trace_arg $ engine_arg)
+          $ throttle_arg $ checksum_arg $ prog_arg $ trace_arg $ engine_arg)
 
 (* sendfile *)
 

@@ -35,7 +35,9 @@ let rec arm t =
              let waiters = List.rev t.waiters in
              t.waiters <- [];
              List.iter (fun k -> k ~seq frame) waiters;
-             if t.waiters <> [] || waiters <> [] then arm t
+             (match (t.waiters, waiters) with
+              | [], [] -> ()
+              | _ -> arm t)
            end))
   end
 

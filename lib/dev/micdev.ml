@@ -49,13 +49,13 @@ let rec arm t =
                  match t.consumer with
                  | Some fn -> fn data
                  | None -> t.dropped <- t.dropped + t.chunk);
-             if t.consumer <> None then arm t
+             if Option.is_some t.consumer then arm t
            end))
   end
 
 let set_consumer t fn =
   t.consumer <- fn;
-  if fn <> None then arm t
+  if Option.is_some fn then arm t
 
 let produced t = t.produced
 

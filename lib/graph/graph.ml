@@ -5,6 +5,7 @@ open Kpath_fs
 open Kpath_net
 open Kpath_proc
 open Kpath_core
+module Vm = Kpath_vm.Vm
 
 type ctx = {
   engine : Engine.t;
@@ -12,6 +13,7 @@ type ctx = {
   cache : Cache.t;
   intr : service:Time.span -> (unit -> unit) -> unit;
   handler_cost : Time.span;
+  vm_insn_cost : Time.span;
   stats : Stats.t;
   trace : Trace.t option;
   mutable next_graph : int;
@@ -19,14 +21,15 @@ type ctx = {
   mutable next_edge : int;
 }
 
-let make_ctx ~engine ~callout ~cache ~intr ?(handler_cost = Time.us 25) ?trace
-    () =
+let make_ctx ~engine ~callout ~cache ~intr ?(handler_cost = Time.us 25)
+    ?(vm_insn_cost = Time.ns 100) ?trace () =
   {
     engine;
     callout;
     cache;
     intr;
     handler_cost;
+    vm_insn_cost;
     stats = Stats.create ();
     trace;
     next_graph = 1;
@@ -51,7 +54,24 @@ type sink_spec =
   | Sink_udp of { sock : Udp.t; dst : Udp.addr }
   | Sink_tcp of Tcp.conn
 
-type filter = Checksum | Throttle of float | Tee of (bytes -> int -> unit)
+type filter =
+  | Checksum
+  | Throttle of float
+  | Tee of (bytes -> int -> unit)
+  | Prog of Vm.prog
+
+(* Per-edge form of a filter stage. [Prog] gains its private VM state
+   here (scratch arena and register file), so one [filter list] shared
+   across several [connect] calls still gives every edge independent
+   cross-block state. Code below matches on this type rather than
+   comparing [filter] values: [Tee] carries a closure, so polymorphic
+   equality over [filter] is a crash hazard (see kpath-verify's
+   poly-compare rule). *)
+type ifilter =
+  | F_checksum
+  | F_throttle of float
+  | F_tee of (bytes -> int -> unit)
+  | F_prog of Vm.prog * Vm.state
 
 (* One source block in flight: read done, shared by every outgoing edge
    that still owes an unpin. *)
@@ -105,7 +125,8 @@ and edge = {
   e_id : int;
   e_src : source;
   e_sink : sink;
-  e_filters : filter list;
+  e_filters : ifilter list;
+  e_has_checksum : bool;  (* a Checksum or Prog stage feeds e_checksum *)
   e_config : Flowctl.config;
   mutable e_dst_base : int;  (* fan-in: base block within sk_map *)
   mutable e_writes : int;  (* pending sink writes *)
@@ -113,6 +134,7 @@ and edge = {
   mutable e_delivered : int;  (* bytes accepted by the sink *)
   mutable e_done_blocks : int;  (* blocks settled (written or abandoned) *)
   mutable e_checksum : int;
+  mutable e_kvs : (int * int) list;  (* Prog emits, newest first *)
   mutable e_pace : Time.t;  (* throttle pacing cursor *)
   mutable e_state : edge_state;
 }
@@ -173,8 +195,10 @@ let edge_state e =
 
 let edge_delivered e = e.e_delivered
 
-let edge_checksum e =
-  if List.mem Checksum e.e_filters then Some e.e_checksum else None
+(* Match, don't [List.mem]: e_filters holds closures. *)
+let edge_checksum e = if e.e_has_checksum then Some e.e_checksum else None
+
+let edge_emits e = List.rev e.e_kvs
 
 let edge_pending_writes e = e.e_writes
 
@@ -250,18 +274,33 @@ let connect t ?(config = Flowctl.default) ?(filters = []) ~src ~dst () =
   in
   if Hashtbl.mem t.g_conns (sn.sn_id, sk.sk_id) then
     invalid_arg "Graph.connect: edge already exists";
-  List.iter
-    (function
-      | Throttle rate when rate <= 0.0 ->
-        invalid_arg "Graph.connect: throttle rate must be positive"
-      | Throttle _ | Checksum | Tee _ -> ())
-    filters;
+  let ifilters =
+    List.map
+      (function
+        | Throttle rate ->
+          if rate <= 0.0 then
+            invalid_arg "Graph.connect: throttle rate must be positive";
+          F_throttle rate
+        | Checksum -> F_checksum
+        | Tee fn -> F_tee fn
+        | Prog p ->
+          (* Fresh state per edge: scratch must not be shared even when
+             the same filter list is passed to several connects. *)
+          F_prog (p, Vm.new_state p))
+      filters
+  in
   let e =
     {
       e_id = t.ctx.next_edge;
       e_src = sn;
       e_sink = sk;
-      e_filters = filters;
+      e_filters = ifilters;
+      e_has_checksum =
+        List.exists
+          (function
+            | F_checksum | F_prog _ -> true
+            | F_throttle _ | F_tee _ -> false)
+          ifilters;
       e_config = config;
       e_dst_base = 0;
       e_writes = 0;
@@ -269,6 +308,7 @@ let connect t ?(config = Flowctl.default) ?(filters = []) ~src ~dst () =
       e_delivered = 0;
       e_done_blocks = 0;
       e_checksum = 0;
+      e_kvs = [];
       e_pace = Time.zero;
       e_state = Active;
     }
@@ -572,9 +612,11 @@ and[@kpath.intr] edge_write_start t (e : edge) (blk : block) =
     ignore (settle_ref t e blk);
     complete_check t
   end
-  else apply_filters t e blk e.e_filters
+  else apply_filters t e blk ~data:blk.blk_buf.Buf.b_data e.e_filters
 
-and[@kpath.intr] apply_filters t (e : edge) (blk : block) filters =
+(* [data] is the payload the remaining stages see: the shared read-side
+   buffer, or a program's private copy once a [Stp] ran. *)
+and[@kpath.intr] apply_filters t (e : edge) (blk : block) ~data filters =
   if not (Hashtbl.mem blk.blk_owers e.e_id) then ()
   else if e.e_state <> Active then begin
     ignore (settle_ref t e blk);
@@ -582,21 +624,20 @@ and[@kpath.intr] apply_filters t (e : edge) (blk : block) filters =
   end
   else
     match filters with
-    | [] -> edge_sink_write t e blk
+    | [] -> edge_sink_write t e ~via:e ~data blk
     | f :: rest -> (
       count t.ctx "graph.filter_runs";
       charge t;
       match f with
-      | Checksum ->
+      | F_checksum ->
         e.e_checksum <-
           e.e_checksum
-          lxor block_checksum ~lblk:blk.blk_lblk blk.blk_buf.Buf.b_data
-                blk.blk_bytes;
-        apply_filters t e blk rest
-      | Tee fn ->
-        fn blk.blk_buf.Buf.b_data blk.blk_bytes;
-        apply_filters t e blk rest
-      | Throttle rate ->
+          lxor block_checksum ~lblk:blk.blk_lblk data blk.blk_bytes;
+        apply_filters t e blk ~data rest
+      | F_tee fn ->
+        fn data blk.blk_bytes;
+        apply_filters t e blk ~data rest
+      | F_throttle rate ->
         let now = Engine.now t.ctx.engine in
         let slot = if Time.(e.e_pace > now) then e.e_pace else now in
         e.e_pace <-
@@ -604,35 +645,86 @@ and[@kpath.intr] apply_filters t (e : edge) (blk : block) filters =
         if Time.(slot > now) then
           ignore
             (Engine.schedule t.ctx.engine ~at:slot (fun () ->
-                 apply_filters t e blk rest))
-        else apply_filters t e blk rest)
+                 apply_filters t e blk ~data rest))
+        else apply_filters t e blk ~data rest
+      | F_prog (p, st) -> run_prog t e blk ~data p st rest)
 
-and[@kpath.intr] edge_sink_write t (e : edge) (blk : block) =
+(* Run a verified filter program over one block. Pass continues down
+   the stage pipeline (with the program's output payload); the other
+   three verdicts end it: Drop settles the block undelivered, Redirect
+   hands the payload to a sibling edge's sink (accounting stays on this
+   edge), Fault kills the edge like any other edge error. *)
+and[@kpath.intr] run_prog t (e : edge) (blk : block) ~data p st rest =
+  let r =
+    Vm.exec p st ~data ~len:blk.blk_bytes ~lblk:blk.blk_lblk
+      ~emit:(fun k v ->
+        (* Key 0 is the checksum convention: folded into the edge
+           checksum exactly like the built-in stage. Other keys are
+           kept as per-edge observations ({!edge_emits}). *)
+        if k = 0 then e.e_checksum <- (e.e_checksum lxor v) land 0xffffffff
+        else e.e_kvs <- (k, v) :: e.e_kvs)
+  in
+  count t.ctx "graph.prog_runs";
+  Stats.add (Stats.counter t.ctx.stats "graph.prog_insns") r.Vm.r_steps;
+  (* Interpreted instructions are kernel CPU: charge them to the
+     interrupt bucket on top of the per-stage handler activation. *)
+  if r.Vm.r_steps > 0 then
+    t.ctx.intr ~service:(Time.scale t.ctx.vm_insn_cost r.Vm.r_steps)
+      (fun () -> ());
+  match r.Vm.r_verdict with
+  | Vm.Pass -> apply_filters t e blk ~data:r.Vm.r_data rest
+  | Vm.Drop ->
+    count t.ctx "graph.prog_drops";
+    tr t.ctx (fun () ->
+        Printf.sprintf "g%d e%d prog dropped lblk %d" t.g_id e.e_id
+          blk.blk_lblk);
+    settle_block t e blk ~bytes:0
+  | Vm.Redirect k -> (
+    match List.nth_opt e.e_src.sn_edges k with
+    | Some via ->
+      count t.ctx "graph.prog_redirects";
+      tr t.ctx (fun () ->
+          Printf.sprintf "g%d e%d prog redirected lblk %d via e%d" t.g_id
+            e.e_id blk.blk_lblk via.e_id);
+      edge_sink_write t e ~via ~data:r.Vm.r_data blk
+    | None ->
+      count t.ctx "graph.prog_faults";
+      edge_abort_internal t e
+        ~reason:(Printf.sprintf "prog redirect: edge index %d out of range" k))
+  | Vm.Fault m ->
+    count t.ctx "graph.prog_faults";
+    edge_abort_internal t e ~reason:("prog fault: " ^ m)
+
+(* Issue the sink write for edge [e], normally via its own sink
+   ([via = e]) but possibly via a sibling's after a program redirect.
+   Completion, flow control and delivery accounting stay on [e] — the
+   redirect only picks which sink (and block range) receives the
+   payload. *)
+and[@kpath.intr] edge_sink_write t (e : edge) ~via ~data (blk : block) =
   let lblk = blk.blk_lblk in
-  let src_buf = blk.blk_buf in
   count t.ctx "graph.writes_issued";
-  match e.e_sink.sk_spec with
+  match via.e_sink.sk_spec with
   | Sink_file { fs; _ } ->
-    let phys = e.e_sink.sk_map.(e.e_dst_base + lblk) in
+    let phys = via.e_sink.sk_map.(via.e_dst_base + lblk) in
     let hdr = Cache.getblk_hdr t.ctx.cache (Fs.dev fs) phys in
-    (* Share the data area with the read-side buffer: no copy. *)
-    hdr.Buf.b_data <- src_buf.Buf.b_data;
+    (* Share the data area with the payload buffer: no copy. *)
+    hdr.Buf.b_data <- data;
     hdr.Buf.b_bcount <- t.block_size;
     hdr.Buf.b_lblkno <- lblk;
     Cache.awrite_call t.ctx.cache hdr ~iodone:(fun hb ->
         edge_write_done t e blk (Some hb))
   | Sink_chardev cd ->
-    Chardev.write_async cd src_buf.Buf.b_data 0 blk.blk_bytes (fun () ->
+    Chardev.write_async cd data 0 blk.blk_bytes (fun () ->
         edge_write_done t e blk None)
   | Sink_udp { sock; dst } ->
-    let payload = Bytes.sub src_buf.Buf.b_data 0 blk.blk_bytes in
+    let payload = Bytes.sub data 0 blk.blk_bytes in
     Udp.sendto sock ~dst payload;
     edge_write_done t e blk None
   | Sink_tcp conn -> (
     (* The stream applies backpressure: completion fires when the block
        has been accepted into the send buffer. *)
     try
-      Tcp.send_async conn src_buf.Buf.b_data ~pos:0 ~len:blk.blk_bytes (fun () ->
+      Tcp.send_async conn data ~pos:0 ~len:blk.blk_bytes (fun () ->
           edge_write_done t e blk None)
     with Invalid_argument msg ->
       edge_abort_internal t e ~reason:("tcp sink: " ^ msg))
@@ -656,16 +748,34 @@ and[@kpath.intr] edge_write_done t (e : edge) (blk : block) hdr =
       err
     | None -> None
   in
+  match write_error with
+  | None -> settle_block t e blk ~bytes:blk.blk_bytes
+  | Some reason ->
+    let owed = settle_ref t e blk in
+    if not owed then complete_check t
+    else begin
+      e.e_writes <- e.e_writes - 1;
+      if e.e_state = Active && e.e_writes = e.e_config.Flowctl.write_hi - 1
+      then e.e_src.sn_blocked <- e.e_src.sn_blocked - 1;
+      if e.e_state = Active then edge_abort_internal t e ~reason
+      else complete_check t
+    end
+
+(* Settle one block on an edge: drop the reference, account [bytes]
+   delivered (0 when a program dropped the block), retire the edge once
+   every source block has settled, and refill the pipeline. Shared by
+   the write-completion and program-drop paths so either way the
+   reference is released exactly once. *)
+and[@kpath.intr] settle_block t (e : edge) (blk : block) ~bytes =
   let owed = settle_ref t e blk in
   if not owed then complete_check t
   else begin
     e.e_writes <- e.e_writes - 1;
     if e.e_state = Active && e.e_writes = e.e_config.Flowctl.write_hi - 1 then
       e.e_src.sn_blocked <- e.e_src.sn_blocked - 1;
-    match (e.e_state, write_error) with
-    | Active, Some reason -> edge_abort_internal t e ~reason
-    | Active, None ->
-      e.e_delivered <- e.e_delivered + blk.blk_bytes;
+    match e.e_state with
+    | Active ->
+      e.e_delivered <- e.e_delivered + bytes;
       e.e_done_blocks <- e.e_done_blocks + 1;
       tr t.ctx (fun () ->
           Printf.sprintf "g%d e%d write done lblk %d (%d/%d bytes)" t.g_id
@@ -679,7 +789,7 @@ and[@kpath.intr] edge_write_done t (e : edge) (blk : block) hdr =
       end;
       kick t e.e_src;
       complete_check t
-    | (Edge_done | Dead _), _ -> complete_check t
+    | Edge_done | Dead _ -> complete_check t
   end
 
 (* Refill the read pipeline of one source (flow control, §5.5 applied

@@ -46,19 +46,26 @@ val make_ctx :
   cache:Cache.t ->
   intr:(service:Time.span -> (unit -> unit) -> unit) ->
   ?handler_cost:Time.span ->
+  ?vm_insn_cost:Time.span ->
   ?trace:Trace.t ->
   unit ->
   ctx
 (** [make_ctx ()] wires the graph machinery. [handler_cost] is the CPU
-    charged per handler or filter-stage activation (default 25 us). Pass
-    [trace] to record per-block events under the ["graph"] category. *)
+    charged per handler or filter-stage activation (default 25 us);
+    [vm_insn_cost] is the CPU charged per interpreted {!filter.Prog}
+    instruction (default 100 ns — a handful of R3000 cycles per
+    dispatched bytecode). Pass [trace] to record per-block events under
+    the ["graph"] category. *)
 
 val ctx_stats : ctx -> Stats.t
 (** Machinery-wide counters: [graph.started], [graph.completed],
     [graph.aborted], [graph.reads_issued], [graph.read_hits],
     [graph.writes_issued], [graph.retries], [graph.blocks_aliased],
     [graph.edges_completed], [graph.edges_aborted], [graph.filter_runs];
-    plus the [graph.block_latency_us] histogram of read-issue to
+    for {!filter.Prog} stages also [graph.prog_runs],
+    [graph.prog_insns] (interpreted instructions), [graph.prog_drops],
+    [graph.prog_redirects] and [graph.prog_faults]; plus the
+    [graph.block_latency_us] histogram of read-issue to
     last-reference-released times per block. *)
 
 (** {1 Building a graph} *)
@@ -92,6 +99,21 @@ type filter =
   | Tee of (bytes -> int -> unit)
       (** pass each block's (data, length) to an in-kernel observer; the
           data buffer is the shared alias and must not be mutated *)
+  | Prog of Kpath_vm.Vm.prog
+      (** run a verified filter program over each block (charged to the
+          simulated CPU per interpreted instruction). The program's
+          verdict decides the block's fate: [Pass] continues down the
+          stage pipeline with the program's output payload (private
+          copy-on-write if it transformed bytes), [Drop] settles the
+          block without delivering it, [Redirect k] delivers it through
+          the sink of the source's [k]-th outgoing edge in connect
+          order (delivery still accounts to this edge; an out-of-range
+          index kills the edge), and [Fault] kills the edge like any
+          other edge error. [Emit (0, v)] folds [v] into
+          {!edge_checksum} exactly like the built-in [Checksum] stage;
+          other keys accumulate in {!edge_emits}. Each edge gets a
+          private VM state, so one program value can be attached to
+          many edges. *)
 
 val create : ctx -> ?window:int -> unit -> t
 (** A fresh, empty graph. [window] bounds the number of source blocks
@@ -176,7 +198,13 @@ val edge_delivered : edge -> int
 (** Bytes this edge has written to its sink. *)
 
 val edge_checksum : edge -> int option
-(** The running checksum, if the edge carries a [Checksum] filter. *)
+(** The running checksum, if the edge carries a [Checksum] or [Prog]
+    filter (a program feeds it through key-0 emits; one that never
+    emits key 0 reads as [Some 0]). *)
+
+val edge_emits : edge -> (int * int) list
+(** Key/value pairs emitted by this edge's [Prog] stages with non-zero
+    keys, oldest first. *)
 
 val edge_pending_writes : edge -> int
 

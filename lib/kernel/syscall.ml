@@ -527,6 +527,16 @@ let splice_graph env ~srcs ~dsts ?config ?filters ?window size =
     | Error reason -> Errno.raise_errno Errno.EIO ("splice_graph: " ^ reason)
   end
 
+(* The verifier replaces run-time policing: parse and prove the program
+   here, in process context, so the interrupt-side pump can run it
+   unchecked. The source is copied in like any user buffer; the
+   verification pass itself is a single linear scan, charged as part of
+   the trap. *)
+let prog_load env text =
+  enter env;
+  copy_cpu env (String.length text);
+  Kpath_vm.Asm.load text
+
 (* {1 Signals and timers} *)
 
 let sigaction env signo handler =

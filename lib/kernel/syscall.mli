@@ -189,6 +189,17 @@ val splice_graph_start :
     inspection, {!Kpath_graph.Graph.abort_edge}, custom completion).
     Offsets advance immediately. *)
 
+val prog_load : env -> string -> (Kpath_vm.Vm.prog, string) result
+(** Load a filter program from its textual form: copyin the source,
+    assemble it, and run the in-kernel verifier. [Ok prog] is a
+    proof-carrying handle attachable to graph edges with
+    {!Kpath_graph.Graph.filter.Prog} (through the [filters] argument of
+    {!splice_graph}); [Error diag] renders the verifier's structured
+    diagnostic — the violated rule's name and the offending instruction
+    offset — or the assembler's parse error. Verification happens once,
+    here, at load time; the data path then runs the program with no
+    further checks, which is the point of the BPF-style split. *)
+
 (** {1 Signals and timers} *)
 
 val sigaction : env -> Signal.number -> (unit -> unit) option -> unit

@@ -1,0 +1,45 @@
+(** Textual format for filter programs.
+
+    A program is line-oriented: [;] starts a comment, blank lines are
+    skipped. Header directives come in any order before or between
+    instructions:
+
+    {v
+    fuel 400000        ; declared execution budget (required)
+    scratch 4          ; scratch arena cells (default 0)
+    context readonly   ; or "edge" (the default)
+    v}
+
+    Instructions are a mnemonic plus comma-separated operands.
+    Registers are [r0]..[r7]; immediates are decimal or [0x]-hex,
+    optionally negative. Jump targets are labels ([name:] on its own
+    line or before an instruction); the assembler resolves them to
+    relative offsets, and the verifier rejects backward ones.
+
+    {v
+    ; drop every 4th block, pass the rest
+        blkno r0
+        rem r0, 4
+        jne r0, 0, keep
+        drop
+    keep:
+        ret
+    v}
+
+    Mnemonics: [mov add sub mul div rem and or xor shl shr] (reg,
+    operand); [len blkno] (reg); [ldp] (reg, operand); [stp] (operand,
+    operand); [lds] (reg, imm); [sts] (imm, operand); [jmp] (label);
+    [jeq jne jlt jge] (reg, operand, label); [loop] (operand, imm);
+    [end]; [emit] (operand, operand); [drop]; [redirect] (operand);
+    [ret]. *)
+
+val parse : string -> (Vm.spec, string) result
+(** Assemble source text. Errors are ["line N: why"]. *)
+
+val load : string -> (Vm.prog, string) result
+(** {!parse} then {!Vm.verify}; verifier rejections are rendered with
+    {!Vm.diag_to_string}. *)
+
+val print : Vm.prog -> string
+(** Disassemble to source text that {!load} accepts and that assembles
+    back to the same instruction sequence (generated labels [LN]). *)

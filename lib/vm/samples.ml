@@ -1,0 +1,109 @@
+(* Canned filter programs. Kept as assembler source so the docs, the
+   tests and the CLI all exercise the same text format. *)
+
+let compile src =
+  match Asm.load src with
+  | Ok p -> p
+  | Error e -> invalid_arg ("Samples: " ^ e)
+
+let checksum_src =
+  {|; FNV-1a over the payload, mixed with the block number -- bit-identical
+; to the built-in Checksum stage. The digest goes out as key 0, which
+; the graph folds into the edge checksum.
+fuel 400000
+    len r1
+    mov r2, 0x811c9dc5
+    mov r0, 0
+    loop r1, 65536
+    ldp r3, r0
+    xor r2, r3
+    mul r2, 0x01000193
+    and r2, 0xffffffff
+    add r0, 1
+    end
+    blkno r3
+    add r3, 1
+    mul r3, 0x9e3779b9
+    xor r2, r3
+    and r2, 0xffffffff
+    emit 0, r2
+    ret
+|}
+
+let checksum () = compile checksum_src
+
+let tee_hash_src =
+  {|; Content hash of the payload, emitted as key 1: a tee that records
+; a fingerprint instead of copying the bytes. Read-only: safe as a
+; probe attachment.
+fuel 400000
+context readonly
+    len r1
+    mov r2, 0x811c9dc5
+    mov r0, 0
+    loop r1, 65536
+    ldp r3, r0
+    xor r2, r3
+    mul r2, 0x01000193
+    and r2, 0xffffffff
+    add r0, 1
+    end
+    emit 1, r2
+    ret
+|}
+
+let tee_hash () = compile tee_hash_src
+
+let dropper ~modulo =
+  if modulo < 1 then invalid_arg "Samples.dropper: modulo < 1";
+  compile
+    (Printf.sprintf
+       {|; Drop every block whose number is a multiple of %d.
+fuel 16
+    blkno r0
+    rem r0, %d
+    jne r0, 0, keep
+    drop
+keep:
+    ret
+|}
+       modulo modulo)
+
+let router ~fanout =
+  if fanout < 1 then invalid_arg "Samples.router: fanout < 1";
+  compile
+    (Printf.sprintf
+       {|; Content routing: block b goes to sibling edge (b mod %d).
+fuel 16
+    blkno r0
+    rem r0, %d
+    redirect r0
+|}
+       fanout fanout)
+
+let xor_mask ~key =
+  compile
+    (Printf.sprintf
+       {|; Transform: XOR every payload byte with 0x%02x (copy-on-write).
+fuel 400000
+    len r1
+    mov r0, 0
+    loop r1, 65536
+    ldp r2, r0
+    xor r2, %d
+    stp r0, r2
+    add r0, 1
+    end
+    ret
+|}
+       (key land 0xff) (key land 0xff))
+
+let oob_probe () =
+  compile
+    {|; Verifies (payload bounds are a run-time check) but always faults:
+; loads one byte past the payload.
+fuel 16
+    len r0
+    ldp r1, r0
+    ret
+|}

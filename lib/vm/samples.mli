@@ -1,0 +1,35 @@
+(** Canned filter programs, in the textual format.
+
+    These serve as executable documentation of the ISA, as fixtures for
+    the graph-integration tests, and as the workloads for
+    [bench sweep-prog]. The [*_src] values are assembler source; the
+    corresponding functions assemble and verify them (raising
+    [Invalid_argument] only on a bug in the source — these programs are
+    part of the test suite). *)
+
+val checksum_src : string
+(** FNV-1a over the payload mixed with the block number — bit-identical
+    to the built-in [Graph.Checksum] stage. Emits the digest as key 0,
+    which the graph folds into the edge checksum. *)
+
+val checksum : unit -> Vm.prog
+
+val tee_hash_src : string
+(** Content hash of the payload emitted as key 1: a tee that records a
+    fingerprint instead of copying the bytes. *)
+
+val tee_hash : unit -> Vm.prog
+
+val dropper : modulo:int -> Vm.prog
+(** Drops every block whose number is a multiple of [modulo] (>= 1). *)
+
+val router : fanout:int -> Vm.prog
+(** Redirects block [b] to sibling edge [b mod fanout]. *)
+
+val xor_mask : key:int -> Vm.prog
+(** Transforms the payload in place (copy-on-write): XORs every byte
+    with [key land 0xff]. Self-inverse. *)
+
+val oob_probe : unit -> Vm.prog
+(** Verifier-accepted but faults at run time: loads one byte past the
+    payload. Exercises the edge fault/abort path. *)

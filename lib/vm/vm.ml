@@ -1,0 +1,366 @@
+(* Register VM for per-block filter programs: static verifier and
+   fuel-bounded interpreter. See vm.mli for the safety argument. *)
+
+type reg = int
+
+type operand = Reg of reg | Imm of int
+
+type insn =
+  | Mov of reg * operand
+  | Add of reg * operand
+  | Sub of reg * operand
+  | Mul of reg * operand
+  | Div of reg * operand
+  | Rem of reg * operand
+  | And of reg * operand
+  | Or of reg * operand
+  | Xor of reg * operand
+  | Shl of reg * operand
+  | Shr of reg * operand
+  | Len of reg
+  | Blkno of reg
+  | Ldp of reg * operand
+  | Stp of operand * operand
+  | Lds of reg * int
+  | Sts of int * operand
+  | Jmp of int
+  | Jeq of reg * operand * int
+  | Jne of reg * operand * int
+  | Jlt of reg * operand * int
+  | Jge of reg * operand * int
+  | Loop of operand * int
+  | End
+  | Emit of operand * operand
+  | Drop
+  | Redirect of operand
+  | Ret
+
+type context = Edge | Readonly
+
+type spec = {
+  s_insns : insn array;
+  s_fuel : int;
+  s_scratch : int;
+  s_context : context;
+}
+
+let max_regs = 8
+let max_scratch = 1024
+let max_fuel = 1_000_000
+let max_loop_count = 65_536
+let max_loop_depth = 4
+let max_insns = 4096
+
+type prog = {
+  p_insns : insn array;
+  p_fuel : int;
+  p_scratch : int;
+  p_context : context;
+  p_cost : int;
+  (* For [Loop] at pc, the pc of its matching [End]; -1 elsewhere. *)
+  p_end_of : int array;
+}
+
+type diag = { d_rule : string; d_pc : int; d_msg : string }
+
+let diag_to_string d =
+  if d.d_pc < 0 then Printf.sprintf "%s: %s" d.d_rule d.d_msg
+  else Printf.sprintf "%s at pc %d: %s" d.d_rule d.d_pc d.d_msg
+
+(* {1 Verifier} *)
+
+exception Reject of diag
+
+let reject rule pc fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Reject { d_rule = rule; d_pc = pc; d_msg = msg }))
+    fmt
+
+let check_reg pc r =
+  if r < 0 || r >= max_regs then
+    reject "bad-register" pc "r%d is not a register (r0..r%d)" r (max_regs - 1)
+
+let check_operand pc = function Reg r -> check_reg pc r | Imm _ -> ()
+
+(* Match Loop/End pairs and record, for every position, the pc of its
+   innermost enclosing Loop (-1 at top level). The End instruction
+   belongs to the loop it closes; position [n] (falling off the end) is
+   top-level. Jumps may move only within their enclosing region, so the
+   interpreter's loop stack always mirrors the static nesting. *)
+let build_loops insns =
+  let n = Array.length insns in
+  let end_of = Array.make (max n 1) (-1) in
+  let encl = Array.make (n + 1) (-1) in
+  let stack = ref [] in
+  for pc = 0 to n - 1 do
+    encl.(pc) <- (match !stack with [] -> -1 | s :: _ -> s);
+    match insns.(pc) with
+    | Loop (count, cap) ->
+      if List.length !stack >= max_loop_depth then
+        reject "loop-depth" pc "loops nest deeper than %d" max_loop_depth;
+      if cap < 1 || cap > max_loop_count then
+        reject "unbounded-loop" pc "loop cap %d outside 1..%d" cap
+          max_loop_count;
+      check_operand pc count;
+      stack := pc :: !stack
+    | End -> (
+      match !stack with
+      | [] -> reject "unbounded-loop" pc "End without a matching Loop"
+      | s :: rest ->
+        end_of.(s) <- pc;
+        stack := rest)
+    | _ -> ()
+  done;
+  (match !stack with
+   | s :: _ -> reject "unbounded-loop" s "Loop without a matching End"
+   | [] -> ());
+  (end_of, encl)
+
+(* Structural worst case: straight-line code costs one per instruction,
+   a loop costs its header plus cap * (body + End). Saturates well above
+   max_fuel so nested caps cannot overflow. *)
+let cost_ceiling = max_fuel * 16
+
+let sat_add a b = if a > cost_ceiling - b then cost_ceiling else a + b
+
+let sat_mul a b =
+  if b = 0 then 0
+  else if a > cost_ceiling / b then cost_ceiling
+  else a * b
+
+let worst_case insns end_of =
+  let rec region pc stop =
+    if pc >= stop then 0
+    else
+      match insns.(pc) with
+      | Loop (_, cap) ->
+        let e = end_of.(pc) in
+        let body = region (pc + 1) e in
+        sat_add 1 (sat_add (sat_mul cap (sat_add body 1)) (region (e + 1) stop))
+      | _ -> sat_add 1 (region (pc + 1) stop)
+  in
+  region 0 (Array.length insns)
+
+let check_insn ~scratch ~context ~encl ~n pc insn =
+  let jump off =
+    if off < 1 then
+      reject "unbounded-loop" pc
+        "backward or self jump (offset %d); loop with Loop/End instead" off;
+    let target = pc + off in
+    if target > n then
+      reject "jump-oob" pc "jump target %d past program end %d" target n;
+    if encl.(target) <> encl.(pc) then
+      reject "jump-oob" pc "jump target %d crosses a loop boundary" target
+  in
+  let scratch_cell off =
+    if off < 0 || off >= scratch then
+      reject "scratch-oob" pc "scratch cell %d outside 0..%d" off (scratch - 1)
+  in
+  let effect name =
+    if context = Readonly then
+      reject "effect-context" pc "%s not allowed in a read-only program" name
+  in
+  match insn with
+  | Mov (r, o) | Add (r, o) | Sub (r, o) | Mul (r, o)
+  | And (r, o) | Or (r, o) | Xor (r, o) | Shl (r, o) | Shr (r, o) ->
+    check_reg pc r;
+    check_operand pc o
+  | Div (r, o) | Rem (r, o) ->
+    check_reg pc r;
+    check_operand pc o;
+    (match o with
+     | Imm 0 -> reject "div-by-zero" pc "constant zero divisor"
+     | _ -> ())
+  | Len r | Blkno r -> check_reg pc r
+  | Ldp (r, o) ->
+    check_reg pc r;
+    check_operand pc o
+  | Stp (o_off, o_v) ->
+    effect "Stp";
+    check_operand pc o_off;
+    check_operand pc o_v
+  | Lds (r, off) ->
+    check_reg pc r;
+    scratch_cell off
+  | Sts (off, o) ->
+    scratch_cell off;
+    check_operand pc o
+  | Jmp off -> jump off
+  | Jeq (r, o, off) | Jne (r, o, off) | Jlt (r, o, off) | Jge (r, o, off) ->
+    check_reg pc r;
+    check_operand pc o;
+    jump off
+  | Loop _ | End -> ()  (* checked by build_loops *)
+  | Emit (ok, ov) ->
+    check_operand pc ok;
+    check_operand pc ov
+  | Drop -> effect "Drop"
+  | Redirect o ->
+    effect "Redirect";
+    check_operand pc o
+  | Ret -> ()
+
+let verify spec =
+  try
+    let insns = Array.copy spec.s_insns in
+    let n = Array.length insns in
+    if n > max_insns then
+      reject "program-size" (-1) "%d instructions exceed the %d limit" n
+        max_insns;
+    if spec.s_fuel <= 0 then
+      reject "fuel-bound" (-1) "declared fuel %d must be positive" spec.s_fuel;
+    if spec.s_fuel > max_fuel then
+      reject "fuel-bound" (-1) "declared fuel %d exceeds the %d limit"
+        spec.s_fuel max_fuel;
+    if spec.s_scratch < 0 || spec.s_scratch > max_scratch then
+      reject "scratch-oob" (-1) "scratch size %d outside 0..%d" spec.s_scratch
+        max_scratch;
+    let end_of, encl = build_loops insns in
+    Array.iteri
+      (check_insn ~scratch:spec.s_scratch ~context:spec.s_context ~encl ~n)
+      insns;
+    let cost = worst_case insns end_of in
+    if cost > spec.s_fuel then
+      reject "fuel-bound" (-1)
+        "worst-case cost %s exceeds declared fuel %d"
+        (if cost > max_fuel then ">" ^ string_of_int max_fuel
+         else string_of_int cost)
+        spec.s_fuel;
+    Ok
+      {
+        p_insns = insns;
+        p_fuel = spec.s_fuel;
+        p_scratch = spec.s_scratch;
+        p_context = spec.s_context;
+        p_cost = cost;
+        p_end_of = end_of;
+      }
+  with Reject d -> Error d
+
+let insns p = Array.copy p.p_insns
+
+let fuel p = p.p_fuel
+
+let scratch_cells p = p.p_scratch
+
+let prog_context p = p.p_context
+
+let worst_cost p = p.p_cost
+
+(* {1 Interpreter} *)
+
+(* Constructor names overlap with [insn] (Drop, Redirect); matches and
+   constructions below are disambiguated by their expected type. *)
+type verdict = Pass | Drop | Redirect of int | Fault of string
+
+type run = { r_verdict : verdict; r_steps : int; r_data : bytes }
+
+type state = {
+  st_regs : int array;
+  st_scratch : int array;
+  st_loop_start : int array;
+  st_loop_left : int array;
+}
+
+let new_state p =
+  {
+    st_regs = Array.make max_regs 0;
+    st_scratch = Array.make (max p.p_scratch 1) 0;
+    st_loop_start = Array.make max_loop_depth 0;
+    st_loop_left = Array.make max_loop_depth 0;
+  }
+
+exception Fault_exn of string
+
+let fault fmt = Printf.ksprintf (fun m -> raise (Fault_exn m)) fmt
+
+let exec p st ~data ~len ~lblk ~emit =
+  let code = p.p_insns in
+  let n = Array.length code in
+  let regs = st.st_regs in
+  Array.fill regs 0 max_regs 0;
+  let scratch = st.st_scratch in
+  let lstart = st.st_loop_start and lleft = st.st_loop_left in
+  let depth = ref 0 in
+  let fuel = ref p.p_fuel in
+  let steps = ref 0 in
+  let cur = ref data in
+  let copied = ref false in
+  let pc = ref 0 in
+  let verdict = ref Pass in
+  let ev = function Reg r -> regs.(r) | Imm k -> k in
+  (try
+     while !pc < n do
+       (* Defense in depth: the verifier proved p_cost <= p_fuel, so a
+          verified program cannot exhaust this counter. *)
+       if !fuel <= 0 then fault "fuel exhausted";
+       decr fuel;
+       incr steps;
+       let here = !pc in
+       incr pc;
+       match code.(here) with
+       | Mov (r, o) -> regs.(r) <- ev o
+       | Add (r, o) -> regs.(r) <- regs.(r) + ev o
+       | Sub (r, o) -> regs.(r) <- regs.(r) - ev o
+       | Mul (r, o) -> regs.(r) <- regs.(r) * ev o
+       | Div (r, o) ->
+         let d = ev o in
+         if d = 0 then fault "division by zero at pc %d" here;
+         regs.(r) <- regs.(r) / d
+       | Rem (r, o) ->
+         let d = ev o in
+         if d = 0 then fault "division by zero at pc %d" here;
+         regs.(r) <- regs.(r) mod d
+       | And (r, o) -> regs.(r) <- regs.(r) land ev o
+       | Or (r, o) -> regs.(r) <- regs.(r) lor ev o
+       | Xor (r, o) -> regs.(r) <- regs.(r) lxor ev o
+       | Shl (r, o) -> regs.(r) <- regs.(r) lsl (ev o land 63)
+       | Shr (r, o) -> regs.(r) <- regs.(r) lsr (ev o land 63)
+       | Len r -> regs.(r) <- len
+       | Blkno r -> regs.(r) <- lblk
+       | Ldp (r, o) ->
+         let off = ev o in
+         if off < 0 || off >= len then
+           fault "payload load at %d outside %d bytes (pc %d)" off len here;
+         regs.(r) <- Char.code (Bytes.unsafe_get !cur off)
+       | Stp (o_off, o_v) ->
+         let off = ev o_off in
+         if off < 0 || off >= len then
+           fault "payload store at %d outside %d bytes (pc %d)" off len here;
+         if not !copied then begin
+           (* Copy on write: the input buffer is aliased across edges. *)
+           cur := Bytes.copy data;
+           copied := true
+         end;
+         Bytes.unsafe_set !cur off (Char.unsafe_chr (ev o_v land 0xff))
+       | Lds (r, off) -> regs.(r) <- scratch.(off)
+       | Sts (off, o) -> scratch.(off) <- ev o
+       | Jmp off -> pc := here + off
+       | Jeq (r, o, off) -> if regs.(r) = ev o then pc := here + off
+       | Jne (r, o, off) -> if regs.(r) <> ev o then pc := here + off
+       | Jlt (r, o, off) -> if regs.(r) < ev o then pc := here + off
+       | Jge (r, o, off) -> if regs.(r) >= ev o then pc := here + off
+       | Loop (count, cap) ->
+         let c = min (max (ev count) 0) cap in
+         if c = 0 then pc := p.p_end_of.(here) + 1
+         else begin
+           lstart.(!depth) <- !pc;
+           lleft.(!depth) <- c;
+           incr depth
+         end
+       | End ->
+         if !depth = 0 then fault "End with an empty loop stack (pc %d)" here;
+         let d = !depth - 1 in
+         lleft.(d) <- lleft.(d) - 1;
+         if lleft.(d) > 0 then pc := lstart.(d) else depth := d
+       | Emit (ok, ov) -> emit (ev ok) (ev ov)
+       | Drop ->
+         verdict := (Drop : verdict);
+         pc := n
+       | Redirect o ->
+         verdict := (Redirect (ev o) : verdict);
+         pc := n
+       | Ret -> pc := n
+     done
+   with Fault_exn m -> verdict := Fault m);
+  { r_verdict = !verdict; r_steps = !steps; r_data = !cur }

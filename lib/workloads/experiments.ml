@@ -599,6 +599,8 @@ type fanout_measure = {
   fo_server_cpu_sec : float;
   fo_pinned_after : int;
   fo_events : int;
+  fo_prog_runs : int;
+  fo_prog_insns : int;
 }
 
 let measure_fanout ?(clients = 8) ?(file_bytes = 1024 * 1024)
@@ -625,6 +627,7 @@ let measure_fanout ?(clients = 8) ?(file_bytes = 1024 * 1024)
   let server_cpu = ref Time.zero in
   let device_reads = ref 0 in
   let pinned_after = ref 0 in
+  let prog_runs = ref 0 and prog_insns = ref 0 in
   (* Server: produce the file cold, accept every client, then stream the
      file to all of them with one splice graph — one disk pass. *)
   let _srv =
@@ -656,6 +659,11 @@ let measure_fanout ?(clients = 8) ?(file_bytes = 1024 * 1024)
         let reads_mark =
           Stats.get (Cache.stats (Machine.cache server)) "cache.dev_reads"
         in
+        let gstats =
+          Kpath_graph.Graph.ctx_stats (Machine.graph_ctx server)
+        in
+        let runs_mark = Stats.get gstats "graph.prog_runs" in
+        let insns_mark = Stats.get gstats "graph.prog_insns" in
         let src = Syscall.openf env "/data" [ Syscall.O_RDONLY ] in
         ignore
           (Syscall.splice_graph env ~srcs:[ src ] ~dsts:cfds ?config ?filters
@@ -663,6 +671,8 @@ let measure_fanout ?(clients = 8) ?(file_bytes = 1024 * 1024)
         device_reads :=
           Stats.get (Cache.stats (Machine.cache server)) "cache.dev_reads"
           - reads_mark;
+        prog_runs := Stats.get gstats "graph.prog_runs" - runs_mark;
+        prog_insns := Stats.get gstats "graph.prog_insns" - insns_mark;
         pinned_after := Cache.pinned_count (Machine.cache server);
         Syscall.close env src;
         List.iter (Syscall.close env) cfds;
@@ -724,6 +734,85 @@ let measure_fanout ?(clients = 8) ?(file_bytes = 1024 * 1024)
     fo_server_cpu_sec = Time.to_sec_f !server_cpu;
     fo_pinned_after = !pinned_after;
     fo_events = Engine.events_fired engine;
+    fo_prog_runs = !prog_runs;
+    fo_prog_insns = !prog_insns;
+  }
+
+(* {1 Filter-program overhead — interpreted edge programs vs built-ins} *)
+
+type prog_row = {
+  pr_stage : string;
+  pr_bytes : int;
+  pr_seconds : float;
+  pr_kb_per_sec : float;
+  pr_cpu_sec : float;
+  pr_runs : int;
+  pr_insns : int;
+  pr_checksum : int option;
+  pr_verified : bool;
+  pr_events : int;
+}
+
+let measure_prog ~disk ?(file_bytes = 4 * 1024 * 1024) ~stage
+    ?machine_config () =
+  let s = make_setup ~disk ~file_bytes ?machine_config () in
+  cold_caches s;
+  let m = s.machine in
+  let engine = Machine.engine m in
+  let label, filters =
+    match stage with
+    | `Plain -> ("plain", [])
+    | `Checksum -> ("checksum", [ Kpath_graph.Graph.Checksum ])
+    | `Prog (name, ps) ->
+      (name, List.map (fun p -> Kpath_graph.Graph.Prog p) ps)
+  in
+  let stats = Kpath_graph.Graph.ctx_stats (Machine.graph_ctx m) in
+  let runs0 = Stats.get stats "graph.prog_runs" in
+  let insns0 = Stats.get stats "graph.prog_insns" in
+  let checksum = ref None in
+  let cpu = ref Time.zero in
+  let seconds = ref 0.0 in
+  let _p =
+    Machine.spawn m ~name:"prog-bench" (fun () ->
+        let env = Syscall.make_env m in
+        let src = Syscall.openf env s.src_path [ Syscall.O_RDONLY ] in
+        let dst =
+          Syscall.openf env s.dst_path [ Syscall.O_CREAT; Syscall.O_WRONLY ]
+        in
+        let cpu0 = Cpu.busy (Sched.cpu (Machine.sched m)) in
+        let t0 = Engine.now engine in
+        let g =
+          Syscall.splice_graph_start env ~srcs:[ src ] ~dsts:[ dst ] ~filters
+            Syscall.splice_eof
+        in
+        (match Kpath_graph.Graph.wait g with
+         | Ok _ -> ()
+         | Error e -> failwith ("measure_prog: " ^ e));
+        seconds := Time.to_sec_f (Time.diff (Engine.now engine) t0);
+        cpu := Time.diff (Cpu.busy (Sched.cpu (Machine.sched m))) cpu0;
+        (match Kpath_graph.Graph.edges g with
+         | [ e ] -> checksum := Kpath_graph.Graph.edge_checksum e
+         | _ -> ());
+        Syscall.fsync env dst;
+        Syscall.close env src;
+        Syscall.close env dst)
+  in
+  Machine.run m;
+  let events = Engine.events_fired engine in
+  let verified = verify_dst s in
+  {
+    pr_stage = label;
+    pr_bytes = file_bytes;
+    pr_seconds = !seconds;
+    pr_kb_per_sec =
+      (if !seconds > 0.0 then float_of_int file_bytes /. 1024.0 /. !seconds
+       else 0.0);
+    pr_cpu_sec = Time.to_sec_f !cpu;
+    pr_runs = Stats.get stats "graph.prog_runs" - runs0;
+    pr_insns = Stats.get stats "graph.prog_insns" - insns0;
+    pr_checksum = !checksum;
+    pr_verified = verified;
+    pr_events = events;
   }
 
 (* {1 UDP relay} *)

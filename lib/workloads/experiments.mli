@@ -237,6 +237,10 @@ type fanout_measure = {
   fo_events : int;
       (** simulation events the whole run fired — with host wall-clock
           this gives the engine's events/sec *)
+  fo_prog_runs : int;
+      (** filter-program invocations across all edges (0 without a
+          [Graph.Prog] stage) *)
+  fo_prog_insns : int;  (** bytecode instructions interpreted *)
 }
 
 val measure_fanout :
@@ -258,6 +262,45 @@ val measure_fanout :
     [trace_json] enables the server's ["graph"] trace category and dumps
     the recorded events to the formatter, one JSON object per line
     ({!Kpath_sim.Trace.dump_json}), when the run finishes. *)
+
+(** {1 Filter-program overhead — interpreted edge programs vs built-ins} *)
+
+type prog_row = {
+  pr_stage : string;  (** "plain", "checksum", or the program's label *)
+  pr_bytes : int;
+  pr_seconds : float;  (** simulated transfer time *)
+  pr_kb_per_sec : float;
+  pr_cpu_sec : float;  (** simulated CPU the whole copy consumed *)
+  pr_runs : int;  (** program invocations (one per block) *)
+  pr_insns : int;  (** bytecode instructions interpreted *)
+  pr_checksum : int option;  (** the edge checksum, if the stage feeds one *)
+  pr_verified : bool;
+  pr_events : int;
+      (** simulation events the run fired — with host wall-clock this
+          gives the engine's events/sec *)
+}
+
+val measure_prog :
+  disk:disk_kind ->
+  ?file_bytes:int ->
+  stage:
+    [ `Plain
+    | `Checksum
+    | `Prog of string * Kpath_vm.Vm.prog list ]
+  ->
+  ?machine_config:Config.t ->
+  unit ->
+  prog_row
+(** One cold file-to-file splice-graph copy whose single edge carries
+    the given stage: nothing, the built-in [Checksum], or a chain of
+    verified filter programs (labelled for reporting; each program sees
+    the previous one's output payload). Comparing a [`Prog] row against
+    [`Plain] prices the interpreter (simulated CPU per block and
+    instructions per block); comparing its [pr_checksum] against the
+    [`Checksum] row's proves the program computed the same function.
+    [pr_verified] checks the destination against the {e source} pattern,
+    so a transforming chain should compose to the identity (e.g. the
+    same XOR mask applied twice). *)
 
 (** {1 UDP relay (socket-to-socket splice)} *)
 

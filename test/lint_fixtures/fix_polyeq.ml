@@ -1,0 +1,10 @@
+(* Known-bad fixture: structural equality over a closure-carrying
+   variant. [List.mem] specializes polymorphic compare at [stage], and
+   the moment a [Hook] value is compared the runtime raises
+   [Invalid_argument "compare: functional value"] -- the hazard the
+   graph's filter list hit before switching to a shape match.
+   Expected: exactly one [poly-compare] finding. *)
+
+type stage = Plain | Hook of (int -> unit)
+
+let has_plain (stages : stage list) = List.mem Plain stages

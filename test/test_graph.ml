@@ -8,6 +8,13 @@ open Kpath_fs
 open Kpath_kernel
 open Kpath_workloads
 module Graph = Kpath_graph.Graph
+module Vm = Kpath_vm.Vm
+module Samples = Kpath_vm.Samples
+
+let prog src =
+  match Kpath_vm.Asm.load src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "test program rejected: %s" e
 
 let block_size = 8192
 
@@ -537,6 +544,327 @@ let test_trace_and_stats () =
       Alcotest.(check bool) "completion event" true (has "completed"));
   Alcotest.(check int) "one latency sample per block" 8 !max_latency_events
 
+(* {1 Verified filter programs on edges} *)
+
+let test_prog_checksum_bit_identical () =
+  (* The acceptance criterion: an edge running the interpreted FNV
+     program produces the same checksum, bit for bit, as the built-in
+     Checksum stage (and as the host-side recomputation). *)
+  with_rig (fun s _m ctx ->
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let c0 = Fs.create_file dfs "/c0" and c1 = Fs.create_file dfs "/c1" in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let mk filters ino =
+        let dst =
+          Graph.add_sink g (Graph.Sink_file { fs = dfs; ino; off_blocks = 0 })
+        in
+        Graph.connect g ~filters ~src ~dst ()
+      in
+      let builtin = mk [ Graph.Checksum ] c0 in
+      let interp = mk [ Graph.Prog (Samples.checksum ()) ] c1 in
+      Graph.start g;
+      ignore (ok_exn (Graph.wait g));
+      let expect = expected_checksum ~file_bytes:(256 * 1024) in
+      Alcotest.(check (option int)) "built-in checksum" (Some expect)
+        (Graph.edge_checksum builtin);
+      Alcotest.(check (option int)) "program checksum bit-identical"
+        (Some expect) (Graph.edge_checksum interp);
+      let stats = Graph.ctx_stats ctx in
+      Alcotest.(check int) "one program run per block" (256 * 1024 / block_size)
+        (Stats.get stats "graph.prog_runs");
+      Alcotest.(check bool) "interpreted instructions were charged" true
+        (Stats.get stats "graph.prog_insns" > 0);
+      (* The payload loop costs simulated CPU: well over the per-block
+         handful of instructions a trivial program would use. *)
+      Alcotest.(check bool) "per-byte work accounted" true
+        (Stats.get stats "graph.prog_insns" > 256 * 1024);
+      Fs.fsync dfs c1;
+      check_pattern dfs c1 ~segments:[ (0, 256 * 1024) ])
+
+let test_prog_drop_accounting () =
+  (* A dropper program settles dropped blocks without delivering them;
+     the edge still completes, and the refcount discipline holds with a
+     plain sibling edge aliasing every block. *)
+  with_rig (fun s _m ctx ->
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let full = Fs.create_file dfs "/full" and part = Fs.create_file dfs "/part" in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let mk ?filters ino =
+        let dst =
+          Graph.add_sink g (Graph.Sink_file { fs = dfs; ino; off_blocks = 0 })
+        in
+        Graph.connect g ?filters ~src ~dst ()
+      in
+      let ef = mk full in
+      let ep = mk ~filters:[ Graph.Prog (Samples.dropper ~modulo:4) ] part in
+      Graph.start g;
+      let total = ok_exn (Graph.wait g) in
+      let nblocks = 256 * 1024 / block_size in
+      let dropped = (nblocks + 3) / 4 in
+      Alcotest.(check bool) "dropper edge done" true (Graph.edge_state ep = `Done);
+      Alcotest.(check int) "survivor delivered everything" (256 * 1024)
+        (Graph.edge_delivered ef);
+      Alcotest.(check int) "dropper delivered the kept blocks only"
+        ((nblocks - dropped) * block_size)
+        (Graph.edge_delivered ep);
+      Alcotest.(check int) "total reflects the drops"
+        ((2 * nblocks - dropped) * block_size)
+        total;
+      Alcotest.(check int) "drops counted" dropped
+        (Stats.get (Graph.ctx_stats ctx) "graph.prog_drops");
+      Alcotest.(check int) "every alias released" 0 (Graph.pinned_blocks g);
+      (* Kept blocks landed at their home offsets. *)
+      Fs.fsync dfs part;
+      let buf = Bytes.create block_size in
+      let bad = ref 0 in
+      for lblk = 0 to nblocks - 1 do
+        if lblk mod 4 <> 0 then begin
+          let off = lblk * block_size in
+          let n = Fs.read dfs part ~off ~len:block_size buf ~pos:0 in
+          Alcotest.(check int) "kept block read" block_size n;
+          for i = 0 to n - 1 do
+            if Bytes.get buf i <> Programs.pattern_byte (off + i) then incr bad
+          done
+        end
+      done;
+      Alcotest.(check int) "kept blocks carry the pattern" 0 !bad)
+
+let test_prog_fault_mid_cluster () =
+  (* A program that faults mid-stream (block 10 of 64, with clustered
+     reads and a sibling edge's writes in flight) kills only its own
+     edge; every pinned buffer is released exactly once. *)
+  let faulty =
+    prog
+      {|; fault on block 10 by loading one byte past the payload
+fuel 16
+    blkno r0
+    jne r0, 10, pass
+    len r1
+    ldp r2, r1
+pass:
+    ret
+|}
+  in
+  with_rig ~file_bytes:(512 * 1024) (fun s _m ctx ->
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let keep = Fs.create_file dfs "/keep" and bad = Fs.create_file dfs "/bad" in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let mk ?filters ino =
+        let dst =
+          Graph.add_sink g (Graph.Sink_file { fs = dfs; ino; off_blocks = 0 })
+        in
+        Graph.connect g ?filters ~src ~dst ()
+      in
+      let ek = mk keep in
+      let eb = mk ~filters:[ Graph.Prog faulty ] bad in
+      Graph.start g;
+      let total = ok_exn (Graph.wait g) in
+      Alcotest.(check bool) "graph completed despite the fault" true
+        (Graph.state g = Graph.Completed);
+      Alcotest.(check bool) "survivor done" true (Graph.edge_state ek = `Done);
+      (match Graph.edge_state eb with
+       | `Dead reason ->
+         Alcotest.(check bool)
+           (Printf.sprintf "diagnostic names the fault (%s)" reason)
+           true
+           (String.length reason >= 10 && String.sub reason 0 10 = "prog fault")
+       | _ -> Alcotest.fail "faulting edge should be dead");
+      Alcotest.(check int) "survivor delivered everything" (512 * 1024)
+        (Graph.edge_delivered ek);
+      Alcotest.(check bool) "total = survivor + partial victim" true
+        (total >= 512 * 1024 && total < 2 * 512 * 1024);
+      Alcotest.(check int) "faults counted" 1
+        (Stats.get (Graph.ctx_stats ctx) "graph.prog_faults");
+      Alcotest.(check int) "every alias released" 0 (Graph.pinned_blocks g);
+      let cstats = Cache.stats (Machine.cache s.Experiments.machine) in
+      Alcotest.(check int) "released exactly once"
+        (Stats.get cstats "cache.pins")
+        (Stats.get cstats "cache.unpins");
+      Fs.fsync dfs keep;
+      check_pattern dfs keep ~segments:[ (0, 512 * 1024) ])
+
+let test_prog_transform_cow () =
+  (* A transforming program must copy-on-write: its sink sees the
+     masked bytes while the sibling edge sharing the same aliased
+     buffers still delivers the original pattern. *)
+  let key = 0x5a in
+  with_rig ~file_bytes:(64 * 1024) (fun s _m ctx ->
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let plain = Fs.create_file dfs "/plain" and masked = Fs.create_file dfs "/masked" in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let mk ?filters ino =
+        let dst =
+          Graph.add_sink g (Graph.Sink_file { fs = dfs; ino; off_blocks = 0 })
+        in
+        Graph.connect g ?filters ~src ~dst ()
+      in
+      let _ep = mk plain in
+      let _em = mk ~filters:[ Graph.Prog (Samples.xor_mask ~key) ] masked in
+      Graph.start g;
+      let total = ok_exn (Graph.wait g) in
+      Alcotest.(check int) "both copies complete" (2 * 64 * 1024) total;
+      Fs.fsync dfs plain;
+      Fs.fsync dfs masked;
+      (* The shared buffers were never mutated in place. *)
+      check_pattern dfs plain ~segments:[ (0, 64 * 1024) ];
+      let buf = Bytes.create block_size in
+      let bad = ref 0 in
+      for lblk = 0 to (64 * 1024 / block_size) - 1 do
+        let off = lblk * block_size in
+        let n = Fs.read dfs masked ~off ~len:block_size buf ~pos:0 in
+        Alcotest.(check int) "masked block read" block_size n;
+        for i = 0 to n - 1 do
+          let want =
+            Char.chr (Char.code (Programs.pattern_byte (off + i)) lxor key)
+          in
+          if Bytes.get buf i <> want then incr bad
+        done
+      done;
+      Alcotest.(check int) "masked copy is pattern XOR key" 0 !bad)
+
+let test_prog_redirect_routes_blocks () =
+  (* Content routing: edge 0 runs the router (block b -> sibling edge
+     b mod 2) and edge 1 drops everything it is offered directly, so
+     each sink receives exactly its residue class. *)
+  with_rig ~file_bytes:(64 * 1024) (fun s _m ctx ->
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let even = Fs.create_file dfs "/even" and odd = Fs.create_file dfs "/odd" in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let mk filters ino =
+        let dst =
+          Graph.add_sink g (Graph.Sink_file { fs = dfs; ino; off_blocks = 0 })
+        in
+        Graph.connect g ~filters ~src ~dst ()
+      in
+      let drop_all = prog "fuel 4\n    drop\n" in
+      let er = mk [ Graph.Prog (Samples.router ~fanout:2) ] even in
+      let ed = mk [ Graph.Prog drop_all ] odd in
+      Graph.start g;
+      ignore (ok_exn (Graph.wait g));
+      let nblocks = 64 * 1024 / block_size in
+      Alcotest.(check bool) "router edge done" true (Graph.edge_state er = `Done);
+      Alcotest.(check bool) "dropper edge done" true (Graph.edge_state ed = `Done);
+      (* Redirected delivery accounts to the owning (router) edge. *)
+      Alcotest.(check int) "router delivered every block" (64 * 1024)
+        (Graph.edge_delivered er);
+      Alcotest.(check int) "dropper delivered nothing" 0
+        (Graph.edge_delivered ed);
+      Alcotest.(check int) "redirects counted" nblocks
+        (Stats.get (Graph.ctx_stats ctx) "graph.prog_redirects");
+      Alcotest.(check int) "every alias released" 0 (Graph.pinned_blocks g);
+      Fs.fsync dfs even;
+      Fs.fsync dfs odd;
+      let buf = Bytes.create block_size in
+      let bad = ref 0 in
+      for lblk = 0 to nblocks - 1 do
+        let ino = if lblk mod 2 = 0 then even else odd in
+        let off = lblk * block_size in
+        let n = Fs.read dfs ino ~off ~len:block_size buf ~pos:0 in
+        Alcotest.(check int) "routed block read" block_size n;
+        for i = 0 to n - 1 do
+          if Bytes.get buf i <> Programs.pattern_byte (off + i) then incr bad
+        done
+      done;
+      Alcotest.(check int) "each residue class at its home sink" 0 !bad)
+
+let test_prog_emits_and_readonly () =
+  (* A read-only probe program fingerprints each block through key-1
+     emits; the blocks flow to the sink untouched, and the non-zero-key
+     stream is observable in order via edge_emits. *)
+  with_rig ~file_bytes:(64 * 1024) (fun s _m ctx ->
+      ignore ctx;
+      let src_fs, src_ino = src_file s in
+      let dfs = dst_fs s in
+      let c0 = Fs.create_file dfs "/c0" in
+      let g = Graph.create ctx () in
+      let src = Graph.add_file_source g ~fs:src_fs ~ino:src_ino () in
+      let dst =
+        Graph.add_sink g (Graph.Sink_file { fs = dfs; ino = c0; off_blocks = 0 })
+      in
+      let e =
+        Graph.connect g ~filters:[ Graph.Prog (Samples.tee_hash ()) ] ~src ~dst ()
+      in
+      Graph.start g;
+      ignore (ok_exn (Graph.wait g));
+      (* Recompute the content hashes host-side (FNV-1a, no block-number
+         mix -- that is the built-in checksum's job, not the probe's). *)
+      let nblocks = 64 * 1024 / block_size in
+      let chunk = Bytes.create block_size in
+      let expect =
+        List.init nblocks (fun lblk ->
+            Programs.fill_pattern chunk ~file_off:(lblk * block_size);
+            let h = ref 0x811c9dc5 in
+            for i = 0 to block_size - 1 do
+              h := !h lxor Char.code (Bytes.get chunk i);
+              h := !h * 0x01000193 land 0xffffffff
+            done;
+            (1, !h))
+      in
+      Alcotest.(check (list (pair int int))) "one fingerprint per block, in order"
+        expect (Graph.edge_emits e);
+      (* A program edge that never emits key 0 reads as checksum 0. *)
+      Alcotest.(check (option int)) "no key-0 emits -> zero checksum" (Some 0)
+        (Graph.edge_checksum e);
+      Fs.fsync dfs c0;
+      check_pattern dfs c0 ~segments:[ (0, 64 * 1024) ])
+
+let test_syscall_prog_load () =
+  (* The load/attach split at the system-call boundary: a rejected
+     program never becomes a handle, an accepted one attaches through
+     splice_graph and produces the same checksum as the built-in. *)
+  let s = Experiments.make_setup ~disk:`Ram ~file_bytes:(64 * 1024) () in
+  let m = s.Experiments.machine in
+  Experiments.cold_caches s;
+  let done_ = ref false in
+  let _p =
+    Machine.spawn m ~name:"prog-load" (fun () ->
+        let env = Syscall.make_env m in
+        (match Syscall.prog_load env "fuel 16\ntop:\n    jmp top\n" with
+         | Ok _ -> Alcotest.fail "backward jump accepted"
+         | Error diag ->
+           Alcotest.(check bool)
+             (Printf.sprintf "diagnostic names the rule (%s)" diag)
+             true
+             (Util.contains diag "unbounded-loop"));
+        let p =
+          match Syscall.prog_load env Samples.checksum_src with
+          | Ok p -> p
+          | Error diag -> Alcotest.failf "checksum program rejected: %s" diag
+        in
+        let src = Syscall.openf env "/src/data" [ Syscall.O_RDONLY ] in
+        let out =
+          Syscall.openf env "/dst/out" [ Syscall.O_CREAT; Syscall.O_WRONLY ]
+        in
+        let g =
+          Syscall.splice_graph_start env ~srcs:[ src ] ~dsts:[ out ]
+            ~filters:[ Graph.Prog p ] Syscall.splice_eof
+        in
+        (match Graph.wait g with
+         | Ok n -> Alcotest.(check int) "full copy" (64 * 1024) n
+         | Error e -> Alcotest.fail e);
+        (match Graph.edges g with
+         | [ e ] ->
+           Alcotest.(check (option int)) "loaded program checksums"
+             (Some (expected_checksum ~file_bytes:(64 * 1024)))
+             (Graph.edge_checksum e)
+         | _ -> Alcotest.fail "one edge expected");
+        List.iter (Syscall.close env) [ src; out ];
+        done_ := true)
+  in
+  Machine.run m;
+  Alcotest.(check bool) "ran" true !done_;
+  Cache.check_invariants (Machine.cache m)
+
 let suite =
   [
     Alcotest.test_case "fan-out to files" `Quick test_fanout_to_files;
@@ -556,4 +884,16 @@ let suite =
     Alcotest.test_case "empty source" `Quick test_empty_source;
     Alcotest.test_case "syscall topologies" `Quick test_syscall_shapes;
     Alcotest.test_case "trace and stats" `Quick test_trace_and_stats;
+    Alcotest.test_case "prog checksum bit-identical" `Quick
+      test_prog_checksum_bit_identical;
+    Alcotest.test_case "prog drop accounting" `Quick test_prog_drop_accounting;
+    Alcotest.test_case "prog fault mid-cluster" `Quick
+      test_prog_fault_mid_cluster;
+    Alcotest.test_case "prog transform is copy-on-write" `Quick
+      test_prog_transform_cow;
+    Alcotest.test_case "prog redirect routes blocks" `Quick
+      test_prog_redirect_routes_blocks;
+    Alcotest.test_case "prog emits and read-only probe" `Quick
+      test_prog_emits_and_readonly;
+    Alcotest.test_case "syscall prog_load" `Quick test_syscall_prog_load;
   ]

@@ -38,16 +38,16 @@ let test_chain () =
   | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
 
 let test_all_at_once () =
-  (* The four bad fixtures analyzed together still yield exactly one
+  (* The five bad fixtures analyzed together still yield exactly one
      finding each (no cross-fixture interference). *)
   let result =
     Lint.run
       [ fixture "fix_intr"; fixture "fix_leak"; fixture "fix_double";
-        fixture "fix_rng" ]
+        fixture "fix_rng"; fixture "fix_polyeq" ]
   in
   Alcotest.(check (list string))
-    "all four"
-    [ "buf-double-release"; "buf-leak"; "intr-blocks"; "rng" ]
+    "all five"
+    [ "buf-double-release"; "buf-leak"; "intr-blocks"; "poly-compare"; "rng" ]
     (List.sort String.compare (rules result))
 
 let test_json () =
@@ -74,6 +74,8 @@ let suite =
       (check_single "fix_double" "buf-double-release");
     Alcotest.test_case "rng fixture: stray Random.int" `Quick
       (check_single "fix_rng" "rng");
+    Alcotest.test_case "polyeq fixture: List.mem over closure variant" `Quick
+      (check_single "fix_polyeq" "poly-compare");
     Alcotest.test_case "good fixture: zero findings" `Quick test_good;
     Alcotest.test_case "four bad fixtures together" `Quick test_all_at_once;
     Alcotest.test_case "json artifact shape" `Quick test_json;

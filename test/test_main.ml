@@ -21,6 +21,7 @@ let () =
       ("flowctl", Test_flowctl.suite);
       ("trace", Test_trace.suite);
       ("splice", Test_splice.suite);
+      ("vm", Test_vm.suite);
       ("graph", Test_graph.suite);
       ("kernel", Test_kernel.suite);
       ("workloads", Test_workloads.suite);

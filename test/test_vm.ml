@@ -1,0 +1,539 @@
+(* Filter VM: verifier rejections name their rule, accepted programs
+   terminate within fuel, the interpreter computes what it should, and
+   the assembler round-trips. *)
+
+module Vm = Kpath_vm.Vm
+module Asm = Kpath_vm.Asm
+module Samples = Kpath_vm.Samples
+
+let spec ?(fuel = 1000) ?(scratch = 0) ?(context = Vm.Edge) insns =
+  { Vm.s_insns = Array.of_list insns; s_fuel = fuel; s_scratch = scratch;
+    s_context = context }
+
+let accept ?fuel ?scratch ?context insns =
+  match Vm.verify (spec ?fuel ?scratch ?context insns) with
+  | Ok p -> p
+  | Error d -> Alcotest.failf "unexpected rejection: %s" (Vm.diag_to_string d)
+
+let reject ?fuel ?scratch ?context insns expected () =
+  match Vm.verify (spec ?fuel ?scratch ?context insns) with
+  | Ok _ -> Alcotest.failf "expected %s rejection" expected
+  | Error d -> Alcotest.(check string) "rule" expected d.Vm.d_rule
+
+(* Run [p] over [data] with a fresh state; returns (verdict, emits). *)
+let run ?(data = "the quick brown fox jumps over the lazy dog") ?(lblk = 0) p =
+  let data = Bytes.of_string data in
+  let emits = ref [] in
+  let r =
+    Vm.exec p (Vm.new_state p) ~data ~len:(Bytes.length data) ~lblk
+      ~emit:(fun k v -> emits := (k, v) :: !emits)
+  in
+  (r, List.rev !emits)
+
+let verdict =
+  Alcotest.testable
+    (fun fmt -> function
+      | Vm.Pass -> Format.fprintf fmt "Pass"
+      | Vm.Drop -> Format.fprintf fmt "Drop"
+      | Vm.Redirect k -> Format.fprintf fmt "Redirect %d" k
+      | Vm.Fault m -> Format.fprintf fmt "Fault %S" m)
+    ( = )
+
+(* {1 Verifier rejections} *)
+
+let rejections =
+  [
+    ("backward jump", reject [ Vm.Mov (0, Imm 0); Vm.Jmp (-1) ] "unbounded-loop");
+    ("self jump", reject [ Vm.Jmp 0 ] "unbounded-loop");
+    ("stray End", reject [ Vm.End; Vm.Ret ] "unbounded-loop");
+    ("unclosed Loop", reject [ Vm.Loop (Imm 3, 8); Vm.Ret ] "unbounded-loop");
+    ( "zero loop cap",
+      reject [ Vm.Loop (Imm 3, 0); Vm.End ] "unbounded-loop" );
+    ( "oversized loop cap",
+      reject [ Vm.Loop (Imm 3, Vm.max_loop_count + 1); Vm.End ]
+        "unbounded-loop" );
+    ( "loops nested too deep",
+      reject
+        (List.init (Vm.max_loop_depth + 1) (fun _ -> Vm.Loop (Imm 1, 2))
+        @ List.init (Vm.max_loop_depth + 1) (fun _ -> Vm.End))
+        "loop-depth" );
+    ("jump past end", reject [ Vm.Jmp 5; Vm.Ret ] "jump-oob");
+    ( "jump into a loop body",
+      reject
+        [ Vm.Jmp 2; Vm.Loop (Imm 1, 2); Vm.Mov (0, Imm 0); Vm.End; Vm.Ret ]
+        "jump-oob" );
+    ( "jump out of a loop body",
+      reject
+        [ Vm.Loop (Imm 1, 2); Vm.Jmp 3; Vm.End; Vm.Ret ]
+        "jump-oob" );
+    ( "scratch load out of bounds",
+      reject ~scratch:4 [ Vm.Lds (0, 4); Vm.Ret ] "scratch-oob" );
+    ( "scratch store negative",
+      reject ~scratch:4 [ Vm.Sts (-1, Imm 0); Vm.Ret ] "scratch-oob" );
+    ( "scratch without an arena",
+      reject [ Vm.Lds (0, 0); Vm.Ret ] "scratch-oob" );
+    ( "scratch size above limit",
+      reject ~scratch:(Vm.max_scratch + 1) [ Vm.Ret ] "scratch-oob" );
+    ("negative fuel", reject ~fuel:(-5) [ Vm.Ret ] "fuel-bound");
+    ("zero fuel", reject ~fuel:0 [ Vm.Ret ] "fuel-bound");
+    ( "fuel above limit",
+      reject ~fuel:(Vm.max_fuel + 1) [ Vm.Ret ] "fuel-bound" );
+    ( "worst case exceeds fuel",
+      reject ~fuel:10
+        [ Vm.Loop (Imm 10, 100); Vm.Mov (0, Imm 1); Vm.End ]
+        "fuel-bound" );
+    ( "nested caps saturate, not overflow",
+      reject ~fuel:Vm.max_fuel
+        [
+          Vm.Loop (Imm 1, Vm.max_loop_count);
+          Vm.Loop (Imm 1, Vm.max_loop_count);
+          Vm.Loop (Imm 1, Vm.max_loop_count);
+          Vm.Mov (0, Imm 1);
+          Vm.End;
+          Vm.End;
+          Vm.End;
+        ]
+        "fuel-bound" );
+    ("register too high", reject [ Vm.Mov (8, Imm 0) ] "bad-register");
+    ("operand register too high", reject [ Vm.Mov (0, Reg 9) ] "bad-register");
+    ("constant zero divisor", reject [ Vm.Div (0, Imm 0) ] "div-by-zero");
+    ("constant zero modulus", reject [ Vm.Rem (0, Imm 0) ] "div-by-zero");
+    ( "drop in read-only context",
+      reject ~context:Vm.Readonly [ Vm.Drop ] "effect-context" );
+    ( "store in read-only context",
+      reject ~context:Vm.Readonly [ Vm.Stp (Imm 0, Imm 0) ] "effect-context" );
+    ( "redirect in read-only context",
+      reject ~context:Vm.Readonly [ Vm.Redirect (Imm 1) ] "effect-context" );
+    ( "program too long",
+      reject (List.init (Vm.max_insns + 1) (fun _ -> Vm.Ret)) "program-size" );
+  ]
+
+let test_rejection_pc () =
+  (* The diagnostic points at the offending instruction. *)
+  match Vm.verify (spec [ Vm.Ret; Vm.Mov (0, Imm 1); Vm.Jmp (-1) ]) with
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error d ->
+    Alcotest.(check int) "pc" 2 d.Vm.d_pc;
+    Alcotest.(check string) "rule" "unbounded-loop" d.Vm.d_rule
+
+let test_readonly_emit_ok () =
+  ignore (accept ~context:Vm.Readonly [ Vm.Len 0; Vm.Emit (Imm 1, Reg 0) ])
+
+let test_continue_jump_ok () =
+  (* Jumping to the loop's own End is "continue" and is accepted. *)
+  ignore
+    (accept
+       [ Vm.Loop (Imm 4, 8); Vm.Jeq (0, Imm 0, 2); Vm.Add (1, Imm 1); Vm.End ])
+
+(* {1 Interpreter} *)
+
+let test_alu () =
+  let p =
+    accept
+      [
+        Vm.Mov (0, Imm 7); Vm.Mul (0, Imm 6); Vm.Emit (Imm 0, Reg 0);
+        Vm.Mov (1, Imm 13); Vm.Rem (1, Imm 5); Vm.Emit (Imm 1, Reg 1);
+        Vm.Mov (2, Imm 1); Vm.Shl (2, Imm 10); Vm.Emit (Imm 2, Reg 2);
+      ]
+  in
+  let r, emits = run p in
+  Alcotest.check verdict "pass" Vm.Pass r.Vm.r_verdict;
+  Alcotest.(check (list (pair int int)))
+    "emits" [ (0, 42); (1, 3); (2, 1024) ] emits
+
+let test_loop_clamps () =
+  let counted count cap =
+    let p =
+      accept
+        [
+          Vm.Mov (0, Imm count);
+          Vm.Loop (Reg 0, cap);
+          Vm.Add (1, Imm 1);
+          Vm.End;
+          Vm.Emit (Imm 0, Reg 1);
+        ]
+    in
+    match run p with
+    | _, [ (0, n) ] -> n
+    | _ -> Alcotest.fail "expected one emit"
+  in
+  Alcotest.(check int) "count below cap" 5 (counted 5 8);
+  Alcotest.(check int) "count clamped to cap" 8 (counted 100 8);
+  Alcotest.(check int) "zero count skips body" 0 (counted 0 8);
+  Alcotest.(check int) "negative count skips body" 0 (counted (-3) 8)
+
+let test_nested_loops () =
+  let p =
+    accept
+      [
+        Vm.Loop (Imm 3, 4);
+        Vm.Loop (Imm 5, 8);
+        Vm.Add (0, Imm 1);
+        Vm.End;
+        Vm.End;
+        Vm.Emit (Imm 0, Reg 0);
+      ]
+  in
+  let _, emits = run p in
+  Alcotest.(check (list (pair int int))) "3*5 iterations" [ (0, 15) ] emits
+
+let test_payload_fault () =
+  let p = accept [ Vm.Len 0; Vm.Ldp (1, Reg 0); Vm.Ret ] in
+  let r, _ = run p in
+  match r.Vm.r_verdict with
+  | Vm.Fault _ -> ()
+  | _ -> Alcotest.fail "expected a fault"
+
+let test_runtime_div_fault () =
+  let p = accept [ Vm.Mov (0, Imm 9); Vm.Div (0, Reg 1); Vm.Ret ] in
+  let r, _ = run p in
+  match r.Vm.r_verdict with
+  | Vm.Fault m ->
+    Alcotest.(check bool) "names the division" true
+      (String.length m >= 8 && String.sub m 0 8 = "division")
+  | _ -> Alcotest.fail "expected fault"
+
+let test_verdicts () =
+  let r, _ = run (accept [ Vm.Drop ]) in
+  Alcotest.check verdict "drop" Vm.Drop r.Vm.r_verdict;
+  let r, _ = run (accept [ Vm.Blkno 0; Vm.Redirect (Reg 0) ]) ~lblk:3 in
+  Alcotest.check verdict "redirect" (Vm.Redirect 3) r.Vm.r_verdict;
+  let r, _ = run (accept [ Vm.Ret; Vm.Drop ]) in
+  Alcotest.check verdict "ret before drop" Vm.Pass r.Vm.r_verdict
+
+let test_cow_transform () =
+  let data = Bytes.of_string "abcdef" in
+  let p =
+    accept [ Vm.Ldp (0, Imm 0); Vm.Xor (0, Imm 0x20); Vm.Stp (Imm 0, Reg 0) ]
+  in
+  let r =
+    Vm.exec p (Vm.new_state p) ~data ~len:6 ~lblk:0 ~emit:(fun _ _ -> ())
+  in
+  Alcotest.(check bool) "copied" false (r.Vm.r_data == data);
+  Alcotest.(check string) "original untouched" "abcdef" (Bytes.to_string data);
+  Alcotest.(check string) "transform applied" "Abcdef"
+    (Bytes.to_string r.Vm.r_data);
+  (* No store: the input buffer itself comes back (zero copies). *)
+  let p2 = accept [ Vm.Ldp (0, Imm 0) ] in
+  let r2 =
+    Vm.exec p2 (Vm.new_state p2) ~data ~len:6 ~lblk:0 ~emit:(fun _ _ -> ())
+  in
+  Alcotest.(check bool) "not copied" true (r2.Vm.r_data == data)
+
+let test_scratch_persists () =
+  let p =
+    accept ~scratch:1
+      [ Vm.Lds (0, 0); Vm.Add (0, Imm 1); Vm.Sts (0, Reg 0);
+        Vm.Emit (Imm 0, Reg 0) ]
+  in
+  let st = Vm.new_state p in
+  let data = Bytes.make 4 'x' in
+  let seen = ref [] in
+  for _ = 1 to 3 do
+    ignore
+      (Vm.exec p st ~data ~len:4 ~lblk:0 ~emit:(fun _ v -> seen := v :: !seen))
+  done;
+  Alcotest.(check (list int)) "counter advances" [ 3; 2; 1 ] !seen
+
+(* {1 The checksum sample matches the built-in formula} *)
+
+let reference_checksum ~lblk data len =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to len - 1 do
+    h := (!h lxor Char.code (Bytes.get data i)) * 0x01000193 land 0xffffffff
+  done;
+  (!h lxor ((lblk + 1) * 0x9e3779b9)) land 0xffffffff
+
+let test_checksum_sample () =
+  let p = Samples.checksum () in
+  let rng = ref 42 in
+  for lblk = 0 to 5 do
+    let len = 1 + (lblk * 97) in
+    let data =
+      Bytes.init len (fun _ ->
+          rng := (!rng * 1103515245) + 12345;
+          Char.chr (!rng lsr 16 land 0xff))
+    in
+    let got = ref (-1) in
+    let r =
+      Vm.exec p (Vm.new_state p) ~data ~len ~lblk ~emit:(fun k v ->
+          if k = 0 then got := v)
+    in
+    Alcotest.check verdict "pass" Vm.Pass r.Vm.r_verdict;
+    Alcotest.(check int)
+      (Printf.sprintf "digest lblk=%d" lblk)
+      (reference_checksum ~lblk data len)
+      !got
+  done
+
+let test_xor_mask_involution () =
+  let p = Kpath_vm.Samples.xor_mask ~key:0x5a in
+  let data = Bytes.of_string "splice graph payload" in
+  let len = Bytes.length data in
+  let once =
+    Vm.exec p (Vm.new_state p) ~data ~len ~lblk:0 ~emit:(fun _ _ -> ())
+  in
+  let twice =
+    Vm.exec p (Vm.new_state p) ~data:once.Vm.r_data ~len ~lblk:0
+      ~emit:(fun _ _ -> ())
+  in
+  Alcotest.(check bool) "masked differs" false (Bytes.equal once.Vm.r_data data);
+  Alcotest.(check string) "self-inverse" (Bytes.to_string data)
+    (Bytes.to_string twice.Vm.r_data)
+
+let test_samples_verify () =
+  ignore (Samples.checksum ());
+  ignore (Samples.tee_hash ());
+  ignore (Samples.dropper ~modulo:4);
+  ignore (Samples.router ~fanout:3);
+  ignore (Samples.xor_mask ~key:0xff);
+  ignore (Samples.oob_probe ());
+  let r, _ = run (Samples.oob_probe ()) in
+  match r.Vm.r_verdict with
+  | Vm.Fault _ -> ()
+  | _ -> Alcotest.fail "oob_probe should fault"
+
+(* {1 Assembler} *)
+
+let test_asm_round_trip () =
+  let check_rt name p =
+    match Asm.load (Asm.print p) with
+    | Error e -> Alcotest.failf "%s: reassembly failed: %s" name e
+    | Ok p' ->
+      Alcotest.(check bool)
+        (name ^ " round-trips") true
+        (Vm.insns p = Vm.insns p' && Vm.fuel p = Vm.fuel p'
+        && Vm.scratch_cells p = Vm.scratch_cells p'
+        && Vm.prog_context p = Vm.prog_context p')
+  in
+  check_rt "checksum" (Samples.checksum ());
+  check_rt "tee_hash (readonly)" (Samples.tee_hash ());
+  check_rt "dropper (jumpy)" (Samples.dropper ~modulo:7);
+  check_rt "scratchy"
+    (accept ~scratch:2
+       [ Vm.Lds (0, 1); Vm.Jlt (0, Imm 5, 2); Vm.Sts (1, Reg 0); Vm.Ret ])
+
+let test_asm_errors () =
+  let is_err = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "missing fuel" true (is_err (Asm.parse "    ret\n"));
+  Alcotest.(check bool) "unknown label" true
+    (is_err (Asm.parse "fuel 10\n    jmp nowhere\n"));
+  Alcotest.(check bool) "bad mnemonic" true
+    (is_err (Asm.parse "fuel 10\n    frob r1\n"));
+  Alcotest.(check bool) "bad operand" true
+    (is_err (Asm.parse "fuel 10\n    mov r1, banana\n"));
+  Alcotest.(check bool) "duplicate label" true
+    (is_err (Asm.parse "fuel 10\nx:\n    ret\nx:\n    ret\n"));
+  (* Verifier rejections surface through load with the rule name. *)
+  match Asm.load "fuel 10\nback:\n    jmp back\n" with
+  | Error e ->
+    Alcotest.(check bool) "names the rule" true
+      (String.length e >= 14 && String.sub e 0 14 = "unbounded-loop")
+  | Ok _ -> Alcotest.fail "backward jump must be rejected"
+
+(* {1 Fixture corpus}
+
+   Every *.kvm under vm_fixtures declares its expectation in the first
+   line: "; expect: ok" or "; expect: <rule>". The same corpus runs
+   under the @lint alias (test/vm_fixtures/check.ml). *)
+
+let corpus_expectation path =
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  let prefix = "; expect:" in
+  let n = String.length prefix in
+  if String.length line <= n || String.sub line 0 n <> prefix then
+    Alcotest.failf "%s: first line must be %S" path prefix
+  else String.trim (String.sub line n (String.length line - n))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_corpus () =
+  let dir = "vm_fixtures" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".kvm")
+    |> List.sort String.compare
+  in
+  Alcotest.(check bool) "corpus is non-empty" true (List.length files >= 6);
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let expected = corpus_expectation path in
+      match Asm.parse (read_file path) with
+      | Error e -> Alcotest.failf "%s: does not assemble: %s" f e
+      | Ok spec -> (
+        match (Vm.verify spec, expected) with
+        | Ok _, "ok" -> ()
+        | Ok _, rule -> Alcotest.failf "%s: accepted, expected %s" f rule
+        | Error d, "ok" ->
+          Alcotest.failf "%s: rejected: %s" f (Vm.diag_to_string d)
+        | Error d, rule ->
+          Alcotest.(check string) (f ^ " rule") rule d.Vm.d_rule))
+    files
+
+(* {1 Property: accepted programs halt within their fuel}
+
+   The generator builds structurally valid programs (properly nested
+   loops, in-region forward jumps); the property asserts the verifier
+   accepts them and that execution over random payloads terminates
+   within the statically computed worst case. *)
+
+let gen_operand =
+  QCheck.Gen.(
+    frequency
+      [ (3, map (fun r -> Vm.Reg r) (int_range 0 (Vm.max_regs - 1)));
+        (2, map (fun k -> Vm.Imm k) (int_range (-8) 300)) ])
+
+let gen_simple =
+  QCheck.Gen.(
+    let reg = int_range 0 (Vm.max_regs - 1) in
+    frequency
+      [
+        (3, map2 (fun r o -> Vm.Mov (r, o)) reg gen_operand);
+        (3, map2 (fun r o -> Vm.Add (r, o)) reg gen_operand);
+        (2, map2 (fun r o -> Vm.Xor (r, o)) reg gen_operand);
+        (1, map2 (fun r o -> Vm.Mul (r, o)) reg gen_operand);
+        (1, map2 (fun r k -> Vm.Div (r, Imm k)) reg (int_range 1 9));
+        (1, map2 (fun r o -> Vm.Shr (r, o)) reg gen_operand);
+        (1, map (fun r -> Vm.Len r) reg);
+        (1, map (fun r -> Vm.Blkno r) reg);
+        (2, map2 (fun r o -> Vm.Ldp (r, o)) reg gen_operand);
+        (1, map2 (fun a b -> Vm.Stp (a, b)) gen_operand gen_operand);
+        (1, map2 (fun r off -> Vm.Lds (r, off)) reg (int_range 0 3));
+        (1, map2 (fun off o -> Vm.Sts (off, o)) (int_range 0 3) gen_operand);
+        (1, map2 (fun a b -> Vm.Emit (a, b)) gen_operand gen_operand);
+      ])
+
+let rec gen_body depth budget =
+  QCheck.Gen.(
+    if budget <= 0 then return []
+    else
+      frequency
+        ([
+           ( 6,
+             let* i = gen_simple in
+             let* rest = gen_body depth (budget - 1) in
+             return (i :: rest) );
+           ( 1,
+             (* A guarded forward jump over [k] simple instructions. *)
+             let* r = int_range 0 (Vm.max_regs - 1) in
+             let* o = gen_operand in
+             let* k = int_range 1 3 in
+             let* skipped = list_repeat k gen_simple in
+             let* rest = gen_body depth (budget - k - 1) in
+             return ((Vm.Jne (r, o, k + 1) :: skipped) @ rest) );
+         ]
+        @
+        if depth >= Vm.max_loop_depth - 1 then []
+        else
+          [
+            ( 2,
+              let* count = gen_operand in
+              let* cap = int_range 1 12 in
+              let* body = gen_body (depth + 1) (budget / 2) in
+              let* rest = gen_body depth (budget / 2) in
+              return ((Vm.Loop (count, cap) :: body) @ (Vm.End :: rest)) );
+          ]))
+
+let arb_program =
+  QCheck.make
+    ~print:(fun (insns, payload) ->
+      Printf.sprintf "%d instructions, %d payload bytes" (List.length insns)
+        (String.length payload))
+    QCheck.Gen.(
+      let* budget = int_range 0 40 in
+      let* insns = gen_body 0 budget in
+      let* payload = string_size ~gen:printable (int_range 0 512) in
+      return (insns, payload))
+
+let prop_accepted_halts =
+  QCheck.Test.make ~count:300 ~name:"accepted programs halt within fuel"
+    arb_program (fun (insns, payload) ->
+      match Vm.verify (spec ~fuel:Vm.max_fuel ~scratch:4 insns) with
+      | Error d ->
+        QCheck.Test.fail_reportf "generator produced a rejected program: %s"
+          (Vm.diag_to_string d)
+      | Ok p ->
+        let data = Bytes.of_string payload in
+        let r =
+          Vm.exec p (Vm.new_state p) ~data ~len:(Bytes.length data) ~lblk:7
+            ~emit:(fun _ _ -> ())
+        in
+        if r.Vm.r_steps > Vm.worst_cost p then
+          QCheck.Test.fail_reportf "ran %d steps, worst case %d" r.Vm.r_steps
+            (Vm.worst_cost p)
+        else if r.Vm.r_verdict = Vm.Fault "fuel exhausted" then
+          QCheck.Test.fail_reportf "verified program exhausted its fuel"
+        else true)
+
+let prop_verify_total =
+  (* Wild instruction streams: verify always answers, and whatever it
+     accepts still terminates. *)
+  let gen_wild =
+    QCheck.Gen.(
+      let gi = int_range (-3) 70 in
+      let any_op =
+        oneof [ map (fun r -> Vm.Reg r) gi; map (fun k -> Vm.Imm k) gi ]
+      in
+      frequency
+        [
+          (4, gen_simple);
+          (1, map2 (fun a b -> Vm.Div (a, b)) gi any_op);
+          (1, map (fun off -> Vm.Jmp off) (int_range (-5) 10));
+          ( 1,
+            map2 (fun c cap -> Vm.Loop (c, cap)) any_op (int_range (-1) 20) );
+          (1, return Vm.End);
+          (1, return (Vm.Drop : Vm.insn));
+          (1, map (fun o : Vm.insn -> Vm.Redirect o) any_op);
+          (1, return Vm.Ret);
+        ])
+  in
+  QCheck.Test.make ~count:500 ~name:"verify is total; accepted still halts"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 25) gen_wild))
+    (fun insns ->
+      match Vm.verify (spec ~fuel:10_000 ~scratch:2 insns) with
+      | Error _ -> true
+      | Ok p ->
+        let data = Bytes.make 64 '\x2a' in
+        let r =
+          Vm.exec p (Vm.new_state p) ~data ~len:64 ~lblk:1
+            ~emit:(fun _ _ -> ())
+        in
+        r.Vm.r_steps <= Vm.worst_cost p)
+
+let suite =
+  List.map
+    (fun (name, f) -> Alcotest.test_case ("reject: " ^ name) `Quick f)
+    rejections
+  @ [
+      Alcotest.test_case "rejection carries the pc" `Quick test_rejection_pc;
+      Alcotest.test_case "readonly may emit" `Quick test_readonly_emit_ok;
+      Alcotest.test_case "continue jump accepted" `Quick test_continue_jump_ok;
+      Alcotest.test_case "alu" `Quick test_alu;
+      Alcotest.test_case "loop count clamps to cap" `Quick test_loop_clamps;
+      Alcotest.test_case "nested loops" `Quick test_nested_loops;
+      Alcotest.test_case "payload load faults out of bounds" `Quick
+        test_payload_fault;
+      Alcotest.test_case "runtime zero divisor faults" `Quick
+        test_runtime_div_fault;
+      Alcotest.test_case "verdicts" `Quick test_verdicts;
+      Alcotest.test_case "copy-on-write transform" `Quick test_cow_transform;
+      Alcotest.test_case "scratch persists across blocks" `Quick
+        test_scratch_persists;
+      Alcotest.test_case "checksum sample matches built-in formula" `Quick
+        test_checksum_sample;
+      Alcotest.test_case "xor mask is self-inverse" `Quick
+        test_xor_mask_involution;
+      Alcotest.test_case "all samples verify" `Quick test_samples_verify;
+      Alcotest.test_case "assembler round trip" `Quick test_asm_round_trip;
+      Alcotest.test_case "assembler errors" `Quick test_asm_errors;
+      Alcotest.test_case "fixture corpus" `Quick test_corpus;
+      QCheck_alcotest.to_alcotest prop_accepted_halts;
+      QCheck_alcotest.to_alcotest prop_verify_total;
+    ]

@@ -1,0 +1,62 @@
+(* Verifier fixture corpus runner for the @lint alias: every *.kvm on
+   the command line must assemble, and the verifier's answer must match
+   the "; expect: <rule|ok>" header. Mirrors Test_vm.test_corpus so the
+   corpus also gates lint-only CI runs. *)
+
+module Vm = Kpath_vm.Vm
+module Asm = Kpath_vm.Asm
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let expectation path text =
+  let line =
+    match String.index_opt text '\n' with
+    | Some i -> String.sub text 0 i
+    | None -> text
+  in
+  let prefix = "; expect:" in
+  let n = String.length prefix in
+  if String.length line <= n || String.sub line 0 n <> prefix then begin
+    Printf.eprintf "%s: first line must declare %S\n" path prefix;
+    exit 2
+  end;
+  String.trim (String.sub line n (String.length line - n))
+
+let () =
+  let failures = ref 0 in
+  let checked = ref 0 in
+  let fail path fmt =
+    incr failures;
+    Printf.ksprintf (fun m -> Printf.eprintf "%s: %s\n" path m) fmt
+  in
+  Array.to_list Sys.argv |> List.tl
+  |> List.filter (fun p -> Filename.check_suffix p ".kvm")
+  |> List.sort String.compare
+  |> List.iter (fun path ->
+         incr checked;
+         let text = read_file path in
+         let expected = expectation path text in
+         match Asm.parse text with
+         | Error e -> fail path "does not assemble: %s" e
+         | Ok spec -> (
+           match (Vm.verify spec, expected) with
+           | Ok _, "ok" -> ()
+           | Ok _, rule -> fail path "accepted; expected rejection %s" rule
+           | Error d, "ok" -> fail path "rejected: %s" (Vm.diag_to_string d)
+           | Error d, rule ->
+             if d.Vm.d_rule <> rule then
+               fail path "rejected as %s (%s); expected %s" d.Vm.d_rule
+                 d.Vm.d_msg rule));
+  if !checked = 0 then begin
+    Printf.eprintf "vm-fixture-check: no .kvm files given\n";
+    exit 2
+  end;
+  Printf.printf "vm-fixture-check: %d fixture%s, %d failure%s\n" !checked
+    (if !checked = 1 then "" else "s")
+    !failures
+    (if !failures = 1 then "" else "s");
+  if !failures > 0 then exit 1

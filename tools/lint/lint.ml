@@ -27,9 +27,11 @@
      [hashtbl-order]): [Random.*] is forbidden outside [lib/sim/rng],
      wall-clock primitives are forbidden everywhere, polymorphic
      [compare]/[Hashtbl.hash] must be instantiated at immutable base
-     types, and every [Hashtbl.iter]/[Hashtbl.fold] must either feed
-     directly into a [List.sort] (the sorted-fold idiom) or carry a
-     justified [[@kpath.nolint "hashtbl-order: ..."]] escape.
+     types, structural [=]/[<>]/[List.mem] must not be instantiated at
+     a closure-carrying variant (comparing a functional constructor
+     raises at run time), and every [Hashtbl.iter]/[Hashtbl.fold] must
+     either feed directly into a [List.sort] (the sorted-fold idiom) or
+     carry a justified [[@kpath.nolint "hashtbl-order: ..."]] escape.
 
    Escapes: [[@kpath.nolint "<rule>: <justification>"]] on a binding or
    a parenthesized expression suppresses the named rule underneath it;
@@ -855,12 +857,88 @@ let check_lifecycle prog raisers =
 
 (* {1 Rule family 3: determinism} *)
 
+(* {2 Closure-carrying variants}
+
+   A variant with a constructor holding a function ([Tee of (bytes ->
+   int -> unit)]) poisons structural equality: [=], [<>] and [List.mem]
+   specialize polymorphic compare at the variant type, and the moment a
+   closure-carrying constructor is compared the runtime raises
+   [Invalid_argument "compare: functional value"]. The hazard is
+   invisible at the call site -- the code typechecks and works until the
+   first such value flows in -- so find the poisoned types by scanning
+   every declaration, then flag the equality sites. Closed as a fixpoint
+   so a variant embedding another poisoned variant is poisoned too.
+   Types are keyed by their last path component; record types are left
+   unmarked (a record of closures compared with [=] still raises, but
+   records here are mutable state, already outside poly-compare's
+   immutable whitelist for [compare]). *)
+
+let rec mentions_closure marked (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Types.Tarrow _ -> true
+  | Tconstr (p, args, _) ->
+    Hashtbl.mem marked (Path.last p)
+    || List.exists (mentions_closure marked) args
+  | Ttuple ts -> List.exists (mentions_closure marked) ts
+  | _ -> false
+
+let compute_closure_variants prog =
+  let marked : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let ctor_poisoned (c : Typedtree.constructor_declaration) =
+    match c.cd_args with
+    | Typedtree.Cstr_tuple cts ->
+      List.exists (fun (ct : Typedtree.core_type) ->
+          mentions_closure marked ct.ctyp_type)
+        cts
+    | Typedtree.Cstr_record lds ->
+      List.exists (fun (ld : Typedtree.label_declaration) ->
+          mentions_closure marked ld.ld_type.ctyp_type)
+        lds
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun m ->
+        let rec do_structure (str : Typedtree.structure) =
+          List.iter
+            (fun (item : Typedtree.structure_item) ->
+              match item.str_desc with
+              | Typedtree.Tstr_type (_, decls) ->
+                List.iter
+                  (fun (d : Typedtree.type_declaration) ->
+                    match d.typ_kind with
+                    | Typedtree.Ttype_variant ctors ->
+                      let name = d.typ_name.txt in
+                      if
+                        (not (Hashtbl.mem marked name))
+                        && List.exists ctor_poisoned ctors
+                      then begin
+                        Hashtbl.replace marked name ();
+                        changed := true
+                      end
+                    | _ -> ())
+                  decls
+              | Typedtree.Tstr_module
+                  { mb_expr = { mod_desc = Tmod_structure s; _ }; _ } ->
+                do_structure s
+              | _ -> ())
+            str.str_items
+        in
+        do_structure m.m_str)
+      prog.modls
+  done;
+  marked
+
 let wallclock_keys =
   [ "Sys.time"; "Unix.gettimeofday"; "Unix.time"; "Unix.localtime"; "Unix.gmtime" ]
 
 let sort_keys = [ "List.sort"; "List.stable_sort"; "List.fast_sort"; "List.sort_uniq" ]
 
+let polyeq_keys = [ "="; "<>"; "List.mem" ]
+
 let check_determinism prog =
+  let closure_variants = compute_closure_variants prog in
   List.iter
     (fun m ->
       let in_rng_module =
@@ -946,12 +1024,22 @@ let check_determinism prog =
                (Printf.sprintf
                   "%s: wall-clock time in simulator code (use Engine.now)" key);
            if key = "compare" || key = "Hashtbl.hash" then
+             (match first_arrow_arg e.exp_type with
+              | Some a when not (immutable_base a) ->
+                report "poly-compare" e.exp_loc
+                  (Printf.sprintf
+                     "polymorphic %s instantiated at a non-immediate type \
+                      (write a dedicated comparison)"
+                     key)
+              | _ -> ());
+           if List.mem key polyeq_keys then
              match first_arrow_arg e.exp_type with
-             | Some a when not (immutable_base a) ->
+             | Some a when mentions_closure closure_variants a ->
                report "poly-compare" e.exp_loc
                  (Printf.sprintf
-                    "polymorphic %s instantiated at a non-immediate type \
-                     (write a dedicated comparison)"
+                    "structural %s instantiated at a closure-carrying type \
+                     (comparing a functional constructor raises; match on \
+                     the shape instead)"
                     key)
              | _ -> ())
          | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> (
