@@ -644,7 +644,29 @@ let gc_run f =
 let bench_gc_space_overhead = 200
 let bench_gc_minor_heap = 4 * 1024 * 1024 (* words *)
 
+(* Peak resident set (kB) of the calling process, from /proc/self/status.
+   Read inside the forked measurement child, so each row reports its own
+   high-water mark rather than the accumulated peak of the sweep.
+   Returns 0 where the proc file is unavailable (non-Linux hosts). *)
+let vm_hwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> 0
+      | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" ->
+        Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Fun.id
+      | _ -> scan ()
+    in
+    Fun.protect ~finally:(fun () -> close_in ic) scan
+
 let in_child (f : unit -> 'a) : 'a =
+  (* The child inherits stdout's buffer; anything pending would be
+     written a second time when the child (or a domain it spawns)
+     flushes on exit. *)
+  flush stdout;
+  flush stderr;
   let rd, wr = Unix.pipe () in
   match Unix.fork () with
   | 0 ->
@@ -706,55 +728,69 @@ let sweep_wallclock ?(path = "BENCH_wallclock.json") () =
   let backends = [ ("heap", `Heap); ("wheel", `Wheel) ] in
   let fan_clients = [ 1; 4; 16; 64; 256; 1024 ] in
   let evps events host = float_of_int events /. host in
-  Printf.printf "%-22s | %-5s | %9s | %8s | %11s | %11s | %5s\n" "workload"
-    "queue" "events" "host s" "events/s" "minor words" "major";
+  Printf.printf "%-26s | %-5s | %9s | %8s | %11s | %11s | %5s | %9s\n"
+    "workload" "queue" "events" "host s" "events/s" "minor words" "major"
+    "maxRSS kB";
   Printf.printf "%s\n" line;
   let micro_rows =
     List.map
       (fun (name, backend) ->
-        let fired, host, words_per_event, majors =
-          in_child (fun () -> engine_microbench backend)
+        let (fired, host, words_per_event, majors), hwm =
+          in_child (fun () ->
+              (* [let] sequencing: a tuple would evaluate right-to-left
+                 and read the high-water mark before the workload runs. *)
+              let r = engine_microbench backend in
+              (r, vm_hwm_kb ()))
         in
         Printf.printf
-          "%-22s | %-5s | %9d | %8.3f | %11.0f | %8.2f/ev | %5d\n"
+          "%-26s | %-5s | %9d | %8.3f | %11.0f | %8.2f/ev | %5d | %9d\n"
           "engine-only callouts" name fired host
-          (evps fired host) words_per_event majors;
-        (name, fired, host, words_per_event, majors))
+          (evps fired host) words_per_event majors hwm;
+        (name, fired, host, words_per_event, majors, hwm))
       backends
   in
   let copy_rows =
     List.map
       (fun (name, backend) ->
-        let m, host, minor, majors =
+        let (m, host, minor, majors), hwm =
           in_child (fun () ->
-              gc_run (fun () ->
-                  Experiments.measure_copy ~mode:`Scp ~disk:`Rz58
-                    ~file_bytes:(8 * mb)
-                    ~machine_config:(backend_config backend) ()))
+              let r =
+                gc_run (fun () ->
+                    Experiments.measure_copy ~mode:`Scp ~disk:`Rz58
+                      ~file_bytes:(8 * mb)
+                      ~machine_config:(backend_config backend) ())
+              in
+              (r, vm_hwm_kb ()))
         in
-        Printf.printf "%-22s | %-5s | %9d | %8.3f | %11.0f | %11.0f | %5d\n"
+        Printf.printf
+          "%-26s | %-5s | %9d | %8.3f | %11.0f | %11.0f | %5d | %9d\n"
           "scp copy 8 MB rz58" name m.Experiments.cm_events host
           (evps m.Experiments.cm_events host)
-          minor majors;
-        (name, m, host, minor, majors))
+          minor majors hwm;
+        (name, m, host, minor, majors, hwm))
       backends
   in
   let prog_wc_rows =
     List.map
       (fun (name, backend) ->
-        let r, host, minor, majors =
+        let (r, host, minor, majors), hwm =
           in_child (fun () ->
-              gc_run (fun () ->
-                  Experiments.measure_prog ~disk:`Rz58 ~file_bytes:(8 * mb)
-                    ~stage:
-                      (`Prog ("prog-checksum", [ Kpath_vm.Samples.checksum () ]))
-                    ~machine_config:(backend_config backend) ()))
+              let r =
+                gc_run (fun () ->
+                    Experiments.measure_prog ~disk:`Rz58 ~file_bytes:(8 * mb)
+                      ~stage:
+                        (`Prog
+                          ("prog-checksum", [ Kpath_vm.Samples.checksum () ]))
+                      ~machine_config:(backend_config backend) ())
+              in
+              (r, vm_hwm_kb ()))
         in
-        Printf.printf "%-22s | %-5s | %9d | %8.3f | %11.0f | %11.0f | %5d\n"
+        Printf.printf
+          "%-26s | %-5s | %9d | %8.3f | %11.0f | %11.0f | %5d | %9d\n"
           "prog copy 8 MB rz58" name r.Experiments.pr_events host
           (evps r.Experiments.pr_events host)
-          minor majors;
-        (name, r, host, minor, majors))
+          minor majors hwm;
+        (name, r, host, minor, majors, hwm))
       backends
   in
   let fan_rows =
@@ -762,23 +798,69 @@ let sweep_wallclock ?(path = "BENCH_wallclock.json") () =
       (fun (name, backend) ->
         List.map
           (fun clients ->
-            let m, host, minor, majors =
+            let (m, host, minor, majors), hwm =
               in_child (fun () ->
-                  gc_run (fun () ->
-                      Experiments.measure_fanout ~clients ~file_bytes:mb
-                        ~bandwidth:40e6
-                        ~machine_config:(backend_config backend) ()))
+                  let r =
+                    gc_run (fun () ->
+                        Experiments.measure_fanout ~clients ~file_bytes:mb
+                          ~bandwidth:40e6
+                          ~machine_config:(backend_config backend) ())
+                  in
+                  (r, vm_hwm_kb ()))
             in
             Printf.printf
-              "%-22s | %-5s | %9d | %8.3f | %11.0f | %11.0f | %5d\n"
+              "%-26s | %-5s | %9d | %8.3f | %11.0f | %11.0f | %5d | %9d\n"
               (Printf.sprintf "fan-out %d clients" clients)
               name m.Experiments.fo_events host
               (evps m.Experiments.fo_events host)
-              minor majors;
-            (name, clients, m, host, minor, majors))
+              minor majors hwm;
+            (name, clients, m, host, minor, majors, hwm))
           fan_clients)
       backends
   in
+  (* Sharded fan-out: the million-client shape. Per-client file sizes
+     shrink as the population grows so a row prices the *population*
+     (per-client footprint, merge, domain fan-out), not total bytes.
+     The 1M row is a smoke test: one 8 KB block per client. *)
+  let shard_cases =
+    [ (4096, 64 * 1024); (65536, 16 * 1024); (1024 * 1024, 8 * 1024) ]
+  in
+  let shard_rows =
+    List.concat_map
+      (fun (clients, file_bytes) ->
+        List.map
+          (fun domains ->
+            let (m, host, minor, majors), hwm =
+              in_child (fun () ->
+                  let r =
+                    gc_run (fun () ->
+                        Experiments.measure_fanout_sharded ~clients ~domains
+                          ~file_bytes ~bandwidth:40e6 ())
+                  in
+                  (r, vm_hwm_kb ()))
+            in
+            Printf.printf
+              "%-26s | K=%-3d | %9d | %8.3f | %11.0f | %11.0f | %5d | %9d\n"
+              (Printf.sprintf "sharded fan-out %d" clients)
+              domains m.Experiments.fsh_events host
+              (evps m.Experiments.fsh_events host)
+              minor majors hwm;
+            (clients, domains, file_bytes, m, host, minor, majors, hwm))
+          [ 1; 4 ])
+      shard_cases
+  in
+  (let per_client (clients, _, _, _, _, _, _, hwm) =
+     if clients = 1024 * 1024 then
+       Some (float_of_int hwm *. 1024.0 /. float_of_int clients)
+     else None
+   in
+   match List.find_map per_client shard_rows with
+   | Some b ->
+     Printf.printf
+       "(sharded digests are bit-identical across K; 1M-client row costs \
+        %.0f bytes/client incl. runtime)\n"
+       b
+   | None -> ());
   let buf = Buffer.create 4096 in
   let field last fmt =
     Printf.ksprintf
@@ -803,15 +885,16 @@ let sweep_wallclock ?(path = "BENCH_wallclock.json") () =
     "  \"gc\": {\"space_overhead\": %d, \"minor_heap_words\": %d},\n"
     bench_gc_space_overhead bench_gc_minor_heap;
   Buffer.add_string buf "  \"engine_micro\": ";
-  objects micro_rows (fun (name, fired, host, words_per_event, majors) ->
+  objects micro_rows (fun (name, fired, host, words_per_event, majors, hwm) ->
       field false "\"engine\": \"%s\"" (json_escape name);
       field false "\"events\": %d" fired;
       field false "\"host_seconds\": %.4f" host;
       field false "\"events_per_sec\": %.0f" (evps fired host);
       field false "\"minor_words_per_event\": %.3f" words_per_event;
-      field true "\"major_collections\": %d" majors);
+      field false "\"major_collections\": %d" majors;
+      field true "\"max_rss_kb\": %d" hwm);
   Buffer.add_string buf ",\n  \"copy\": ";
-  objects copy_rows (fun (name, m, host, minor, majors) ->
+  objects copy_rows (fun (name, m, host, minor, majors, hwm) ->
       field false "\"engine\": \"%s\"" (json_escape name);
       field false "\"file_bytes\": %d" (8 * mb);
       field false "\"events\": %d" m.Experiments.cm_events;
@@ -820,9 +903,10 @@ let sweep_wallclock ?(path = "BENCH_wallclock.json") () =
         (evps m.Experiments.cm_events host);
       field false "\"minor_words\": %.0f" minor;
       field false "\"major_collections\": %d" majors;
+      field false "\"max_rss_kb\": %d" hwm;
       field true "\"verified\": %b" m.Experiments.cm_verified);
   Buffer.add_string buf ",\n  \"prog\": ";
-  objects prog_wc_rows (fun (name, r, host, minor, majors) ->
+  objects prog_wc_rows (fun (name, r, host, minor, majors, hwm) ->
       field false "\"engine\": \"%s\"" (json_escape name);
       field false "\"file_bytes\": %d" (8 * mb);
       field false "\"events\": %d" r.Experiments.pr_events;
@@ -831,9 +915,10 @@ let sweep_wallclock ?(path = "BENCH_wallclock.json") () =
       field false "\"insns\": %d" r.Experiments.pr_insns;
       field false "\"minor_words\": %.0f" minor;
       field false "\"major_collections\": %d" majors;
+      field false "\"max_rss_kb\": %d" hwm;
       field true "\"verified\": %b" r.Experiments.pr_verified);
   Buffer.add_string buf ",\n  \"fanout\": ";
-  objects fan_rows (fun (name, clients, m, host, minor, majors) ->
+  objects fan_rows (fun (name, clients, m, host, minor, majors, hwm) ->
       field false "\"engine\": \"%s\"" (json_escape name);
       field false "\"clients\": %d" clients;
       field false "\"file_bytes\": %d" mb;
@@ -843,7 +928,24 @@ let sweep_wallclock ?(path = "BENCH_wallclock.json") () =
         (evps m.Experiments.fo_events host);
       field false "\"minor_words\": %.0f" minor;
       field false "\"major_collections\": %d" majors;
+      field false "\"max_rss_kb\": %d" hwm;
       field true "\"verified\": %b" m.Experiments.fo_verified);
+  Buffer.add_string buf ",\n  \"fanout_sharded\": ";
+  objects shard_rows
+    (fun (clients, domains, file_bytes, m, host, minor, majors, hwm) ->
+      field false "\"clients\": %d" clients;
+      field false "\"domains\": %d" domains;
+      field false "\"file_bytes\": %d" file_bytes;
+      field false "\"events\": %d" m.Experiments.fsh_events;
+      field false "\"host_seconds\": %.4f" host;
+      field false "\"events_per_sec\": %.0f"
+        (evps m.Experiments.fsh_events host);
+      field false "\"sim_seconds\": %.4f" m.Experiments.fsh_seconds;
+      field false "\"digest\": \"%016x\"" m.Experiments.fsh_digest;
+      field false "\"minor_words\": %.0f" minor;
+      field false "\"major_collections\": %d" majors;
+      field false "\"max_rss_kb\": %d" hwm;
+      field true "\"verified\": %b" m.Experiments.fsh_verified);
   Buffer.add_string buf "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);

@@ -53,6 +53,7 @@ type sink_spec =
   | Sink_chardev of Chardev.t
   | Sink_udp of { sock : Udp.t; dst : Udp.addr }
   | Sink_tcp of Tcp.conn
+  | Sink_fn of (lblk:int -> data:bytes -> len:int -> unit)
 
 type filter =
   | Checksum
@@ -81,6 +82,12 @@ type block = {
   blk_bytes : int;
   blk_issued : Time.t;
   blk_owers : (int, unit) Hashtbl.t;  (* edge id -> owes one unpin *)
+  mutable blk_payload : Payload.t;
+      (* Shared refcounted snapshot of the block's bytes, created by the
+         first TCP sink to ship it and referenced by every other — the
+         fan-out stores one copy, not one per connection. The block's
+         own reference drops when the last edge settles; in-flight and
+         unacknowledged segments keep it alive after that. *)
 }
 
 type source = {
@@ -453,6 +460,10 @@ let[@kpath.intr] settle_ref t (e : edge) (blk : block) =
     Hashtbl.remove blk.blk_owers e.e_id;
     if Hashtbl.length blk.blk_owers = 0 then begin
       Hashtbl.remove e.e_src.sn_inflight blk.blk_lblk;
+      (* Last edge settled: drop the block's own payload reference —
+         TCP connections still streaming it hold their own. *)
+      Payload.release blk.blk_payload;
+      blk.blk_payload <- Payload.none;
       Histogram.add
         (Stats.histogram t.ctx.stats "graph.block_latency_us")
         (int_of_float
@@ -578,6 +589,7 @@ and[@kpath.intr] read_done t (sn : source) ~live lblk (b : Buf.t) =
           blk_bytes = bytes_for t sn lblk;
           blk_issued = Engine.now t.ctx.engine;
           blk_owers = Hashtbl.create 4;
+          blk_payload = Payload.none;
         }
       in
       Hashtbl.replace sn.sn_inflight lblk blk;
@@ -724,10 +736,30 @@ and[@kpath.intr] edge_sink_write t (e : edge) ~via ~data (blk : block) =
     (* The stream applies backpressure: completion fires when the block
        has been accepted into the send buffer. *)
     try
-      Tcp.send_async conn data ~pos:0 ~len:blk.blk_bytes (fun () ->
-          edge_write_done t e blk None)
+      if data == blk.blk_buf.Buf.b_data then begin
+        (* Unfiltered shared buffer: snapshot it into a refcounted
+           payload once, and let every TCP edge stream that one copy
+           zero-copy (the buffer itself recycles on unpin, so the
+           stream cannot reference it directly). *)
+        if Payload.is_none blk.blk_payload then begin
+          blk.blk_payload <- Payload.of_copy data 0 blk.blk_bytes;
+          count t.ctx "graph.payload_snapshots"
+        end;
+        Tcp.send_view conn blk.blk_payload ~pos:0 ~len:blk.blk_bytes
+          (fun () -> edge_write_done t e blk None)
+      end
+      else
+        (* A program rewrote the data into private scratch: copy it
+           into the stream as before. *)
+        Tcp.send_async conn data ~pos:0 ~len:blk.blk_bytes (fun () ->
+            edge_write_done t e blk None)
     with Invalid_argument msg ->
       edge_abort_internal t e ~reason:("tcp sink: " ^ msg))
+  | Sink_fn fn ->
+    (* Capture sink: hand the bytes to the callback synchronously (data
+       is only valid during the call) and settle immediately. *)
+    fn ~lblk ~data ~len:blk.blk_bytes;
+    edge_write_done t e blk None
 
 (* Write handler for one edge (interrupt context): drop this edge's
    reference (the last one releases the shared buffer), account, and
@@ -907,7 +939,7 @@ let validate_and_build t =
       | Sink_udp _ ->
         if block_size > 8192 then
           invalid_arg "Graph.start: block size exceeds datagram limit"
-      | Sink_chardev _ | Sink_tcp _ -> ())
+      | Sink_chardev _ | Sink_tcp _ | Sink_fn _ -> ())
     (List.rev t.g_sinks);
   (* Resolve source sizes and build their physical block tables. *)
   List.iter
@@ -952,9 +984,9 @@ let validate_and_build t =
                    "graph: source and destination ranges overlap"))
           sources;
         sk.sk_map <- build_dst_map fs ino ~off_blocks ~nblocks ~total ~block_size
-      | (Sink_chardev _ | Sink_udp _ | Sink_tcp _), _ :: _ :: _ ->
+      | (Sink_chardev _ | Sink_udp _ | Sink_tcp _ | Sink_fn _), _ :: _ :: _ ->
         invalid_arg "Graph.start: fan-in requires a file sink"
-      | (Sink_chardev _ | Sink_udp _ | Sink_tcp _), [ _ ] -> ())
+      | (Sink_chardev _ | Sink_udp _ | Sink_tcp _ | Sink_fn _), [ _ ] -> ())
     (List.rev t.g_sinks);
   sources
 

@@ -1,72 +1,346 @@
 open Kpath_sim
 open Kpath_dev
 
+(* Frames are mutable, slab-pooled records. A frame's payload is the
+   inline [f_payload] bytes (always carrying the transport header, and
+   for small or legacy sends the data too) plus an optional zero-copy
+   view of [f_pl_len] bytes at [f_pl_off] into a shared refcounted
+   {!Payload.t} — one immutable block buffer can back every sink's
+   segments with no per-client copy.
+
+   Pooled frames (from {!alloc_frame}) return to their net's free list
+   as soon as the receive upcall returns (delivery is synchronous under
+   the interrupt injector), releasing their payload view; receivers
+   must copy or fold what they keep. Legacy {!send} frames are
+   unpooled and garbage-collected, so {!Udp}'s datagrams may alias
+   their buffers indefinitely. *)
 type frame = {
-  f_src : int;
-  f_dst : int;
-  f_proto : int;
-  f_port_src : int;
-  f_port_dst : int;
-  f_payload : bytes;
+  mutable f_src : int;
+  mutable f_dst : int;
+  mutable f_proto : int;
+  mutable f_port_src : int;
+  mutable f_port_dst : int;
+  mutable f_payload : bytes;
+  mutable f_len : int;  (* live bytes of f_payload *)
+  mutable f_pl : Payload.t;  (* Payload.none = inline only *)
+  mutable f_pl_off : int;
+  mutable f_pl_len : int;
+  f_pooled : bool;
+  f_hdr : bytes;  (* pooled frames: dedicated header scratch *)
+  f_dlcb : unit -> unit;  (* persistent delivery closure *)
+  mutable f_next : frame;  (* intrusive free-list / tx-queue link *)
 }
 
-type t = {
+(* One transmit-serialisation unit: the whole interface on a shared
+   segment, one per (src, dst) pair on a switched one. A single
+   persistent completion closure per lane keeps steady-state
+   transmission allocation-free. *)
+type lane = {
+  mutable ln_src : iface;
+  mutable ln_head : frame;
+  mutable ln_tail : frame;
+  mutable ln_busy : bool;
+  mutable ln_cur : frame;  (* the frame on the wire *)
+  mutable ln_cb : unit -> unit;
+}
+
+and iface = {
   nif_id : int;
   nif_name : string;
   net : net;
   rx_intr_service : Time.span;
   tx_intr_service : Time.span;
   intr : Blkdev.intr;
-  rx : (int, frame -> unit) Hashtbl.t; (* proto -> handler *)
-  txq : frame Queue.t;
-  mutable tx_busy : bool;
+  (* Direct per-protocol receive slots (6 = TCP, 17 = UDP are the hot
+     ones); anything else falls back to a small assoc list. *)
+  mutable rx_tcp : (frame -> unit) option;
+  mutable rx_udp : (frame -> unit) option;
+  mutable rx_other : (int * (frame -> unit)) list;
+  mutable lane : lane option;  (* shared-medium serialisation *)
+  mutable flows : (int, lane) Hashtbl.t;  (* switched: per-destination *)
+  mutable tx_queued : int;
+  mutable cur_rx : frame;  (* frame being handed to the upcall *)
+  mutable rx_dispatch : unit -> unit;  (* persistent rx closure *)
   stats : Stats.t;
+  st_tx : Stats.counter;
+  st_tx_bytes : Stats.counter;
+  st_tx_lost : Stats.counter;
+  st_rx : Stats.counter;
+  st_rx_bytes : Stats.counter;
+  st_no_rx : Stats.counter;
 }
 
 and net = {
+  net_id : int;
   engine : Engine.t;
   bandwidth : float;
   latency : Time.span;
   mtu : int;
-  ifaces : (int, t) Hashtbl.t;
+  switched : bool;
+  ifaces : (int, iface) Hashtbl.t;
   mutable loss : float;
   mutable loss_rng : Rng.t;
+  mutable free_frames : frame;  (* intrusive slab free list *)
+  mutable pool_size : int;
+  mutable pool_free : int;
 }
 
-(* Interface ids are globally unique (across segments and simulations)
-   so higher layers may key registries by them. *)
-let id_counter = ref 0
+type t = iface
+
+let nop () = ()
+
+(* End-of-list sentinel for the intrusive links; never enqueued, never
+   mutated after construction. *)
+let[@kpath.domainsafe
+     "list sentinel: compared by identity, no field is ever written"] rec
+    nil_frame =
+  {
+    f_src = -1;
+    f_dst = -1;
+    f_proto = 0;
+    f_port_src = 0;
+    f_port_dst = 0;
+    f_payload = Bytes.empty;
+    f_len = 0;
+    f_pl = Payload.none;
+    f_pl_off = 0;
+    f_pl_len = 0;
+    f_pooled = false;
+    f_hdr = Bytes.empty;
+    f_dlcb = nop;
+    f_next = nil_frame;
+  }
+
+(* Interface and net ids are globally unique (across segments, domains
+   and simulations) so higher layers may key registries by them. *)
+let id_counter = Atomic.make 0
 
 let create_net ?(bandwidth = 1.25e6) ?(latency = Time.us 100) ?(mtu = 9000)
-    engine =
+    ?(switched = false) engine =
   if bandwidth <= 0.0 then invalid_arg "Netif.create_net: bandwidth <= 0";
   {
+    net_id = Atomic.fetch_and_add id_counter 1 + 1;
     engine;
     bandwidth;
     latency;
     mtu;
+    switched;
     ifaces = Hashtbl.create 8;
     loss = 0.0;
     loss_rng = Rng.create ~seed:1;
+    free_frames = nil_frame;
+    pool_size = 0;
+    pool_free = 0;
   }
 
+(* {1 Frame pool} *)
+
+let release_frame net fr =
+  Payload.release fr.f_pl;
+  fr.f_pl <- Payload.none;
+  fr.f_pl_off <- 0;
+  fr.f_pl_len <- 0;
+  if fr.f_pooled then begin
+    fr.f_payload <- fr.f_hdr;
+    fr.f_len <- 0;
+    fr.f_next <- net.free_frames;
+    net.free_frames <- fr;
+    net.pool_free <- net.pool_free + 1
+  end
+
+(* [find], not [find_opt]: the option box would be the only per-frame
+   allocation left on the delivery path. *)
+let deliver_frame net fr =
+  match Hashtbl.find net.ifaces fr.f_dst with
+  | dst ->
+    dst.cur_rx <- fr;
+    dst.intr ~service:dst.rx_intr_service dst.rx_dispatch
+  | exception Not_found -> release_frame net fr
+
+let alloc_frame net =
+  let fr = net.free_frames in
+  if fr != nil_frame then begin
+    net.free_frames <- fr.f_next;
+    net.pool_free <- net.pool_free - 1;
+    fr.f_next <- nil_frame;
+    fr
+  end
+  else begin
+    net.pool_size <- net.pool_size + 1;
+    let hdr = Bytes.create 32 in
+    let rec fr =
+      {
+        f_src = 0;
+        f_dst = 0;
+        f_proto = 0;
+        f_port_src = 0;
+        f_port_dst = 0;
+        f_payload = hdr;
+        f_len = 0;
+        f_pl = Payload.none;
+        f_pl_off = 0;
+        f_pl_len = 0;
+        f_pooled = true;
+        f_hdr = hdr;
+        f_dlcb = (fun () -> deliver_frame net fr);
+        f_next = nil_frame;
+      }
+    in
+    fr
+  end
+
+let frame_set_view fr pl ~off ~len =
+  if off < 0 || len < 0 || off + len > Payload.length pl then
+    invalid_arg "Netif.frame_set_view: bad range";
+  Payload.retain pl;
+  fr.f_pl <- pl;
+  fr.f_pl_off <- off;
+  fr.f_pl_len <- len
+
+let frame_bytes fr = fr.f_len + fr.f_pl_len
+
+let pool_size net = net.pool_size
+
+let pool_free net = net.pool_free
+
+(* {1 Transmission lanes} *)
+
+let rec lane_pump ln =
+  if (not ln.ln_busy) && ln.ln_head != nil_frame then begin
+    let fr = ln.ln_head in
+    ln.ln_head <- fr.f_next;
+    if ln.ln_head == nil_frame then ln.ln_tail <- nil_frame;
+    fr.f_next <- nil_frame;
+    let t = ln.ln_src in
+    t.tx_queued <- t.tx_queued - 1;
+    ln.ln_busy <- true;
+    ln.ln_cur <- fr;
+    let wire_bytes = frame_bytes fr + 42 (* eth+ip headers *) in
+    ignore
+      (Engine.schedule_after t.net.engine
+         (Time.span_of_bytes ~bytes_per_sec:t.net.bandwidth wire_bytes)
+         ln.ln_cb)
+  end
+
+and lane_done ln =
+  let t = ln.ln_src in
+  let net = t.net in
+  let fr = ln.ln_cur in
+  ln.ln_cur <- nil_frame;
+  ln.ln_busy <- false;
+  Stats.incr t.st_tx;
+  Stats.add t.st_tx_bytes (frame_bytes fr);
+  t.intr ~service:t.tx_intr_service nop;
+  let dropped = net.loss > 0.0 && Rng.float net.loss_rng 1.0 < net.loss in
+  if dropped then begin
+    Stats.incr t.st_tx_lost;
+    release_frame net fr
+  end
+  else ignore (Engine.schedule_after net.engine net.latency fr.f_dlcb);
+  lane_pump ln
+
+let make_lane t =
+  let ln =
+    {
+      ln_src = t;
+      ln_head = nil_frame;
+      ln_tail = nil_frame;
+      ln_busy = false;
+      ln_cur = nil_frame;
+      ln_cb = nop;
+    }
+  in
+  ln.ln_cb <- (fun () -> lane_done ln);
+  ln
+
+let lane_for t dst =
+  if t.net.switched then (
+    try Hashtbl.find t.flows dst
+    with Not_found ->
+      let ln = make_lane t in
+      Hashtbl.add t.flows dst ln;
+      ln)
+  else
+    match t.lane with
+    | Some ln -> ln
+    | None ->
+      let ln = make_lane t in
+      t.lane <- Some ln;
+      ln
+
+let transmit t fr =
+  if frame_bytes fr > t.net.mtu then begin
+    release_frame t.net fr;
+    invalid_arg "Netif.send: payload exceeds MTU"
+  end;
+  if not (Hashtbl.mem t.net.ifaces fr.f_dst) then begin
+    release_frame t.net fr;
+    invalid_arg "Netif.send: unknown destination"
+  end;
+  fr.f_src <- t.nif_id;
+  let ln = lane_for t fr.f_dst in
+  fr.f_next <- nil_frame;
+  if ln.ln_tail == nil_frame then begin
+    ln.ln_head <- fr;
+    ln.ln_tail <- fr
+  end
+  else begin
+    ln.ln_tail.f_next <- fr;
+    ln.ln_tail <- fr
+  end;
+  t.tx_queued <- t.tx_queued + 1;
+  lane_pump ln
+
+(* {1 Interfaces} *)
+
 let attach net ~name ?(rx_intr_service = Time.us 80)
-    ?(tx_intr_service = Time.us 40) ~intr () =
-  incr id_counter;
+    ?(tx_intr_service = Time.us 40) ?stats ~intr () =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
   let t =
     {
-      nif_id = !id_counter;
+      nif_id = Atomic.fetch_and_add id_counter 1 + 1;
       nif_name = name;
       net;
       rx_intr_service;
       tx_intr_service;
       intr;
-      rx = Hashtbl.create 4;
-      txq = Queue.create ();
-      tx_busy = false;
-      stats = Stats.create ();
+      rx_tcp = None;
+      rx_udp = None;
+      rx_other = [];
+      lane = None;
+      flows = Hashtbl.create 1;
+      tx_queued = 0;
+      cur_rx = nil_frame;
+      rx_dispatch = nop;
+      stats;
+      st_tx = Stats.counter stats "netif.tx";
+      st_tx_bytes = Stats.counter stats "netif.tx_bytes";
+      st_tx_lost = Stats.counter stats "netif.tx_lost";
+      st_rx = Stats.counter stats "netif.rx";
+      st_rx_bytes = Stats.counter stats "netif.rx_bytes";
+      st_no_rx = Stats.counter stats "netif.dropped_no_rx";
     }
   in
+  t.rx_dispatch <-
+    (fun () ->
+      let fr = t.cur_rx in
+      t.cur_rx <- nil_frame;
+      let handler =
+        match fr.f_proto with
+        | 6 -> t.rx_tcp
+        | 17 -> t.rx_udp
+        | p -> List.assoc_opt p t.rx_other
+      in
+      (match handler with
+       | Some fn ->
+         Stats.incr t.st_rx;
+         Stats.add t.st_rx_bytes (frame_bytes fr);
+         fn fr
+       | None -> Stats.incr t.st_no_rx);
+      (* The upcall has returned: a pooled frame can recycle now.
+         Receivers keep data by copying (or retaining the payload),
+         never by holding the frame. *)
+      release_frame net fr);
   Hashtbl.add net.ifaces t.nif_id t;
   t
 
@@ -78,9 +352,17 @@ let mtu net = net.mtu
 
 let net t = t.net
 
+let net_id (net : net) = net.net_id
+
 let engine (net : net) = net.engine
 
-let set_proto_rx t ~proto fn = Hashtbl.replace t.rx proto fn
+let switched (net : net) = net.switched
+
+let set_proto_rx t ~proto fn =
+  match proto with
+  | 6 -> t.rx_tcp <- Some fn
+  | 17 -> t.rx_udp <- Some fn
+  | p -> t.rx_other <- (p, fn) :: List.remove_assoc p t.rx_other
 
 let set_loss net ?(seed = 1) p =
   if p < 0.0 || p >= 1.0 then invalid_arg "Netif.set_loss: probability";
@@ -89,53 +371,15 @@ let set_loss net ?(seed = 1) p =
 
 let stats t = t.stats
 
-let queued t = Queue.length t.txq
-
-let deliver (dst : t) frame =
-  dst.intr ~service:dst.rx_intr_service (fun () ->
-      match Hashtbl.find_opt dst.rx frame.f_proto with
-      | Some fn ->
-        Stats.incr (Stats.counter dst.stats "netif.rx");
-        Stats.add
-          (Stats.counter dst.stats "netif.rx_bytes")
-          (Bytes.length frame.f_payload);
-        fn frame
-      | None -> Stats.incr (Stats.counter dst.stats "netif.dropped_no_rx"))
-
-let rec tx_next t =
-  if (not t.tx_busy) && not (Queue.is_empty t.txq) then begin
-    t.tx_busy <- true;
-    let frame = Queue.pop t.txq in
-    let wire_bytes = Bytes.length frame.f_payload + 42 (* eth+ip+udp headers *) in
-    let tx_time = Time.span_of_bytes ~bytes_per_sec:t.net.bandwidth wire_bytes in
-    ignore
-      (Engine.schedule_after t.net.engine tx_time (fun () ->
-           t.tx_busy <- false;
-           Stats.incr (Stats.counter t.stats "netif.tx");
-           Stats.add
-             (Stats.counter t.stats "netif.tx_bytes")
-             (Bytes.length frame.f_payload);
-           t.intr ~service:t.tx_intr_service (fun () -> ());
-           let dropped =
-             t.net.loss > 0.0 && Rng.float t.net.loss_rng 1.0 < t.net.loss
-           in
-           if dropped then Stats.incr (Stats.counter t.stats "netif.tx_lost")
-           else
-             (match Hashtbl.find_opt t.net.ifaces frame.f_dst with
-              | Some dst ->
-                ignore
-                  (Engine.schedule_after t.net.engine t.net.latency (fun () ->
-                       deliver dst frame))
-              | None -> ());
-           tx_next t))
-  end
+let queued t = t.tx_queued
 
 let send t ~dst ?(proto = 17) ~port_src ~port_dst payload =
   if Bytes.length payload > t.net.mtu then
     invalid_arg "Netif.send: payload exceeds MTU";
   if not (Hashtbl.mem t.net.ifaces dst) then
     invalid_arg "Netif.send: unknown destination";
-  Queue.push
+  let netv = t.net in
+  let rec fr =
     {
       f_src = t.nif_id;
       f_dst = dst;
@@ -143,6 +387,14 @@ let send t ~dst ?(proto = 17) ~port_src ~port_dst payload =
       f_port_src = port_src;
       f_port_dst = port_dst;
       f_payload = payload;
+      f_len = Bytes.length payload;
+      f_pl = Payload.none;
+      f_pl_off = 0;
+      f_pl_len = 0;
+      f_pooled = false;
+      f_hdr = Bytes.empty;
+      f_dlcb = (fun () -> deliver_frame netv fr);
+      f_next = nil_frame;
     }
-    t.txq;
-  tx_next t
+  in
+  transmit t fr

@@ -1,11 +1,25 @@
-(** Network interfaces on a shared segment.
+(** Network interfaces on a shared or switched segment.
 
-    A {!Net.t} models one Ethernet-class segment: every attached
-    interface can send to every other by interface id. Each interface
-    serialises its own transmissions at the link bandwidth (the classic
-    10 Mbit/s bottleneck), after which the frame propagates with a small
-    latency and is delivered to the destination through its receive
-    interrupt. Delivery is a callback; {!Udp} demultiplexes to sockets. *)
+    A {!net} models one Ethernet-class segment: every attached
+    interface can send to every other by interface id. On a shared
+    segment each interface serialises its own transmissions at the link
+    bandwidth (the classic 10 Mbit/s bottleneck); on a {e switched}
+    segment ([~switched:true]) each (source, destination) pair gets its
+    own full-bandwidth lane, so flows to different destinations never
+    queue behind each other — the fan-out topology a million-client
+    simulation shards over. Either way a transmitted frame propagates
+    with a small latency and is delivered to the destination through
+    its receive interrupt. Delivery is a callback; {!Udp} and {!Tcp}
+    demultiplex.
+
+    Frames are mutable slab-pooled records. Beyond the inline
+    [f_payload] header bytes, a frame can carry an offset+length view
+    into a shared refcounted {!Kpath_sim.Payload.t} — the zero-copy
+    path: one immutable block buffer backs every client's segments.
+    Pooled frames ({!alloc_frame}) recycle to the net's free list the
+    moment the receive upcall returns, so steady-state forwarding
+    allocates nothing per frame; receive handlers must copy (or retain
+    the payload), never stash the frame. *)
 
 open Kpath_sim
 open Kpath_dev
@@ -17,30 +31,52 @@ type t
 (** An attached interface. *)
 
 type frame = {
-  f_src : int;  (** source interface id *)
-  f_dst : int;  (** destination interface id *)
-  f_proto : int;  (** transport protocol (17 = UDP, 6 = TCP) *)
-  f_port_src : int;
-  f_port_dst : int;
-  f_payload : bytes;  (** not copied — receivers must not mutate *)
+  mutable f_src : int;  (** source interface id *)
+  mutable f_dst : int;  (** destination interface id *)
+  mutable f_proto : int;  (** transport protocol (17 = UDP, 6 = TCP) *)
+  mutable f_port_src : int;
+  mutable f_port_dst : int;
+  mutable f_payload : bytes;
+      (** inline payload (transport header, possibly data) — not
+          copied; receivers must not mutate *)
+  mutable f_len : int;  (** live bytes of [f_payload] *)
+  mutable f_pl : Payload.t;
+      (** shared payload view; {!Payload.none} when inline only *)
+  mutable f_pl_off : int;
+  mutable f_pl_len : int;
+  f_pooled : bool;
+  f_hdr : bytes;  (** owned by the pool — do not touch *)
+  f_dlcb : unit -> unit;  (** owned by the pool — do not touch *)
+  mutable f_next : frame;  (** owned by the pool — do not touch *)
 }
 
 val create_net :
-  ?bandwidth:float -> ?latency:Time.span -> ?mtu:int -> Engine.t -> net
-(** A segment. Defaults: 10 Mbit/s (1.25 MB/s), 100 us latency, 9000-byte
-    MTU (an FDDI-class local segment, as a 1992 multimedia lab would
-    covet). *)
+  ?bandwidth:float ->
+  ?latency:Time.span ->
+  ?mtu:int ->
+  ?switched:bool ->
+  Engine.t ->
+  net
+(** A segment. Defaults: 10 Mbit/s (1.25 MB/s), 100 us latency,
+    9000-byte MTU (an FDDI-class local segment, as a 1992 multimedia
+    lab would covet), shared medium. [~switched:true] serialises
+    transmissions per (source, destination) pair instead of per
+    interface. *)
 
 val attach :
   net ->
   name:string ->
   ?rx_intr_service:Time.span ->
   ?tx_intr_service:Time.span ->
+  ?stats:Stats.t ->
   intr:Blkdev.intr ->
   unit ->
   t
 (** Attach an interface. [intr] injects its interrupt costs into that
-    host's CPU (stub hosts pass a free-running injector). *)
+    host's CPU (stub hosts pass a free-running injector) and must run
+    its callback synchronously. [stats] shares a registry across
+    interfaces (a million clients need not each own a table); by
+    default each interface gets a private one. *)
 
 val id : t -> int
 (** The interface id, unique on its segment. *)
@@ -52,19 +88,55 @@ val mtu : net -> int
 val net : t -> net
 (** The segment an interface is attached to. *)
 
+val net_id : net -> int
+(** The segment's globally unique id (transport demux registries key
+    on it). *)
+
 val engine : net -> Engine.t
 (** The event engine driving the segment (for transport timers). *)
 
+val switched : net -> bool
+
 val set_proto_rx : t -> proto:int -> (frame -> unit) -> unit
 (** Install the receive upcall for one transport protocol (runs in
-    interrupt context). Frames arriving for a protocol with no upcall
-    are dropped and counted. *)
+    interrupt context; TCP and UDP dispatch through direct slots,
+    other protocols through a small assoc list). Frames arriving for a
+    protocol with no upcall are dropped and counted. The frame is only
+    valid during the upcall: pooled frames recycle when it returns. *)
 
 val send :
   t -> dst:int -> ?proto:int -> port_src:int -> port_dst:int -> bytes -> unit
-(** Queue one frame for transmission (default protocol: UDP). Raises
-    [Invalid_argument] if the payload exceeds the MTU or the destination
-    id is unknown. *)
+(** Queue one frame for transmission (default protocol: UDP). The
+    frame is unpooled — the payload may be aliased by the receiver
+    indefinitely. Raises [Invalid_argument] if the payload exceeds the
+    MTU or the destination id is unknown. *)
+
+(** {1 Pooled zero-copy transmission} *)
+
+val alloc_frame : net -> frame
+(** Take a frame from the net's slab pool (growing it if empty). The
+    caller fills in destination, protocol, ports and payload — either
+    writing a transport header into [f_hdr] (32 bytes, set [f_payload]
+    to it and [f_len] to the header size), or installing fresh bytes —
+    optionally attaches a view with {!frame_set_view}, and hands the
+    frame to {!transmit}. *)
+
+val frame_set_view : frame -> Payload.t -> off:int -> len:int -> unit
+(** Attach a zero-copy data view ([retain]s the payload; the reference
+    drops when the frame is released after delivery or loss). *)
+
+val frame_bytes : frame -> int
+(** Total payload bytes on the wire: [f_len + f_pl_len]. *)
+
+val transmit : t -> frame -> unit
+(** Queue a prepared frame. Raises like {!send} (releasing the frame
+    first). *)
+
+val pool_size : net -> int
+(** Pooled frames ever created for this net. *)
+
+val pool_free : net -> int
+(** Pooled frames currently on the free list. *)
 
 val set_loss : net -> ?seed:int -> float -> unit
 (** Drop each transmitted frame independently with the given probability
@@ -73,7 +145,7 @@ val set_loss : net -> ?seed:int -> float -> unit
 
 val stats : t -> Stats.t
 (** [netif.tx], [netif.rx], [netif.dropped_no_rx], [netif.tx_bytes],
-    [netif.rx_bytes]. *)
+    [netif.rx_bytes], [netif.tx_lost]. *)
 
 val queued : t -> int
-(** Frames waiting in this interface's transmit queue. *)
+(** Frames waiting in this interface's transmit queue(s). *)

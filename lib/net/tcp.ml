@@ -20,17 +20,18 @@ let mss net = Netif.mtu net - header_bytes
 module Sbuf = struct
   type t = { mutable data : Bytes.t; mutable start : int; mutable len : int }
 
-  (* Storage is allocated lazily: a connection advertising a large
-     window whose queue stays shallow (the common case — readers drain
-     as data lands) never materialises the full capacity. *)
-  let create cap = { data = Bytes.create (max 64 (min cap 4096)); start = 0; len = 0 }
+  (* Storage is allocated lazily, starting empty: a connection that
+     only ever sends zero-copy payload views (or whose reader drains as
+     data lands) never materialises a ring at all — at a million
+     connections the rings would otherwise dominate the heap. *)
+  let create _cap = { data = Bytes.empty; start = 0; len = 0 }
 
   let length b = b.len
 
   let grow b need =
     let cap = Bytes.length b.data in
     if need > cap then begin
-      let ndata = Bytes.create (max need (2 * cap)) in
+      let ndata = Bytes.create (max need (max 64 (2 * cap))) in
       let tail = min b.len (cap - b.start) in
       Bytes.blit b.data b.start ndata 0 tail;
       Bytes.blit b.data 0 ndata tail (b.len - tail);
@@ -69,7 +70,9 @@ end
 (* {1 Wire format}
 
    Frame payload = 21-byte header + data:
-   byte 0: flags (1 SYN, 2 ACK, 4 FIN); 1-8: seq; 9-16: ack; 17-20: wnd. *)
+   byte 0: flags (1 SYN, 2 ACK, 4 FIN); 1-8: seq; 9-16: ack; 17-20: wnd.
+   Data rides either inline after the header or as the frame's shared
+   payload view (zero-copy fan-out segments). *)
 
 let f_syn = 1
 let f_ack = 2
@@ -81,61 +84,101 @@ let set_header b ~flags ~seq ~ack ~wnd =
   Bytes.set_int64_le b 9 (Int64.of_int ack);
   Bytes.set_int32_le b 17 (Int32.of_int wnd)
 
-let encode ~flags ~seq ~ack ~wnd data pos len =
-  let b = Bytes.create (header_bytes + len) in
-  set_header b ~flags ~seq ~ack ~wnd;
-  if len > 0 then Bytes.blit data pos b header_bytes len;
-  b
-
-(* A decoded segment aliases the frame payload rather than copying the
-   data out: [g_len] data bytes start at [header_bytes] in [g_payload].
-   Frames are never mutated after transmission, so the alias is safe,
-   and the receive path performs exactly one copy (into the receive
-   queue). *)
+(* A decoded segment aliases the frame's buffers rather than copying
+   the data out: [g_len] data bytes live at [g_doff] in [g_data] —
+   the frame payload after the header, or the shared payload view.
+   Frames recycle when the receive upcall returns, so a segment is
+   only valid during input processing; whatever is kept is copied
+   (receive queue, out-of-order table) or folded on the spot (receive
+   hook). One mutable scratch segment per demux table is reused for
+   every arrival — input processing is synchronous and never nests. *)
 type seg = {
-  g_flags : int;
-  g_seq : int;
-  g_ack : int;
-  g_wnd : int;
-  g_payload : bytes;
-  g_len : int;
+  mutable g_flags : int;
+  mutable g_seq : int;
+  mutable g_ack : int;
+  mutable g_wnd : int;
+  mutable g_data : bytes;
+  mutable g_doff : int;
+  mutable g_len : int;
 }
 
-let decode payload =
-  if Bytes.length payload < header_bytes then None
-  else
-    Some
-      {
-        g_flags = Char.code (Bytes.get payload 0);
-        g_seq = Int64.to_int (Bytes.get_int64_le payload 1);
-        g_ack = Int64.to_int (Bytes.get_int64_le payload 9);
-        g_wnd = Int32.to_int (Bytes.get_int32_le payload 17);
-        g_payload = payload;
-        g_len = Bytes.length payload - header_bytes;
-      }
+let decode_into (g : seg) (fr : Netif.frame) =
+  if fr.Netif.f_len < header_bytes then false
+  else begin
+    let payload = fr.Netif.f_payload in
+    g.g_flags <- Char.code (Bytes.get payload 0);
+    g.g_seq <- Int64.to_int (Bytes.get_int64_le payload 1);
+    g.g_ack <- Int64.to_int (Bytes.get_int64_le payload 9);
+    g.g_wnd <- Int32.to_int (Bytes.get_int32_le payload 17);
+    if fr.Netif.f_pl_len > 0 then begin
+      g.g_data <- Payload.data fr.Netif.f_pl;
+      g.g_doff <- fr.Netif.f_pl_off;
+      g.g_len <- fr.Netif.f_pl_len
+    end
+    else begin
+      g.g_data <- payload;
+      g.g_doff <- header_bytes;
+      g.g_len <- fr.Netif.f_len - header_bytes
+    end;
+    true
+  end
 
 (* {1 Connections} *)
 
 type state = Syn_sent | Syn_rcvd | Established | Fin_wait | Closed
 
+(* An application write waiting for send-buffer space: either bytes to
+   copy in ([pw_pl = Payload.none]) or a retained zero-copy view. *)
 type pending_write = {
   pw_data : bytes;
+  pw_pl : Payload.t;
   mutable pw_pos : int;
   mutable pw_len : int;
   pw_done : unit -> unit;
 }
 
+(* The send side's sequence space [snd_una, accepted) is a chain of
+   chunks: {e ring} chunks whose bytes live (in stream order) in the
+   sndbuf ring, and {e view} chunks referencing a shared refcounted
+   payload — no private copy, however many connections send the same
+   block. Acknowledgements shrink the chain from the front (partial
+   acks advance a view's offset; its reference drops only when the
+   chunk fully drains), so the head always starts at [snd_una] and
+   the ring always holds exactly the unacknowledged ring bytes. *)
+type chunk = {
+  mutable ck_ring : bool;
+  mutable ck_len : int;
+  mutable ck_pl : Payload.t;  (* Payload.none for ring chunks *)
+  mutable ck_off : int;
+  mutable ck_next : chunk;
+}
+
+let[@kpath.domainsafe
+     "list sentinel: compared by identity, no field is ever written"] rec
+    nil_chunk =
+  {
+    ck_ring = true;
+    ck_len = 0;
+    ck_pl = Payload.none;
+    ck_off = 0;
+    ck_next = nil_chunk;
+  }
+
 type conn = {
   nif : Netif.t;
   net : Netif.net;
   engine : Engine.t;
+  tbl : tbl;
   lport : int;
   rif : int;
   rport : int;
   mutable st : state;
-  (* send side: the stream interval [snd_una, accepted) lives in sndbuf *)
+  (* send side: the stream interval [snd_una, accepted) lives in the
+     chunk chain (ring bytes in sndbuf, view bytes in shared payloads) *)
   sndbuf_cap : int;
   sndbuf : Sbuf.t;
+  mutable snd_ch_head : chunk;
+  mutable snd_ch_tail : chunk;
   mutable snd_una : int;
   mutable snd_nxt : int;
   mutable accepted : int; (* stream bytes taken from the application *)
@@ -147,7 +190,8 @@ type conn = {
   rcvbuf_cap : int;
   rcvq : Sbuf.t;
   mutable rcv_nxt : int;
-  ooo : (int, bytes) Hashtbl.t;
+  mutable rcv_hook : (bytes -> pos:int -> len:int -> unit) option;
+  mutable ooo : (int, bytes) Hashtbl.t option; (* lazy: loss is rare *)
   mutable fin_at : int option; (* peer FIN position in its stream *)
   mutable fin_taken : bool;
   mutable rcv_waiters : (unit -> unit) list;
@@ -166,34 +210,44 @@ type conn = {
   (* retransmission *)
   mutable rto : Time.span;
   mutable timer : Engine.handle option;
+  mutable timer_cb : unit -> unit; (* persistent timeout closure *)
   mutable retransmits : int;
   mutable dup_acks : int;
   mutable syn_tries : int;
   stats : Stats.t;
+  c_segs_out : Stats.counter;
+  c_segs_in : Stats.counter;
+  c_segs_data_in : Stats.counter;
+  c_retx : Stats.counter;
 }
 
-type listener = {
+and listener = {
   l_nif : Netif.t;
   l_port : int;
   l_backlog : int;
+  l_stats : Stats.t option;
   l_queue : conn Queue.t;
+  mutable l_on_accept : (conn -> unit) option;
   mutable l_waiters : (unit -> unit) list;
 }
 
-(* Per-interface demux tables, keyed by the globally unique interface
-   id (like {!Udp}). *)
-type tbl = {
-  listeners : (int, listener) Hashtbl.t;
-  conns : (int * int * int, conn) Hashtbl.t; (* lport, rif, rport *)
+(* Per-net demux tables, keyed by the globally unique net id and held
+   in domain-local storage: each simulation shard owns its nets
+   outright, so nothing TCP-shaped is shared across domains. *)
+and tbl = {
+  listeners : (int * int, listener) Hashtbl.t; (* lif, port *)
+  conns : (int * int * int * int, conn) Hashtbl.t; (* lif, lport, rif, rport *)
+  scratch : seg;
+  mutable rx_handler : Netif.frame -> unit; (* one closure per net *)
+  mutable free_chunks : chunk; (* chunk slab, recycled through acks *)
 }
 
-let tables : (int, tbl) Hashtbl.t = Hashtbl.create 16
+let tables_key : (int, tbl) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
 
 let base_rto = Time.ms 200
 
 let max_rto = Time.sec 2
-
-let count c name = Stats.incr (Stats.counter c.stats name)
 
 let rwnd c = max 0 (c.rcvbuf_cap - Sbuf.length c.rcvq)
 
@@ -216,27 +270,159 @@ let in_flight c = c.snd_nxt - c.snd_una
 
 let unsent c = c.accepted - c.snd_nxt
 
-(* Raw segment transmission. *)
-let tx c ~flags ?(seq = 0) ?(data_off = 0) ?(data_len = 0) () =
+(* Unacknowledged data bytes (the chunk chain's total length); the FIN
+   occupies one virtual position past these. *)
+let unacked_data c = c.accepted - c.snd_una
+
+(* {1 Chunk chain} *)
+
+let alloc_chunk (tbl : tbl) =
+  let ck = tbl.free_chunks in
+  if ck != nil_chunk then begin
+    tbl.free_chunks <- ck.ck_next;
+    ck.ck_next <- nil_chunk;
+    ck
+  end
+  else
+    { ck_ring = true; ck_len = 0; ck_pl = Payload.none; ck_off = 0;
+      ck_next = nil_chunk }
+
+let free_chunk (tbl : tbl) ck =
+  ck.ck_ring <- true;
+  ck.ck_len <- 0;
+  ck.ck_pl <- Payload.none;
+  ck.ck_off <- 0;
+  ck.ck_next <- tbl.free_chunks;
+  tbl.free_chunks <- ck
+
+let chain_push c ck =
+  ck.ck_next <- nil_chunk;
+  if c.snd_ch_tail == nil_chunk then begin
+    c.snd_ch_head <- ck;
+    c.snd_ch_tail <- ck
+  end
+  else begin
+    c.snd_ch_tail.ck_next <- ck;
+    c.snd_ch_tail <- ck
+  end
+
+(* Append [n] accepted ring bytes: extend the tail chunk when it is
+   already a ring chunk (adjacent ring bytes are contiguous in the
+   sndbuf, so the copy path segments exactly as it did before chunks
+   existed). *)
+let chain_append_ring c n =
+  if c.snd_ch_tail != nil_chunk && c.snd_ch_tail.ck_ring then
+    c.snd_ch_tail.ck_len <- c.snd_ch_tail.ck_len + n
+  else begin
+    let ck = alloc_chunk c.tbl in
+    ck.ck_ring <- true;
+    ck.ck_len <- n;
+    chain_push c ck
+  end
+
+let chain_append_view c pl ~off ~len =
+  let ck = alloc_chunk c.tbl in
+  Payload.retain pl;
+  ck.ck_ring <- false;
+  ck.ck_pl <- pl;
+  ck.ck_off <- off;
+  ck.ck_len <- len;
+  chain_push c ck
+
+(* Acknowledge [adv] data bytes: shrink the chain from the front.
+   Partially covered chunks shrink in place (acked ranges are never
+   retransmitted — go-back-N resends from [snd_una]); a fully drained
+   view chunk drops its payload reference, exactly once. *)
+let rec chain_ack c adv =
+  if adv > 0 then begin
+    let ck = c.snd_ch_head in
+    let n = min adv ck.ck_len in
+    if ck.ck_ring then Sbuf.drop c.sndbuf n else ck.ck_off <- ck.ck_off + n;
+    ck.ck_len <- ck.ck_len - n;
+    if ck.ck_len = 0 then begin
+      c.snd_ch_head <- ck.ck_next;
+      if c.snd_ch_head == nil_chunk then c.snd_ch_tail <- nil_chunk;
+      Payload.release ck.ck_pl;
+      free_chunk c.tbl ck
+    end;
+    chain_ack c (adv - n)
+  end
+
+(* Drop every chunk (connection teardown on abort paths). *)
+let chain_clear c =
+  let rec go ck =
+    if ck != nil_chunk then begin
+      let next = ck.ck_next in
+      Payload.release ck.ck_pl;
+      free_chunk c.tbl ck;
+      go next
+    end
+  in
+  go c.snd_ch_head;
+  c.snd_ch_head <- nil_chunk;
+  c.snd_ch_tail <- nil_chunk
+
+(* {1 Segment transmission} *)
+
+(* Control segment (SYN / pure ACK / FIN): header only, written into
+   the pooled frame's scratch buffer — no allocation. *)
+let tx_ctrl c ~flags ~seq =
   let wnd = rwnd c in
   c.last_wnd_sent <- wnd;
-  let payload =
-    if data_len > 0 then begin
-      (* Data lives in sndbuf at logical offset seq - snd_una; peek it
-         straight into the frame after the header — one copy, one
-         allocation per segment. *)
-      let b = Bytes.create (header_bytes + data_len) in
-      set_header b ~flags ~seq ~ack:c.rcv_nxt ~wnd;
-      Sbuf.peek c.sndbuf ~off:data_off ~n:data_len b header_bytes;
-      b
-    end
-    else encode ~flags ~seq ~ack:c.rcv_nxt ~wnd Bytes.empty 0 0
-  in
-  count c "tcp.segs_out";
-  Netif.send c.nif ~dst:c.rif ~proto:protocol_number ~port_src:c.lport
-    ~port_dst:c.rport payload
+  let fr = Netif.alloc_frame c.net in
+  set_header fr.Netif.f_hdr ~flags ~seq ~ack:c.rcv_nxt ~wnd;
+  fr.Netif.f_len <- header_bytes;
+  fr.Netif.f_dst <- c.rif;
+  fr.Netif.f_proto <- protocol_number;
+  fr.Netif.f_port_src <- c.lport;
+  fr.Netif.f_port_dst <- c.rport;
+  Stats.incr c.c_segs_out;
+  Netif.transmit c.nif fr
 
-let send_pure_ack c = tx c ~flags:f_ack ()
+(* Data segment starting at stream position [seq] (>= snd_una), at most
+   [len] bytes: locate the covering chunk and send up to the chunk
+   boundary — a view chunk ships as a zero-copy frame view; a ring
+   chunk is peeked from the sndbuf into a fresh buffer after the
+   header (one copy, as before). Returns the bytes actually sent. *)
+let tx_data c ~seq ~len =
+  let wnd = rwnd c in
+  c.last_wnd_sent <- wnd;
+  (* Walk to the chunk covering [seq]; the chain head starts at
+     snd_una, and live chains are short (window / segment size). *)
+  let rec locate ck skip ring_off =
+    if ck == nil_chunk then (nil_chunk, 0, 0)
+    else if skip < ck.ck_len then (ck, skip, ring_off)
+    else
+      locate ck.ck_next (skip - ck.ck_len)
+        (if ck.ck_ring then ring_off + ck.ck_len else ring_off)
+  in
+  let ck, inoff, ring_off = locate c.snd_ch_head (seq - c.snd_una) 0 in
+  if ck == nil_chunk then 0
+  else begin
+    let n = min len (ck.ck_len - inoff) in
+    let fr = Netif.alloc_frame c.net in
+    if ck.ck_ring then begin
+      let b = Bytes.create (header_bytes + n) in
+      set_header b ~flags:f_ack ~seq ~ack:c.rcv_nxt ~wnd;
+      Sbuf.peek c.sndbuf ~off:(ring_off + inoff) ~n b header_bytes;
+      fr.Netif.f_payload <- b;
+      fr.Netif.f_len <- header_bytes + n
+    end
+    else begin
+      set_header fr.Netif.f_hdr ~flags:f_ack ~seq ~ack:c.rcv_nxt ~wnd;
+      fr.Netif.f_len <- header_bytes;
+      Netif.frame_set_view fr ck.ck_pl ~off:(ck.ck_off + inoff) ~len:n
+    end;
+    fr.Netif.f_dst <- c.rif;
+    fr.Netif.f_proto <- protocol_number;
+    fr.Netif.f_port_src <- c.lport;
+    fr.Netif.f_port_dst <- c.rport;
+    Stats.incr c.c_segs_out;
+    Netif.transmit c.nif fr;
+    n
+  end
+
+let send_pure_ack c = tx_ctrl c ~flags:f_ack ~seq:0
 
 (* {1 Timers} *)
 
@@ -249,11 +435,7 @@ let stop_timer c =
 
 let rec arm_timer c =
   if c.timer = None then
-    c.timer <-
-      Some
-        (Engine.schedule_after c.engine c.rto (fun () ->
-             c.timer <- None;
-             on_timeout c))
+    c.timer <- Some (Engine.schedule_after c.engine c.rto c.timer_cb)
 
 and on_timeout c =
   match c.st with
@@ -265,32 +447,32 @@ and on_timeout c =
       wake_established c
     end
     else begin
-      count c "tcp.syn_retx";
-      tx c ~flags:f_syn ();
+      Stats.incr (Stats.counter c.stats "tcp.syn_retx");
+      tx_ctrl c ~flags:f_syn ~seq:0;
       c.rto <- Time.min max_rto (Time.scale c.rto 2);
       arm_timer c
     end
   | Syn_rcvd ->
-    tx c ~flags:(f_syn lor f_ack) ();
+    tx_ctrl c ~flags:(f_syn lor f_ack) ~seq:0;
     c.rto <- Time.min max_rto (Time.scale c.rto 2);
     arm_timer c
   | Established | Fin_wait ->
     if in_flight c > 0 then begin
       c.retransmits <- c.retransmits + 1;
-      count c "tcp.retx";
+      Stats.incr c.c_retx;
       (* Timeout: multiplicative decrease to one segment. *)
       let seg = mss c.net in
       c.ssthresh <- max (in_flight c / 2) (2 * seg);
       c.cwnd <- seg;
       c.rtt_valid <- false;
       (* Go-back-N restart: resend the first unacknowledged segment. *)
-      let data_bytes = min (Sbuf.length c.sndbuf) (in_flight c) in
-      let n = min data_bytes (mss c.net) in
-      if n > 0 then tx c ~flags:f_ack ~seq:c.snd_una ~data_off:0 ~data_len:n ()
+      let n = min (min (unacked_data c) (in_flight c)) (mss c.net) in
+      if n > 0 then ignore (tx_data c ~seq:c.snd_una ~len:n)
       else begin
         (* Only the FIN is outstanding. *)
         match c.fin_seq with
-        | Some fs when c.snd_una >= fs -> tx c ~flags:(f_fin lor f_ack) ~seq:fs ()
+        | Some fs when c.snd_una >= fs ->
+          tx_ctrl c ~flags:(f_fin lor f_ack) ~seq:fs
         | _ -> ()
       end;
       c.rto <- Time.min max_rto (Time.scale c.rto 2);
@@ -322,24 +504,25 @@ let rec pump c =
       let wnd = max (min c.peer_wnd c.cwnd) 1 in
       let can = min (unsent c) (min (wnd - in_flight c) seg_mss) in
       if can > 0 then begin
-        let off = c.snd_nxt - c.snd_una in
         (* Time this segment if no sample is running (Karn's rule:
            retransmitted ranges never produce samples). *)
-        if not c.rtt_valid then begin
-          c.rtt_valid <- true;
-          c.rtt_seq <- c.snd_nxt + can;
-          c.rtt_sent <- Engine.now c.engine
-        end;
-        tx c ~flags:f_ack ~seq:c.snd_nxt ~data_off:off ~data_len:can ();
-        c.snd_nxt <- c.snd_nxt + can;
-        progress := true
+        let sent = tx_data c ~seq:c.snd_nxt ~len:can in
+        if sent > 0 then begin
+          if not c.rtt_valid then begin
+            c.rtt_valid <- true;
+            c.rtt_seq <- c.snd_nxt + sent;
+            c.rtt_sent <- Engine.now c.engine
+          end;
+          c.snd_nxt <- c.snd_nxt + sent;
+          progress := true
+        end
       end
     done;
     (* FIN once every byte is out. *)
     (if c.app_closed && unsent c = 0 && c.fin_seq = None then begin
        c.fin_seq <- Some c.snd_nxt;
        c.snd_nxt <- c.snd_nxt + 1;
-       tx c ~flags:(f_fin lor f_ack) ~seq:(c.snd_nxt - 1) ()
+       tx_ctrl c ~flags:(f_fin lor f_ack) ~seq:(c.snd_nxt - 1)
      end);
     if in_flight c > 0 then arm_timer c
   end
@@ -347,17 +530,22 @@ let rec pump c =
 and admit_writers c =
   let progressing = ref true in
   while !progressing && not (Queue.is_empty c.pending) do
-    let space = c.sndbuf_cap - Sbuf.length c.sndbuf in
-    if space = 0 then progressing := false
+    let space = c.sndbuf_cap - unacked_data c in
+    if space <= 0 then progressing := false
     else begin
       let p = Queue.peek c.pending in
       let n = min space p.pw_len in
-      Sbuf.append c.sndbuf p.pw_data p.pw_pos n;
+      if Payload.is_none p.pw_pl then begin
+        Sbuf.append c.sndbuf p.pw_data p.pw_pos n;
+        chain_append_ring c n
+      end
+      else chain_append_view c p.pw_pl ~off:p.pw_pos ~len:n;
       c.accepted <- c.accepted + n;
       p.pw_pos <- p.pw_pos + n;
       p.pw_len <- p.pw_len - n;
       if p.pw_len = 0 then begin
         ignore (Queue.pop c.pending);
+        Payload.release p.pw_pl;
         p.pw_done ()
       end
     end
@@ -369,13 +557,12 @@ and admit_writers c =
 (* Resend the first unacknowledged segment (fast retransmit / RTO). *)
 let retransmit_head c =
   c.retransmits <- c.retransmits + 1;
-  count c "tcp.retx";
-  let data_bytes = min (Sbuf.length c.sndbuf) (in_flight c) in
-  let n = min data_bytes (mss c.net) in
-  if n > 0 then tx c ~flags:f_ack ~seq:c.snd_una ~data_off:0 ~data_len:n ()
+  Stats.incr c.c_retx;
+  let n = min (min (unacked_data c) (in_flight c)) (mss c.net) in
+  if n > 0 then ignore (tx_data c ~seq:c.snd_una ~len:n)
   else
     match c.fin_seq with
-    | Some fs when c.snd_una >= fs -> tx c ~flags:(f_fin lor f_ack) ~seq:fs ()
+    | Some fs when c.snd_una >= fs -> tx_ctrl c ~flags:(f_fin lor f_ack) ~seq:fs
     | _ -> ()
 
 let process_ack c (g : seg) =
@@ -394,8 +581,7 @@ let process_ack c (g : seg) =
        else c.cwnd <- c.cwnd + max 1 (seg * seg / c.cwnd));
       c.cwnd <- min c.cwnd (8 * 1024 * 1024);
       (* The FIN occupies one virtual position past the data. *)
-      let data_part = min advance (Sbuf.length c.sndbuf) in
-      Sbuf.drop c.sndbuf data_part;
+      chain_ack c (min advance (unacked_data c));
       c.snd_una <- g.g_ack;
       stop_timer c;
       if in_flight c > 0 then arm_timer c;
@@ -411,7 +597,7 @@ let process_ack c (g : seg) =
       c.dup_acks <- c.dup_acks + 1;
       if c.dup_acks = 3 then begin
         c.dup_acks <- 0;
-        count c "tcp.fast_retx";
+        Stats.incr (Stats.counter c.stats "tcp.fast_retx");
         (* Fast recovery: halve the window. *)
         let seg = mss c.net in
         c.ssthresh <- max (in_flight c / 2) (2 * seg);
@@ -427,22 +613,48 @@ let process_ack c (g : seg) =
   end
   else c.peer_wnd <- g.g_wnd
 
-(* Deliver in-order data and any out-of-order segments it unlocks. *)
-let rec drain_ooo c =
-  match Hashtbl.find_opt c.ooo c.rcv_nxt with
-  | Some data ->
-    Hashtbl.remove c.ooo c.rcv_nxt;
+let ooo_table c =
+  match c.ooo with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 8 in
+    c.ooo <- Some h;
+    h
+
+(* Hand [len] in-order bytes to the connection: the receive hook folds
+   them on the spot (nothing is buffered, the window never closes), or
+   they are copied into the receive queue as space allows. Returns the
+   bytes consumed. *)
+let consume_data c data ~pos ~len =
+  match c.rcv_hook with
+  | Some hook ->
+    c.rcv_nxt <- c.rcv_nxt + len;
+    hook data ~pos ~len;
+    len
+  | None ->
     let space = c.rcvbuf_cap - Sbuf.length c.rcvq in
-    let n = min space (Bytes.length data) in
-    if n = Bytes.length data then begin
-      Sbuf.append c.rcvq data 0 n;
-      c.rcv_nxt <- c.rcv_nxt + n;
-      drain_ooo c
-    end
-    else
-      (* No room: put it back and stop. *)
-      Hashtbl.replace c.ooo c.rcv_nxt data
+    let n = min space len in
+    if n > 0 then begin
+      Sbuf.append c.rcvq data pos n;
+      c.rcv_nxt <- c.rcv_nxt + n
+    end;
+    n
+
+(* Deliver any out-of-order segments the last in-order arrival
+   unlocked. *)
+let rec drain_ooo c =
+  match c.ooo with
   | None -> ()
+  | Some h -> (
+    match Hashtbl.find_opt h c.rcv_nxt with
+    | Some data ->
+      let seq = c.rcv_nxt in
+      let n = consume_data c data ~pos:0 ~len:(Bytes.length data) in
+      if n = Bytes.length data then begin
+        Hashtbl.remove h seq;
+        drain_ooo c
+      end
+    | None -> ())
 
 let check_fin c =
   match c.fin_at with
@@ -458,13 +670,10 @@ let check_fin c =
 let process_data c (g : seg) =
   let len = g.g_len in
   (if len > 0 then begin
-     count c "tcp.segs_data_in";
+     Stats.incr c.c_segs_data_in;
      if g.g_seq = c.rcv_nxt then begin
-       let space = c.rcvbuf_cap - Sbuf.length c.rcvq in
-       let n = min space len in
+       let n = consume_data c g.g_data ~pos:g.g_doff ~len in
        if n > 0 then begin
-         Sbuf.append c.rcvq g.g_payload header_bytes n;
-         c.rcv_nxt <- c.rcv_nxt + n;
          drain_ooo c;
          wake_readers c
        end
@@ -472,10 +681,11 @@ let process_data c (g : seg) =
      else if
        g.g_seq > c.rcv_nxt
        && g.g_seq - c.rcv_nxt < c.rcvbuf_cap
-       && Hashtbl.length c.ooo < 64
+       && (match c.ooo with Some h -> Hashtbl.length h < 64 | None -> true)
      then
-       (* Out-of-order (rare): copy the data, the hold can be long. *)
-       Hashtbl.replace c.ooo g.g_seq (Bytes.sub g.g_payload header_bytes len)
+       (* Out-of-order (rare): copy the data, the hold can be long and
+          the frame recycles when this upcall returns. *)
+       Hashtbl.replace (ooo_table c) g.g_seq (Bytes.sub g.g_data g.g_doff len)
    end);
   (if g.g_flags land f_fin <> 0 then begin
      let fin_pos = g.g_seq + len in
@@ -485,11 +695,11 @@ let process_data c (g : seg) =
   if len > 0 || g.g_flags land f_fin <> 0 then send_pure_ack c
 
 let conn_input c (g : seg) =
-  count c "tcp.segs_in";
+  Stats.incr c.c_segs_in;
   match c.st with
   | Syn_sent ->
     if g.g_flags land f_syn <> 0 && g.g_flags land f_ack <> 0 then begin
-      c.st <- Established;
+      c.st <- (if c.app_closed then Fin_wait else Established);
       stop_timer c;
       c.rto <- base_rto;
       c.peer_wnd <- g.g_wnd;
@@ -497,8 +707,9 @@ let conn_input c (g : seg) =
       wake_established c
     end
   | Syn_rcvd ->
-    (* Anything from the peer confirms establishment. *)
-    c.st <- Established;
+    (* Anything from the peer confirms establishment; a stream already
+       shut down goes straight to draining-toward-FIN. *)
+    c.st <- (if c.app_closed then Fin_wait else Established);
     stop_timer c;
     c.rto <- base_rto;
     c.peer_wnd <- g.g_wnd;
@@ -512,18 +723,23 @@ let conn_input c (g : seg) =
 
 (* {1 Construction and demux} *)
 
-let make_conn ~nif ~lport ~rif ~rport ~rcvbuf ~sndbuf ~st =
+let make_conn ~tbl ~nif ~lport ~rif ~rport ~rcvbuf ~sndbuf ~stats ~st =
   let net = Netif.net nif in
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  let seg_mss = mss net in
   let c = {
     nif;
     net;
     engine = Netif.engine net;
+    tbl;
     lport;
     rif;
     rport;
     st;
     sndbuf_cap = sndbuf;
     sndbuf = Sbuf.create sndbuf;
+    snd_ch_head = nil_chunk;
+    snd_ch_tail = nil_chunk;
     snd_una = 0;
     snd_nxt = 0;
     accepted = 0;
@@ -534,13 +750,14 @@ let make_conn ~nif ~lport ~rif ~rport ~rcvbuf ~sndbuf ~st =
     rcvbuf_cap = rcvbuf;
     rcvq = Sbuf.create rcvbuf;
     rcv_nxt = 0;
-    ooo = Hashtbl.create 8;
+    rcv_hook = None;
+    ooo = None;
     fin_at = None;
     fin_taken = false;
     rcv_waiters = [];
     est_waiters = [];
     last_wnd_sent = rcvbuf;
-    cwnd = 2 * 8979 (* refined to 2*MSS at connect/accept *);
+    cwnd = 2 * seg_mss;
     ssthresh = 64 * 1024;
     srtt = -1.0;
     rttvar = 0.0;
@@ -549,46 +766,55 @@ let make_conn ~nif ~lport ~rif ~rport ~rcvbuf ~sndbuf ~st =
     rtt_valid = false;
     rto = base_rto;
     timer = None;
+    timer_cb = (fun () -> ());
     retransmits = 0;
     dup_acks = 0;
     syn_tries = 0;
-    stats = Stats.create ();
+    stats;
+    c_segs_out = Stats.counter stats "tcp.segs_out";
+    c_segs_in = Stats.counter stats "tcp.segs_in";
+    c_segs_data_in = Stats.counter stats "tcp.segs_data_in";
+    c_retx = Stats.counter stats "tcp.retx";
   }
   in
-  c.cwnd <- 2 * mss net;
+  c.timer_cb <-
+    (fun () ->
+      c.timer <- None;
+      on_timeout c);
   c
 
 let default_buf = 64 * 1024
 
-let rec table_for nif =
-  match Hashtbl.find_opt tables (Netif.id nif) with
-  | Some tbl -> tbl
-  | None ->
-    let tbl = { listeners = Hashtbl.create 8; conns = Hashtbl.create 16 } in
-    Hashtbl.add tables (Netif.id nif) tbl;
-    Netif.set_proto_rx nif ~proto:protocol_number (fun frame ->
-        match decode frame.Netif.f_payload with
-        | None -> ()
-        | Some g -> demux nif tbl frame g);
-    tbl
-
-and demux nif tbl (frame : Netif.frame) g =
-  let key = (frame.Netif.f_port_dst, frame.Netif.f_src, frame.Netif.f_port_src) in
+let demux tbl (frame : Netif.frame) g =
+  let key =
+    ( frame.Netif.f_dst,
+      frame.Netif.f_port_dst,
+      frame.Netif.f_src,
+      frame.Netif.f_port_src )
+  in
   match Hashtbl.find_opt tbl.conns key with
   | Some c -> conn_input c g
   | None ->
     if g.g_flags land f_syn <> 0 && g.g_flags land f_ack = 0 then begin
-      match Hashtbl.find_opt tbl.listeners frame.Netif.f_port_dst with
-      | Some l when Queue.length l.l_queue < l.l_backlog ->
+      match
+        Hashtbl.find_opt tbl.listeners (frame.Netif.f_dst, frame.Netif.f_port_dst)
+      with
+      | Some l
+        when (match l.l_on_accept with
+              | Some _ -> true
+              | None -> Queue.length l.l_queue < l.l_backlog) ->
         let c =
-          make_conn ~nif ~lport:frame.Netif.f_port_dst ~rif:frame.Netif.f_src
-            ~rport:frame.Netif.f_port_src ~rcvbuf:default_buf
-            ~sndbuf:default_buf ~st:Syn_rcvd
+          make_conn ~tbl ~nif:l.l_nif ~lport:frame.Netif.f_port_dst
+            ~rif:frame.Netif.f_src ~rport:frame.Netif.f_port_src
+            ~rcvbuf:default_buf ~sndbuf:default_buf ~stats:l.l_stats
+            ~st:Syn_rcvd
         in
         c.peer_wnd <- g.g_wnd;
         Hashtbl.replace tbl.conns key c;
-        Queue.push c l.l_queue;
-        tx c ~flags:(f_syn lor f_ack) ();
+        (match l.l_on_accept with
+         | Some fn -> fn c
+         | None -> Queue.push c l.l_queue);
+        tx_ctrl c ~flags:(f_syn lor f_ack) ~seq:0;
         arm_timer c;
         let ws = l.l_waiters in
         l.l_waiters <- [];
@@ -596,17 +822,64 @@ and demux nif tbl (frame : Netif.frame) g =
       | Some _ | None -> ()
     end
 
+(* One demux table (and one shared receive closure) per net, created on
+   first use in the owning domain. *)
+let table_for nif =
+  let tables = Domain.DLS.get tables_key in
+  let nid = Netif.net_id (Netif.net nif) in
+  let tbl =
+    match Hashtbl.find_opt tables nid with
+    | Some tbl -> tbl
+    | None ->
+      let tbl =
+        {
+          listeners = Hashtbl.create 8;
+          conns = Hashtbl.create 16;
+          scratch =
+            {
+              g_flags = 0;
+              g_seq = 0;
+              g_ack = 0;
+              g_wnd = 0;
+              g_data = Bytes.empty;
+              g_doff = 0;
+              g_len = 0;
+            };
+          rx_handler = (fun _ -> ());
+          free_chunks = nil_chunk;
+        }
+      in
+      tbl.rx_handler <-
+        (fun frame ->
+          if decode_into tbl.scratch frame then demux tbl frame tbl.scratch);
+      Hashtbl.add tables nid tbl;
+      tbl
+  in
+  Netif.set_proto_rx nif ~proto:protocol_number tbl.rx_handler;
+  tbl
+
 (* {1 Public API} *)
 
-let listen nif ~port ?(backlog = 8) () =
+let listen nif ~port ?(backlog = 8) ?stats () =
   let tbl = table_for nif in
-  if Hashtbl.mem tbl.listeners port then
+  let lkey = (Netif.id nif, port) in
+  if Hashtbl.mem tbl.listeners lkey then
     invalid_arg (Printf.sprintf "Tcp.listen: port %d in use" port);
   let l =
-    { l_nif = nif; l_port = port; l_backlog = backlog; l_queue = Queue.create (); l_waiters = [] }
+    {
+      l_nif = nif;
+      l_port = port;
+      l_backlog = backlog;
+      l_stats = stats;
+      l_queue = Queue.create ();
+      l_on_accept = None;
+      l_waiters = [];
+    }
   in
-  Hashtbl.replace tbl.listeners port l;
+  Hashtbl.replace tbl.listeners lkey l;
   l
+
+let on_accept l fn = l.l_on_accept <- Some fn
 
 let rec accept l =
   match Queue.take_opt l.l_queue with
@@ -615,18 +888,30 @@ let rec accept l =
     Process.block "tcp-accept" (fun w -> l.l_waiters <- w :: l.l_waiters);
     accept l
 
-let connect nif ~port ~dst ?(rcvbuf = default_buf) ?(sndbuf = default_buf) () =
+let connect_async nif ~port ~dst ?(rcvbuf = default_buf)
+    ?(sndbuf = default_buf) ?stats ?rcv_hook () =
   let tbl = table_for nif in
-  let key = (port, dst.a_if, dst.a_port) in
+  let key = (Netif.id nif, port, dst.a_if, dst.a_port) in
   if Hashtbl.mem tbl.conns key then
     invalid_arg "Tcp.connect: connection already exists";
   let c =
-    make_conn ~nif ~lport:port ~rif:dst.a_if ~rport:dst.a_port ~rcvbuf ~sndbuf
-      ~st:Syn_sent
+    make_conn ~tbl ~nif ~lport:port ~rif:dst.a_if ~rport:dst.a_port ~rcvbuf
+      ~sndbuf ~stats ~st:Syn_sent
   in
+  c.rcv_hook <- rcv_hook;
   Hashtbl.replace tbl.conns key c;
-  tx c ~flags:f_syn ();
+  tx_ctrl c ~flags:f_syn ~seq:0;
   arm_timer c;
+  c
+
+let on_established c k =
+  match c.st with
+  | Established | Fin_wait -> k ()
+  | Closed -> ()
+  | Syn_sent | Syn_rcvd -> c.est_waiters <- k :: c.est_waiters
+
+let connect nif ~port ~dst ?rcvbuf ?sndbuf () =
+  let c = connect_async nif ~port ~dst ?rcvbuf ?sndbuf () in
   let rec wait () =
     match c.st with
     | Established | Fin_wait -> ()
@@ -638,19 +923,49 @@ let connect nif ~port ~dst ?(rcvbuf = default_buf) ?(sndbuf = default_buf) () =
   wait ();
   c
 
+let check_sendable c what =
+  (match c.st with
+   | Established | Syn_sent | Syn_rcvd -> ()
+   | Fin_wait | Closed ->
+     invalid_arg (Printf.sprintf "Tcp.%s: closed connection" what));
+  if c.app_closed then
+    invalid_arg (Printf.sprintf "Tcp.%s: after close" what)
+
 let send_async c data ~pos ~len k =
   if pos < 0 || len < 0 || pos + len > Bytes.length data then
     invalid_arg "Tcp.send_async: bad range";
-  (match c.st with
-   | Established | Syn_sent | Syn_rcvd -> ()
-   | Fin_wait | Closed -> invalid_arg "Tcp.send_async: closed connection");
-  if c.app_closed then invalid_arg "Tcp.send_async: after close";
-  Queue.push { pw_data = data; pw_pos = pos; pw_len = len; pw_done = k } c.pending;
+  check_sendable c "send_async";
+  Queue.push
+    { pw_data = data; pw_pl = Payload.none; pw_pos = pos; pw_len = len;
+      pw_done = k }
+    c.pending;
+  admit_writers c
+
+(* Zero-copy send: the stream references [pl] directly — segments carry
+   views, nothing is copied into the send buffer, and the payload's
+   reference count carries the bytes until the peer has acknowledged
+   every one of them. Backpressure is identical to {!send_async}: [k]
+   fires when the whole range has been accepted against the send-buffer
+   budget. *)
+let send_view c pl ~pos ~len k =
+  if pos < 0 || len < 0 || pos + len > Payload.length pl then
+    invalid_arg "Tcp.send_view: bad range";
+  check_sendable c "send_view";
+  Payload.retain pl;
+  Queue.push
+    { pw_data = Bytes.empty; pw_pl = pl; pw_pos = pos; pw_len = len;
+      pw_done = k }
+    c.pending;
   admit_writers c
 
 let send c data ~pos ~len =
   if len > 0 then
     Process.block "tcp-send" (fun waker -> send_async c data ~pos ~len waker)
+
+let set_rcv_hook c fn =
+  if Sbuf.length c.rcvq > 0 then
+    invalid_arg "Tcp.set_rcv_hook: receive queue not empty";
+  c.rcv_hook <- fn
 
 (* Window-update heuristic: tell the peer when a closed (or nearly
    closed) window has reopened meaningfully. *)
@@ -676,17 +991,32 @@ let rec recv c buf ~pos ~len =
     recv c buf ~pos ~len
   end
 
+(* Asynchronous half-close: mark the stream finished and let the pump
+   emit the FIN once the queue drains — never blocks, so callback-driven
+   servers (a million of them) can close without a process each. *)
+let shutdown c =
+  match c.st with
+  | Closed | Fin_wait -> ()
+  | Syn_sent | Syn_rcvd ->
+    (* Handshake still in flight (the whole stream may already sit in
+       the send queue): mark the stream finished and let establishment
+       drain it and emit the FIN. *)
+    c.app_closed <- true
+  | Established ->
+    c.app_closed <- true;
+    c.st <- Fin_wait;
+    pump c
+
 let close c =
   match c.st with
   | Closed -> ()
   | Fin_wait -> ()
   | Syn_sent | Syn_rcvd ->
     c.st <- Closed;
-    stop_timer c
+    stop_timer c;
+    chain_clear c
   | Established ->
-    c.app_closed <- true;
-    c.st <- Fin_wait;
-    pump c;
+    shutdown c;
     (* Linger until our data and FIN are acknowledged. *)
     let rec wait () =
       match c.fin_seq with
@@ -716,6 +1046,8 @@ let remote_addr c = { a_if = c.rif; a_port = c.rport }
 let bytes_sent c = c.accepted
 
 let bytes_acked c = min c.snd_una c.accepted
+
+let bytes_received c = c.rcv_nxt - (if c.fin_taken then 1 else 0)
 
 let retransmits c = c.retransmits
 

@@ -17,10 +17,14 @@ type t = {
   stats : Stats.t;
 }
 
-(* Port demultiplexing tables, one per interface. *)
-let port_tables : (int, (int, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+(* Port demultiplexing tables, one per interface, held in domain-local
+   storage: each simulation shard owns its interfaces outright, so no
+   socket state is ever shared across domains. *)
+let port_tables_key : (int, (int, t) Hashtbl.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
 let rec table_for nif =
+  let port_tables = Domain.DLS.get port_tables_key in
   match Hashtbl.find_opt port_tables (Netif.id nif) with
   | Some tbl -> tbl
   | None ->
@@ -84,7 +88,9 @@ let addr t = { a_if = Netif.id t.nif; a_port = t.port }
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    (match Hashtbl.find_opt port_tables (Netif.id t.nif) with
+    (match
+       Hashtbl.find_opt (Domain.DLS.get port_tables_key) (Netif.id t.nif)
+     with
      | Some tbl -> Hashtbl.remove tbl t.port
      | None -> ());
     Queue.clear t.queue;

@@ -1,0 +1,75 @@
+(* Domain-sharded execution of independent simulation tasks.
+
+   [run] fans [tasks] independent jobs over up to [domains] OCaml 5
+   domains and returns the results in task order — so the caller's view
+   is identical whatever the domain count, provided each task is
+   self-contained (its own engine, net and state; nothing mutable
+   shared across tasks). kpath-verify's domain-shared rule polices the
+   "nothing mutable shared" half statically.
+
+   [merge] is the deterministic join: a k-way merge of per-shard sorted
+   arrays under a total order supplied by the caller (time, with ties
+   broken by a stable client id). Ties across shards resolve to the
+   lowest shard index, so the merged sequence is a pure function of the
+   inputs, never of domain scheduling. *)
+
+let recommended () = Domain.recommended_domain_count ()
+
+let run ~domains ~tasks f =
+  if tasks < 0 then invalid_arg "Shard.run: negative task count";
+  if domains < 1 then invalid_arg "Shard.run: domains < 1";
+  let workers = max 1 (min domains tasks) in
+  if workers <= 1 then List.init tasks f
+  else begin
+    let results = Array.make tasks None in
+    (* Round-robin assignment: worker [d] owns tasks d, d+W, d+2W, ...
+       Each slot is written by exactly one domain; Domain.join provides
+       the happens-before for the collecting read below. *)
+    let worker d () =
+      let rec go i =
+        if i < tasks then begin
+          results.(i) <- Some (f i);
+          go (i + workers)
+        end
+      in
+      go d
+    in
+    let spawned =
+      Array.init (workers - 1) (fun d -> Domain.spawn (worker (d + 1)))
+    in
+    let own = try Ok (worker 0 ()) with e -> Error e in
+    Array.iter Domain.join spawned;
+    (match own with Ok () -> () | Error e -> raise e);
+    List.init tasks (fun i ->
+        match results.(i) with Some r -> r | None -> assert false)
+  end
+
+let merge ~cmp parts =
+  let total = List.fold_left (fun a p -> a + Array.length p) 0 parts in
+  if total = 0 then [||]
+  else begin
+    let parts = Array.of_list parts in
+    let k = Array.length parts in
+    let dummy =
+      let rec first i =
+        if Array.length parts.(i) > 0 then parts.(i).(0) else first (i + 1)
+      in
+      first 0
+    in
+    let out = Array.make total dummy in
+    let idx = Array.make k 0 in
+    for o = 0 to total - 1 do
+      let best = ref (-1) in
+      for p = 0 to k - 1 do
+        if idx.(p) < Array.length parts.(p) then
+          if
+            !best < 0
+            || cmp parts.(p).(idx.(p)) parts.(!best).(idx.(!best)) < 0
+          then best := p
+      done;
+      let p = !best in
+      out.(o) <- parts.(p).(idx.(p));
+      idx.(p) <- idx.(p) + 1
+    done;
+    out
+  end

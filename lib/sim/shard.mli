@@ -1,0 +1,24 @@
+(** Domain-sharded execution with a deterministic merge.
+
+    Partition independent sub-simulations over OCaml 5 domains and join
+    their sorted outputs with a k-way merge under a caller-supplied
+    total order — results are a pure function of the inputs, identical
+    at every domain count. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run : domains:int -> tasks:int -> (int -> 'a) -> 'a list
+(** [run ~domains ~tasks f] evaluates [f 0 .. f (tasks-1)], spread
+    round-robin over [min domains tasks] domains ([domains = 1] runs
+    everything in the calling domain), and returns the results in task
+    order. Each task must be self-contained: its own engine and state,
+    no mutable sharing across tasks (see kpath-verify's domain-shared
+    rule). An exception in any task is re-raised after all domains are
+    joined. *)
+
+val merge : cmp:('a -> 'a -> int) -> 'a array list -> 'a array
+(** [merge ~cmp parts] k-way-merges per-shard arrays, each already
+    sorted under [cmp], into one sorted array. Ties resolve to the
+    lowest shard index, so the result is deterministic whatever
+    produced the parts. *)

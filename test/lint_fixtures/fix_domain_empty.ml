@@ -1,0 +1,9 @@
+(* Known-bad fixture: [@kpath.domainsafe ""] -- an escape with no
+   justification. The empty string is a [bad-annotation] finding, and
+   an invalid annotation does not suppress the underlying rule, so the
+   binding is still flagged [domain-global-mutable].
+   Expected: exactly those two findings. *)
+
+type pool = { mutable free : int list }
+
+let[@kpath.domainsafe ""] shared_pool = { free = [] }

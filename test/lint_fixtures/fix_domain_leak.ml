@@ -1,0 +1,14 @@
+(* Known-bad fixture: a top-level mutable record is shared,
+   unsynchronized, by every OCaml domain a sharded sweep spawns
+   (Kpath_sim.Shard) -- a data race, not a style problem. The record's
+   mutability is discovered through the fixpoint: [counters] has
+   mutable fields, so the wrapping [registry] record is mutable too.
+   Expected: exactly one [domain-global-mutable] finding. *)
+
+type counters = { mutable hits : int; mutable misses : int }
+
+type registry = { label : string; stats : counters }
+
+let global_registry = { label = "cache"; stats = { hits = 0; misses = 0 } }
+
+let bump () = global_registry.stats.hits <- global_registry.stats.hits + 1

@@ -38,16 +38,28 @@ let test_chain () =
   | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
 
 let test_all_at_once () =
-  (* The five bad fixtures analyzed together still yield exactly one
-     finding each (no cross-fixture interference). *)
+  (* The six bad fixtures analyzed together still yield exactly one
+     finding each (no cross-fixture interference). In particular the
+     mutable record types declared in fix_domain_leak must not condemn
+     the other fixtures' bindings. *)
   let result =
     Lint.run
       [ fixture "fix_intr"; fixture "fix_leak"; fixture "fix_double";
-        fixture "fix_rng"; fixture "fix_polyeq" ]
+        fixture "fix_rng"; fixture "fix_polyeq"; fixture "fix_domain_leak" ]
   in
   Alcotest.(check (list string))
-    "all five"
-    [ "buf-double-release"; "buf-leak"; "intr-blocks"; "poly-compare"; "rng" ]
+    "all six"
+    [ "buf-double-release"; "buf-leak"; "domain-global-mutable";
+      "intr-blocks"; "poly-compare"; "rng" ]
+    (List.sort String.compare (rules result))
+
+let test_domain_empty () =
+  (* An empty justification is itself a finding and does not suppress
+     the underlying rule. *)
+  let result = run "fix_domain_empty" in
+  Alcotest.(check (list string))
+    "empty justification"
+    [ "bad-annotation"; "domain-global-mutable" ]
     (List.sort String.compare (rules result))
 
 let test_json () =
@@ -76,7 +88,11 @@ let suite =
       (check_single "fix_rng" "rng");
     Alcotest.test_case "polyeq fixture: List.mem over closure variant" `Quick
       (check_single "fix_polyeq" "poly-compare");
+    Alcotest.test_case "domain fixture: shared mutable record" `Quick
+      (check_single "fix_domain_leak" "domain-global-mutable");
+    Alcotest.test_case "domain fixture: empty justification" `Quick
+      test_domain_empty;
     Alcotest.test_case "good fixture: zero findings" `Quick test_good;
-    Alcotest.test_case "four bad fixtures together" `Quick test_all_at_once;
+    Alcotest.test_case "bad fixtures together" `Quick test_all_at_once;
     Alcotest.test_case "json artifact shape" `Quick test_json;
   ]

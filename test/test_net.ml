@@ -144,6 +144,52 @@ let test_upcall_drains_queue () =
   Alcotest.(check int) "drained into upcall" 1 !seen;
   Alcotest.(check int) "queue empty" 0 (Udp.pending sb)
 
+(* Steady-state pooled forwarding allocates nothing per delivered
+   segment: after warm-up, an alloc_frame / transmit / deliver /
+   recycle cycle must neither grow the frame pool nor allocate words
+   on the OCaml minor heap. This is the memory half of the
+   million-client budget — per-segment garbage at N clients x K
+   segments would dominate the heap. *)
+let test_pooled_steady_state_no_alloc () =
+  let engine = Engine.create () in
+  let net = Netif.create_net engine in
+  let a = Netif.attach net ~name:"a" ~intr:Util.free_intr () in
+  let b = Netif.attach net ~name:"b" ~intr:Util.free_intr () in
+  let dst = Netif.id b in
+  let send_one () =
+    let fr = Netif.alloc_frame net in
+    fr.Netif.f_dst <- dst;
+    fr.Netif.f_proto <- 6;
+    fr.Netif.f_port_src <- 1;
+    fr.Netif.f_port_dst <- 2;
+    fr.Netif.f_payload <- fr.Netif.f_hdr;
+    fr.Netif.f_len <- 21;
+    Netif.transmit a fr
+  in
+  (* Each delivery triggers the next transmission, so one Engine.run
+     drives the whole chain — the measured region is purely the
+     per-frame path. *)
+  let delivered = ref 0 in
+  let remaining = ref 256 in
+  Netif.set_proto_rx b ~proto:6 (fun fr ->
+      delivered := !delivered + Netif.frame_bytes fr;
+      if !remaining > 0 then begin
+        decr remaining;
+        send_one ()
+      end);
+  send_one ();
+  Engine.run engine;
+  let pool_before = Netif.pool_size net in
+  let minor_before = Gc.minor_words () in
+  remaining := 10_000;
+  send_one ();
+  Engine.run engine;
+  let per_frame = (Gc.minor_words () -. minor_before) /. 10_001.0 in
+  Alcotest.(check int) "pool did not grow" pool_before (Netif.pool_size net);
+  Alcotest.(check int) "all delivered" ((257 + 10_001) * 21) !delivered;
+  if per_frame > 0.01 then
+    Alcotest.failf "steady-state allocation: %.2f words/frame" per_frame
+
 let suite =
   [
     Alcotest.test_case "delivery" `Quick test_delivery;
@@ -156,4 +202,6 @@ let suite =
     Alcotest.test_case "unknown port drop" `Quick test_unknown_port_dropped;
     Alcotest.test_case "MTU enforcement" `Quick test_mtu_enforced;
     Alcotest.test_case "upcall drains queue" `Quick test_upcall_drains_queue;
+    Alcotest.test_case "pooled steady state allocates nothing" `Quick
+      test_pooled_steady_state_no_alloc;
   ]

@@ -351,6 +351,47 @@ let test_sendfile_cpu_advantage () =
     (sf.Kpath_workloads.Experiments.sf_server_cpu_sec
     < 0.5 *. rw.Kpath_workloads.Experiments.sf_server_cpu_sec)
 
+(* One payload fanned out to two sinks over send_view is freed exactly
+   once — when the last reference (the two conns' chunk chains plus the
+   creator's) drops — and its bytes arrive intact at both. *)
+let test_shared_payload_freed_once () =
+  let engine = Engine.create () in
+  let sched = Sched.create engine in
+  let intr ~service fn = Sched.interrupt sched ~service fn in
+  let net = Netif.create_net ~switched:true engine in
+  let srv = Netif.attach net ~name:"srv" ~intr () in
+  let total = 24 * 1024 in
+  let sent = pattern total in
+  let pl = Payload.of_bytes (Bytes.copy sent) in
+  let freed = ref 0 in
+  Payload.on_free pl (fun () -> incr freed);
+  let l = Tcp.listen srv ~port:80 () in
+  Tcp.on_accept l (fun conn ->
+      Tcp.send_view conn pl ~pos:0 ~len:total (fun () -> Tcp.shutdown conn));
+  let got = Array.init 2 (fun _ -> Buffer.create total) in
+  for i = 0 to 1 do
+    let cli = Netif.attach net ~name:(Printf.sprintf "c%d" i) ~intr () in
+    ignore
+      (Tcp.connect_async cli ~port:1000
+         ~dst:{ Tcp.a_if = Netif.id srv; a_port = 80 }
+         ~rcv_hook:(fun data ~pos ~len -> Buffer.add_subbytes got.(i) data pos len)
+         ())
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "sink 0 complete" total (Buffer.length got.(0));
+  Alcotest.(check int) "sink 1 complete" total (Buffer.length got.(1));
+  Alcotest.(check bytes) "sink 0 intact" sent (Buffer.to_bytes got.(0));
+  Alcotest.(check bytes) "sink 1 intact" sent (Buffer.to_bytes got.(1));
+  (* Both chains have drained: only the creator's reference is left. *)
+  Alcotest.(check int) "chains released their views" 1 (Payload.refs pl);
+  Alcotest.(check int) "not freed while referenced" 0 !freed;
+  Payload.release pl;
+  Alcotest.(check int) "freed exactly once" 1 !freed;
+  Alcotest.(check int) "free counted" 1 (Payload.frees pl);
+  Alcotest.check_raises "refcount is fail-fast"
+    (Invalid_argument "Payload.release: already freed") (fun () ->
+      Payload.release pl)
+
 let suite =
   [
     Alcotest.test_case "handshake + small transfer" `Quick test_handshake_and_small_transfer;
@@ -370,4 +411,6 @@ let suite =
     Alcotest.test_case "loss shrinks cwnd" `Quick test_loss_shrinks_cwnd;
     Alcotest.test_case "sendfile verified (incl. loss)" `Quick test_sendfile_modes;
     Alcotest.test_case "sendfile CPU advantage" `Quick test_sendfile_cpu_advantage;
+    Alcotest.test_case "shared payload freed exactly once" `Quick
+      test_shared_payload_freed_once;
   ]
