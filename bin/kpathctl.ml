@@ -7,7 +7,8 @@
      kpathctl table1 [--ops N] [--natural] CPU availability rows
      kpathctl table2 [--size-mb N]         throughput rows
      kpathctl relay  [--datagrams N]       UDP relay comparison
-     kpathctl graph  [--clients N] ...     splice-graph fan-out *)
+     kpathctl graph  [--clients N] ...     splice-graph fan-out
+     kpathctl prog   FILE                  verify + disassemble a filter program *)
 
 open Cmdliner
 open Kpath_kernel
@@ -57,6 +58,29 @@ let engine_arg =
            ~doc:"Event-queue backend: heap (binary heap) or wheel \
                  (hierarchical timing wheel). The simulation is identical \
                  either way; only host speed differs.")
+
+let vm_backend_conv =
+  let parse = function
+    | "interp" -> Ok `Interp
+    | "compiled" -> Ok `Compiled
+    | s ->
+      Error (`Msg (Printf.sprintf "unknown backend %S (interp|compiled)" s))
+  in
+  let print fmt b =
+    Format.pp_print_string fmt
+      (match b with `Interp -> "interp" | `Compiled -> "compiled")
+  in
+  Arg.conv (parse, print)
+
+let vm_backend_arg =
+  Arg.(value
+       & opt vm_backend_conv Config.decstation_5000_200.Config.vm_backend
+       & info [ "vm-backend" ] ~docv:"BACKEND"
+           ~doc:"Filter-program execution backend: compiled \
+                 (closure-compiled at load time, the default) or interp \
+                 (the reference interpreter). Verdicts, emits and simulated \
+                 cost are identical either way; only host wall-clock \
+                 differs.")
 
 let config_with_cluster max_cluster sim_engine =
   if max_cluster < 1 then begin
@@ -339,7 +363,7 @@ let graph_cmd =
                    with filter and trace options.")
   in
   let run clients size_kb bandwidth window throttle checksum prog trace domains
-      engine =
+      engine vm_backend =
     let usage_error msg =
       Format.eprintf "kpathctl: %s@." msg;
       exit 124
@@ -379,7 +403,7 @@ let graph_cmd =
     in
     let filters = if filters = [] then None else Some filters in
     let machine_config =
-      { Config.decstation_5000_200 with Config.sim_engine = engine }
+      { Config.decstation_5000_200 with Config.sim_engine = engine; vm_backend }
     in
     (match domains with
      | Some k ->
@@ -430,8 +454,12 @@ let graph_cmd =
       r.Experiments.fo_seconds r.Experiments.fo_device_reads
       r.Experiments.fo_server_cpu_sec r.Experiments.fo_verified;
     if Option.is_some prog then
-      Format.printf "filter program: %d runs, %d instructions interpreted@."
-        r.Experiments.fo_prog_runs r.Experiments.fo_prog_insns;
+      Format.printf "filter program: %d runs, %d instructions executed (%s \
+                     backend)@."
+        r.Experiments.fo_prog_runs r.Experiments.fo_prog_insns
+        (match vm_backend with
+         | `Interp -> "interp"
+         | `Compiled -> "compiled");
     if r.Experiments.fo_pinned_after <> 0 then
       Format.printf "WARNING: %d buffers still pinned after completion@."
         r.Experiments.fo_pinned_after
@@ -441,7 +469,68 @@ let graph_cmd =
        ~doc:"Stream one file to N TCP clients through a splice graph (fan-out).")
     Term.(const run $ clients_arg $ size_kb_arg $ bandwidth_arg $ window_arg
           $ throttle_arg $ checksum_arg $ prog_arg $ trace_arg $ domains_arg
-          $ engine_arg)
+          $ engine_arg $ vm_backend_arg)
+
+(* prog *)
+
+let prog_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"Filter program source to verify and disassemble.")
+  in
+  let run path =
+    let fail fmt =
+      Format.kasprintf
+        (fun msg ->
+          Format.eprintf "kpathctl: %s@." msg;
+          exit 124)
+        fmt
+    in
+    let text =
+      try
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with Sys_error msg -> fail "cannot read program: %s" msg
+    in
+    match Kpath_vm.Asm.load text with
+    | Error diag -> fail "%s: %s" path diag
+    | Ok p ->
+      let insns = Kpath_vm.Vm.insns p in
+      let code = Kpath_vm.Compile.compile p in
+      let bs = Kpath_vm.Compile.blocks code in
+      Format.printf "%s: verified, context %s@." path
+        (match Kpath_vm.Vm.prog_context p with
+         | Kpath_vm.Vm.Edge -> "edge"
+         | Kpath_vm.Vm.Readonly -> "readonly");
+      Format.printf
+        "%d instructions, worst_cost %d <= fuel %d, scratch %d cells, %d \
+         basic blocks@."
+        (Array.length insns)
+        (Kpath_vm.Vm.worst_cost p)
+        (Kpath_vm.Vm.fuel p)
+        (Kpath_vm.Vm.scratch_cells p)
+        (Array.length bs);
+      Array.iteri
+        (fun b { Kpath_vm.Compile.bb_first; bb_last } ->
+          Format.printf "b%d:@." b;
+          for pc = bb_first to bb_last do
+            Format.printf "  %4d: %s@." pc
+              (Kpath_vm.Asm.insn_to_string ~pc insns.(pc))
+          done)
+        bs
+  in
+  Cmd.v
+    (Cmd.info "prog"
+       ~doc:"Verify and disassemble a filter program without running it: \
+             static cost against its fuel budget, scratch footprint and the \
+             basic-block structure the closure compiler found. A rejected \
+             program prints the violated rule and instruction offset and \
+             exits 124, exactly as graph --prog would.")
+    Term.(const run $ file_arg)
 
 (* sendfile *)
 
@@ -475,4 +564,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ info_cmd; copy_cmd; cluster_cmd; table1_cmd; table2_cmd; relay_cmd;
-            media_cmd; graph_cmd; sendfile_cmd ]))
+            media_cmd; graph_cmd; prog_cmd; sendfile_cmd ]))

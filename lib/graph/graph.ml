@@ -6,6 +6,7 @@ open Kpath_net
 open Kpath_proc
 open Kpath_core
 module Vm = Kpath_vm.Vm
+module Vm_compile = Kpath_vm.Compile
 
 type ctx = {
   engine : Engine.t;
@@ -14,6 +15,11 @@ type ctx = {
   intr : service:Time.span -> (unit -> unit) -> unit;
   handler_cost : Time.span;
   vm_insn_cost : Time.span;
+  vm_backend : [ `Interp | `Compiled ];
+  (* Compiled-code cache, keyed by program identity ([assq]: progs are
+     abstract and may carry no structural equality): one program
+     attached to a thousand edges is compiled once, at load time. *)
+  mutable vm_codes : (Vm.prog * Vm_compile.code) list;
   stats : Stats.t;
   trace : Trace.t option;
   mutable next_graph : int;
@@ -22,7 +28,7 @@ type ctx = {
 }
 
 let make_ctx ~engine ~callout ~cache ~intr ?(handler_cost = Time.us 25)
-    ?(vm_insn_cost = Time.ns 100) ?trace () =
+    ?(vm_insn_cost = Time.ns 100) ?(vm_backend = `Compiled) ?trace () =
   {
     engine;
     callout;
@@ -30,12 +36,27 @@ let make_ctx ~engine ~callout ~cache ~intr ?(handler_cost = Time.us 25)
     intr;
     handler_cost;
     vm_insn_cost;
+    vm_backend;
+    vm_codes = [];
     stats = Stats.create ();
     trace;
     next_graph = 1;
     next_node = 1;
     next_edge = 1;
   }
+
+let prog_code ctx p =
+  match List.assq_opt p ctx.vm_codes with
+  | Some code -> code
+  | None ->
+    let code = Vm_compile.compile p in
+    ctx.vm_codes <- (p, code) :: ctx.vm_codes;
+    code
+
+let preload_prog ctx p =
+  match ctx.vm_backend with
+  | `Compiled -> ignore (prog_code ctx p : Vm_compile.code)
+  | `Interp -> ()
 
 let ctx_stats ctx = ctx.stats
 
@@ -68,11 +89,19 @@ type filter =
    comparing [filter] values: [Tee] carries a closure, so polymorphic
    equality over [filter] is a crash hazard (see kpath-verify's
    poly-compare rule). *)
+type prog_inst = {
+  pi_prog : Vm.prog;
+  (* Backend-resolved runner over the edge's private state, with the
+     edge's emit sink already bound — built once at connect, so the
+     per-block hot path allocates no closures. *)
+  pi_run : data:bytes -> len:int -> lblk:int -> Vm.run;
+}
+
 type ifilter =
   | F_checksum
   | F_throttle of float
   | F_tee of (bytes -> int -> unit)
-  | F_prog of Vm.prog * Vm.state
+  | F_prog of prog_inst
 
 (* One source block in flight: read done, shared by every outgoing edge
    that still owes an unpin. *)
@@ -132,7 +161,10 @@ and edge = {
   e_id : int;
   e_src : source;
   e_sink : sink;
-  e_filters : ifilter list;
+  (* Mutable only for construction: [connect] builds the edge first so
+     each [Prog] stage's emit sink can capture it, then fills this in
+     before the edge is ever visible. *)
+  mutable e_filters : ifilter list;
   e_has_checksum : bool;  (* a Checksum or Prog stage feeds e_checksum *)
   e_config : Flowctl.config;
   mutable e_dst_base : int;  (* fan-in: base block within sk_map *)
@@ -272,6 +304,31 @@ let add_sink t spec =
   t.g_sinks <- sk :: t.g_sinks;
   N_sink sk
 
+(* Instantiate a [Prog] stage on edge [e]: resolve the context's VM
+   backend (compiling through the shared cache on first sight of the
+   program), give the edge its private machine state, and bind the emit
+   sink once. Key 0 is the checksum convention — folded into the edge
+   checksum exactly like the built-in stage; other keys are kept as
+   per-edge observations ({!edge_emits}). *)
+let make_prog_inst ctx e p =
+  let emit k v =
+    if k = 0 then e.e_checksum <- (e.e_checksum lxor v) land 0xffffffff
+    else e.e_kvs <- (k, v) :: e.e_kvs
+  in
+  let run =
+    match ctx.vm_backend with
+    | `Interp ->
+      (* Fresh state per edge: scratch must not be shared even when the
+         same filter list is passed to several connects. *)
+      let st = Vm.new_state p in
+      fun ~data ~len ~lblk -> Vm.exec p st ~data ~len ~lblk ~emit
+    | `Compiled ->
+      let code = prog_code ctx p in
+      let st = Vm_compile.new_state code in
+      fun ~data ~len ~lblk -> Vm_compile.exec code st ~data ~len ~lblk ~emit
+  in
+  { pi_prog = p; pi_run = run }
+
 let connect t ?(config = Flowctl.default) ?(filters = []) ~src ~dst () =
   if t.started then invalid_arg "Graph.connect: graph already started";
   let sn, sk =
@@ -281,33 +338,24 @@ let connect t ?(config = Flowctl.default) ?(filters = []) ~src ~dst () =
   in
   if Hashtbl.mem t.g_conns (sn.sn_id, sk.sk_id) then
     invalid_arg "Graph.connect: edge already exists";
-  let ifilters =
-    List.map
-      (function
-        | Throttle rate ->
-          if rate <= 0.0 then
-            invalid_arg "Graph.connect: throttle rate must be positive";
-          F_throttle rate
-        | Checksum -> F_checksum
-        | Tee fn -> F_tee fn
-        | Prog p ->
-          (* Fresh state per edge: scratch must not be shared even when
-             the same filter list is passed to several connects. *)
-          F_prog (p, Vm.new_state p))
-      filters
-  in
+  List.iter
+    (function
+      | Throttle rate when rate <= 0.0 ->
+        invalid_arg "Graph.connect: throttle rate must be positive"
+      | _ -> ())
+    filters;
   let e =
     {
       e_id = t.ctx.next_edge;
       e_src = sn;
       e_sink = sk;
-      e_filters = ifilters;
+      e_filters = [];
       e_has_checksum =
         List.exists
           (function
-            | F_checksum | F_prog _ -> true
-            | F_throttle _ | F_tee _ -> false)
-          ifilters;
+            | Checksum | Prog _ -> true
+            | Throttle _ | Tee _ -> false)
+          filters;
       e_config = config;
       e_dst_base = 0;
       e_writes = 0;
@@ -320,6 +368,14 @@ let connect t ?(config = Flowctl.default) ?(filters = []) ~src ~dst () =
       e_state = Active;
     }
   in
+  e.e_filters <-
+    List.map
+      (function
+        | Throttle rate -> F_throttle rate
+        | Checksum -> F_checksum
+        | Tee fn -> F_tee fn
+        | Prog p -> F_prog (make_prog_inst t.ctx e p))
+      filters;
   t.ctx.next_edge <- e.e_id + 1;
   Hashtbl.add t.g_conns (sn.sn_id, sk.sk_id) ();
   sn.sn_edges <- e :: sn.sn_edges;
@@ -659,26 +715,20 @@ and[@kpath.intr] apply_filters t (e : edge) (blk : block) ~data filters =
             (Engine.schedule t.ctx.engine ~at:slot (fun () ->
                  apply_filters t e blk ~data rest))
         else apply_filters t e blk ~data rest
-      | F_prog (p, st) -> run_prog t e blk ~data p st rest)
+      | F_prog pi -> run_prog t e blk ~data pi rest)
 
-(* Run a verified filter program over one block. Pass continues down
-   the stage pipeline (with the program's output payload); the other
-   three verdicts end it: Drop settles the block undelivered, Redirect
-   hands the payload to a sibling edge's sink (accounting stays on this
-   edge), Fault kills the edge like any other edge error. *)
-and[@kpath.intr] run_prog t (e : edge) (blk : block) ~data p st rest =
-  let r =
-    Vm.exec p st ~data ~len:blk.blk_bytes ~lblk:blk.blk_lblk
-      ~emit:(fun k v ->
-        (* Key 0 is the checksum convention: folded into the edge
-           checksum exactly like the built-in stage. Other keys are
-           kept as per-edge observations ({!edge_emits}). *)
-        if k = 0 then e.e_checksum <- (e.e_checksum lxor v) land 0xffffffff
-        else e.e_kvs <- (k, v) :: e.e_kvs)
-  in
+(* Run a verified filter program over one block. The backend and the
+   emit sink were resolved at connect ({!make_prog_inst}), so this is
+   one indirect call per block. Pass continues down the stage pipeline
+   (with the program's output payload); the other three verdicts end
+   it: Drop settles the block undelivered, Redirect hands the payload
+   to a sibling edge's sink (accounting stays on this edge), Fault
+   kills the edge like any other edge error. *)
+and[@kpath.intr] run_prog t (e : edge) (blk : block) ~data pi rest =
+  let r = pi.pi_run ~data ~len:blk.blk_bytes ~lblk:blk.blk_lblk in
   count t.ctx "graph.prog_runs";
   Stats.add (Stats.counter t.ctx.stats "graph.prog_insns") r.Vm.r_steps;
-  (* Interpreted instructions are kernel CPU: charge them to the
+  (* Executed instructions are kernel CPU: charge them to the
      interrupt bucket on top of the per-stage handler activation. *)
   if r.Vm.r_steps > 0 then
     t.ctx.intr ~service:(Time.scale t.ctx.vm_insn_cost r.Vm.r_steps)

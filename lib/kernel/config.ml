@@ -11,6 +11,8 @@ type t = {
   udp_proto_cost : Time.span;
   page_fault_cost : Time.span;
   callout_tick : Time.span;
+  vm_insn_cost : Time.span;
+  vm_backend : [ `Interp | `Compiled ];
   sim_engine : Engine.backend;
   copy_rate : float;
   block_size : int;
@@ -32,6 +34,14 @@ let decstation_5000_200 =
     udp_proto_cost = Time.us 120;
     page_fault_cost = Time.us 500;
     callout_tick = Time.ms 1;
+    (* One dispatched filter-program instruction: a handful of R3000
+       cycles. Charged per r_steps whichever backend executes the
+       program, so the simulated timeline is backend-independent. *)
+    vm_insn_cost = Time.ns 100;
+    (* Closure-compiled programs are the default; `Interp keeps the
+       direct interpreter (same verdicts, emits and step counts —
+       bit-identical simulation, slower host). *)
+    vm_backend = `Compiled;
     (* The timing-wheel event queue is observationally identical to the
        binary heap; it is the default because thousand-client sweeps
        are an order of magnitude faster on it. *)
@@ -68,6 +78,7 @@ let scaled c ~cpu_factor =
     splice_setup_per_block = scale_span cpu_factor c.splice_setup_per_block;
     udp_proto_cost = scale_span cpu_factor c.udp_proto_cost;
     page_fault_cost = scale_span cpu_factor c.page_fault_cost;
+    vm_insn_cost = scale_span cpu_factor c.vm_insn_cost;
     copy_rate = c.copy_rate *. cpu_factor;
   }
 

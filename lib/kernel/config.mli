@@ -27,6 +27,17 @@ type t = {
       (** trap + PTE handling per page fault, excluding any disk I/O
           (500 us — §7's memory-mapped alternative pays this per page) *)
   callout_tick : Time.span;  (** callout list clock period (1 ms) *)
+  vm_insn_cost : Time.span;
+      (** CPU charged per executed filter-program instruction
+          ([r_steps]), whatever backend ran it (100 ns — a handful of
+          R3000 cycles per dispatched bytecode) *)
+  vm_backend : [ `Interp | `Compiled ];
+      (** how splice-graph [Prog] filter stages execute: [`Compiled]
+          (the default) runs closures compiled from the verified
+          bytecode at load time, [`Interp] the direct interpreter.
+          Observationally identical — same verdicts, emits, step counts
+          and therefore the same simulated timeline; the compiled
+          backend only reduces host wall-clock per block *)
   sim_engine : Engine.backend;
       (** event-queue implementation backing the simulation ([`Wheel]:
           hierarchical timing wheel keyed on [callout_tick]; [`Heap]:

@@ -531,11 +531,17 @@ let splice_graph env ~srcs ~dsts ?config ?filters ?window size =
    here, in process context, so the interrupt-side pump can run it
    unchecked. The source is copied in like any user buffer; the
    verification pass itself is a single linear scan, charged as part of
-   the trap. *)
+   the trap. Under the compiled VM backend the accepted program is also
+   translated to closures here — load time, process context — so the
+   first block through an edge pays nothing. *)
 let prog_load env text =
   enter env;
   copy_cpu env (String.length text);
-  Kpath_vm.Asm.load text
+  match Kpath_vm.Asm.load text with
+  | Ok p as ok ->
+    Graph.preload_prog (Machine.graph_ctx env.machine) p;
+    ok
+  | Error _ as e -> e
 
 (* {1 Signals and timers} *)
 

@@ -150,6 +150,41 @@ let operand = function
   | Vm.Reg r -> Printf.sprintf "r%d" r
   | Vm.Imm k -> string_of_int k
 
+let insn_to_string ~pc (i : Vm.insn) =
+  let two m a b = Printf.sprintf "%s %s, %s" m a b in
+  let jump m r o off =
+    Printf.sprintf "%s r%d, %s, -> %d" m r (operand o) (pc + off)
+  in
+  match i with
+  | Mov (r, o) -> two "mov" (operand (Reg r)) (operand o)
+  | Add (r, o) -> two "add" (operand (Reg r)) (operand o)
+  | Sub (r, o) -> two "sub" (operand (Reg r)) (operand o)
+  | Mul (r, o) -> two "mul" (operand (Reg r)) (operand o)
+  | Div (r, o) -> two "div" (operand (Reg r)) (operand o)
+  | Rem (r, o) -> two "rem" (operand (Reg r)) (operand o)
+  | And (r, o) -> two "and" (operand (Reg r)) (operand o)
+  | Or (r, o) -> two "or" (operand (Reg r)) (operand o)
+  | Xor (r, o) -> two "xor" (operand (Reg r)) (operand o)
+  | Shl (r, o) -> two "shl" (operand (Reg r)) (operand o)
+  | Shr (r, o) -> two "shr" (operand (Reg r)) (operand o)
+  | Len r -> Printf.sprintf "len r%d" r
+  | Blkno r -> Printf.sprintf "blkno r%d" r
+  | Ldp (r, o) -> two "ldp" (operand (Reg r)) (operand o)
+  | Stp (a, b) -> two "stp" (operand a) (operand b)
+  | Lds (r, off) -> two "lds" (operand (Reg r)) (string_of_int off)
+  | Sts (off, o) -> two "sts" (string_of_int off) (operand o)
+  | Jmp off -> Printf.sprintf "jmp -> %d" (pc + off)
+  | Jeq (r, o, off) -> jump "jeq" r o off
+  | Jne (r, o, off) -> jump "jne" r o off
+  | Jlt (r, o, off) -> jump "jlt" r o off
+  | Jge (r, o, off) -> jump "jge" r o off
+  | Loop (o, cap) -> two "loop" (operand o) (string_of_int cap)
+  | End -> "end"
+  | Emit (a, b) -> two "emit" (operand a) (operand b)
+  | Drop -> "drop"
+  | Redirect o -> Printf.sprintf "redirect %s" (operand o)
+  | Ret -> "ret"
+
 let print p =
   let code = Vm.insns p in
   let n = Array.length code in

@@ -40,6 +40,12 @@ val load : string -> (Vm.prog, string) result
 (** {!parse} then {!Vm.verify}; verifier rejections are rendered with
     {!Vm.diag_to_string}. *)
 
+val insn_to_string : pc:int -> Vm.insn -> string
+(** One instruction as listing text — mnemonic and operands, jump
+    targets rendered as the absolute pc they resolve to (what
+    [kpathctl prog] prints next to each pc). Unlike {!print} this is
+    for display, not for reassembly. *)
+
 val print : Vm.prog -> string
 (** Disassemble to source text that {!load} accepts and that assembles
     back to the same instruction sequence (generated labels [LN]). *)

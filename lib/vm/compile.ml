@@ -1,0 +1,965 @@
+(* Closure-compiling backend: verified bytecode -> OCaml closures, one
+   per basic block, built once at load time. See compile.mli for the
+   equivalence contract with the interpreter.
+
+   Execution is direct-threaded: every block closure tail-calls its
+   successor, so a run is one OCaml call chain with no dispatch loop.
+   That is safe because the verifier only admits forward jumps — the
+   single back-edge kind is [End] returning to its loop body, and that
+   is bounded by the loop book (plus a defensive fuel check). Register,
+   scratch and loop-book indices were range-checked by the verifier, so
+   the compiled code uses unchecked array accesses; only payload
+   offsets are runtime values and keep their bounds checks (they must
+   fault, bit-identically to the interpreter). *)
+
+type state = {
+  c_regs : int array;
+  c_scratch : int array;
+  (* Loop books indexed by *static* nesting depth: the verifier proves
+     jumps never cross a loop boundary, so the interpreter's dynamic
+     loop stack always mirrors the static nesting and no runtime depth
+     counter is needed. *)
+  c_lleft : int array;
+  mutable c_data : bytes;  (* the shared input buffer, this run *)
+  mutable c_cur : bytes;  (* input, or the private copy after a Stp *)
+  mutable c_copied : bool;
+  mutable c_len : int;
+  mutable c_lblk : int;
+  mutable c_emit : int -> int -> unit;
+  mutable c_steps : int;
+  mutable c_verdict : Vm.verdict;
+}
+
+type block_bounds = { bb_first : int; bb_last : int }
+
+(* A block closure advances the machine and tail-calls the next block;
+   it returns only when the program halts, verdict left in
+   [c_verdict]. *)
+type code = {
+  k_prog : Vm.prog;
+  k_entry : state -> unit;
+  k_bounds : block_bounds array;
+}
+
+let no_emit (_ : int) (_ : int) = ()
+
+let halt (_ : state) = ()
+
+(* Register-resident byte-scan fold, the target of the loop-idiom
+   recognition below: folds [cur.(k .. hi)] into [h] with the
+   multiplicative hash step. Self tail call, every operand in a host
+   register — the accumulator never round-trips through the register
+   array inside the scan. *)
+let rec hash_fold cur hi k h v m =
+  if k > hi then h
+  else
+    hash_fold cur hi (k + 1)
+      (((h lxor Char.code (Bytes.unsafe_get cur k)) * v) land m)
+      v m
+
+let is_terminator : Vm.insn -> bool = function
+  | Vm.Jmp _ | Vm.Jeq _ | Vm.Jne _ | Vm.Jlt _ | Vm.Jge _ | Vm.Loop _
+  | Vm.End | Vm.Drop | Vm.Redirect _ | Vm.Ret ->
+    true
+  | _ -> false
+
+let[@kpath.intr] compile p =
+  let insns = Vm.insns p in
+  let n = Array.length insns in
+  let fuel = Vm.fuel p in
+  (* Loop structure. The program passed the verifier, so Loop/End pairs
+     are matched and nest within max_loop_depth; rebuild the matching
+     here instead of widening Vm's interface. *)
+  let end_of = Array.make (max n 1) (-1) in
+  let loop_of_end = Array.make (max n 1) (-1) in
+  let depth_of = Array.make (max n 1) 0 in
+  let stack = ref [] in
+  for pc = 0 to n - 1 do
+    match insns.(pc) with
+    | Vm.Loop _ ->
+      depth_of.(pc) <- List.length !stack;
+      stack := pc :: !stack
+    | Vm.End -> (
+      match !stack with
+      | lp :: rest ->
+        end_of.(lp) <- pc;
+        loop_of_end.(pc) <- lp;
+        stack := rest
+      | [] -> assert false (* verified: matched pairs *))
+    | _ -> ()
+  done;
+  (match !stack with [] -> () | _ :: _ -> assert false);
+  (* Leaders: pc 0, every jump target and every fallthrough out of a
+     terminator. Loop bodies and loop exits are jump targets of the
+     Loop/End edges. *)
+  let leader = Array.make (max n 1) false in
+  if n > 0 then leader.(0) <- true;
+  let mark pc = if pc < n then leader.(pc) <- true in
+  for pc = 0 to n - 1 do
+    match insns.(pc) with
+    | Vm.Jmp off -> mark (pc + off); mark (pc + 1)
+    | Vm.Jeq (_, _, off) | Vm.Jne (_, _, off) | Vm.Jlt (_, _, off)
+    | Vm.Jge (_, _, off) ->
+      mark (pc + off);
+      mark (pc + 1)
+    | Vm.Loop _ ->
+      mark (pc + 1);
+      mark (end_of.(pc) + 1)
+    | Vm.End | Vm.Drop | Vm.Redirect _ | Vm.Ret -> mark (pc + 1)
+    | _ -> ()
+  done;
+  let blk_of_pc = Array.make (max n 1) (-1) in
+  let nblocks = ref 0 in
+  for pc = 0 to n - 1 do
+    if leader.(pc) then begin
+      blk_of_pc.(pc) <- !nblocks;
+      incr nblocks
+    end
+  done;
+  let bounds = Array.make (max !nblocks 1) { bb_first = 0; bb_last = 0 } in
+  let bi = ref 0 in
+  for pc = 0 to n - 1 do
+    if leader.(pc) then begin
+      let last = ref pc in
+      while !last + 1 < n && not leader.(!last + 1) do
+        incr last
+      done;
+      bounds.(!bi) <- { bb_first = pc; bb_last = !last };
+      incr bi
+    end
+  done;
+  let funs = Array.make (max !nblocks 1) halt in
+  (* Blocks are compiled bottom-up, so a forward control edge resolves
+     to the successor's closure right here at compile time; only the
+     End back-edge reads [funs] at runtime (its body block sits above
+     it). A target past the program end halts with a Pass verdict. *)
+  let target pc = if pc >= n then halt else funs.(blk_of_pc.(pc)) in
+  (* One straight-line instruction at [pc], [j] instructions into its
+     block, chained to the rest of the block by [next]. Operands are
+     resolved here, at compile time: each shape gets its own closure
+     with the register index or immediate baked in. Steps are batched
+     at the block terminator, so only the faulting exits account their
+     partial progress via [fault_steps] ([j + 1] instructions ran, the
+     faulting one included — exactly the interpreter's counter at the
+     raise; inside a fused loop the batched pre-charge is unwound
+     first). *)
+  let step ~fault_steps pc j (next : state -> unit) : state -> unit =
+    let bump = j + 1 in
+    match insns.(pc) with
+    | Vm.Mov (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs s);
+        next st
+    | Vm.Mov (r, Imm v) ->
+      fun st ->
+        Array.unsafe_set st.c_regs r v;
+        next st
+    | Vm.Add (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r + Array.unsafe_get regs s);
+        next st
+    | Vm.Add (r, Imm v) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r + v);
+        next st
+    | Vm.Sub (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r - Array.unsafe_get regs s);
+        next st
+    | Vm.Sub (r, Imm v) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r - v);
+        next st
+    | Vm.Mul (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r * Array.unsafe_get regs s);
+        next st
+    | Vm.Mul (r, Imm v) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r * v);
+        next st
+    | Vm.Div (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        let d = Array.unsafe_get regs s in
+        if d = 0 then begin
+          fault_steps bump st;
+          Vm.fault "division by zero at pc %d" pc
+        end;
+        Array.unsafe_set regs r (Array.unsafe_get regs r / d);
+        next st
+    | Vm.Div (r, Imm v) ->
+      (* The verifier rejected constant zero divisors. *)
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r / v);
+        next st
+    | Vm.Rem (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        let d = Array.unsafe_get regs s in
+        if d = 0 then begin
+          fault_steps bump st;
+          Vm.fault "division by zero at pc %d" pc
+        end;
+        Array.unsafe_set regs r (Array.unsafe_get regs r mod d);
+        next st
+    | Vm.Rem (r, Imm v) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r mod v);
+        next st
+    | Vm.And (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r land Array.unsafe_get regs s);
+        next st
+    | Vm.And (r, Imm v) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r land v);
+        next st
+    | Vm.Or (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r lor Array.unsafe_get regs s);
+        next st
+    | Vm.Or (r, Imm v) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r lor v);
+        next st
+    | Vm.Xor (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r lxor Array.unsafe_get regs s);
+        next st
+    | Vm.Xor (r, Imm v) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r lxor v);
+        next st
+    | Vm.Shl (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r lsl (Array.unsafe_get regs s land 63));
+        next st
+    | Vm.Shl (r, Imm v) ->
+      let sh = v land 63 in
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r lsl sh);
+        next st
+    | Vm.Shr (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r lsr (Array.unsafe_get regs s land 63));
+        next st
+    | Vm.Shr (r, Imm v) ->
+      let sh = v land 63 in
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r lsr sh);
+        next st
+    | Vm.Len r ->
+      fun st ->
+        Array.unsafe_set st.c_regs r st.c_len;
+        next st
+    | Vm.Blkno r ->
+      fun st ->
+        Array.unsafe_set st.c_regs r st.c_lblk;
+        next st
+    | Vm.Ldp (r, o) ->
+      (* Cold path out of line; the hot path keeps the bounds test and
+         the byte load inline with no helper call. *)
+      let oob st off =
+        fault_steps bump st;
+        Vm.fault "payload load at %d outside %d bytes (pc %d)" off st.c_len
+          pc
+      in
+      (match o with
+       | Reg s ->
+         fun st ->
+           let regs = st.c_regs in
+           let off = Array.unsafe_get regs s in
+           if off < 0 || off >= st.c_len then oob st off;
+           Array.unsafe_set regs r (Char.code (Bytes.unsafe_get st.c_cur off));
+           next st
+       | Imm v ->
+         fun st ->
+           if v < 0 || v >= st.c_len then oob st v;
+           Array.unsafe_set st.c_regs r
+             (Char.code (Bytes.unsafe_get st.c_cur v));
+           next st)
+    | Vm.Stp (o_off, o_v) ->
+      let oob st off =
+        fault_steps bump st;
+        Vm.fault "payload store at %d outside %d bytes (pc %d)" off st.c_len
+          pc
+      in
+      (* Copy on write: the input buffer is aliased across edges. *)
+      let cow st =
+        st.c_cur <- Bytes.copy st.c_data;
+        st.c_copied <- true
+      in
+      (match (o_off, o_v) with
+       | Reg a, Reg b ->
+         fun st ->
+           let regs = st.c_regs in
+           let off = Array.unsafe_get regs a in
+           if off < 0 || off >= st.c_len then oob st off;
+           if not st.c_copied then cow st;
+           Bytes.unsafe_set st.c_cur off
+             (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+           next st
+       | Reg a, Imm v ->
+         let b = Char.unsafe_chr (v land 0xff) in
+         fun st ->
+           let off = Array.unsafe_get st.c_regs a in
+           if off < 0 || off >= st.c_len then oob st off;
+           if not st.c_copied then cow st;
+           Bytes.unsafe_set st.c_cur off b;
+           next st
+       | Imm o, Reg b ->
+         fun st ->
+           if o < 0 || o >= st.c_len then oob st o;
+           if not st.c_copied then cow st;
+           Bytes.unsafe_set st.c_cur o
+             (Char.unsafe_chr (Array.unsafe_get st.c_regs b land 0xff));
+           next st
+       | Imm o, Imm v ->
+         let b = Char.unsafe_chr (v land 0xff) in
+         fun st ->
+           if o < 0 || o >= st.c_len then oob st o;
+           if not st.c_copied then cow st;
+           Bytes.unsafe_set st.c_cur o b;
+           next st)
+    | Vm.Lds (r, off) ->
+      fun st ->
+        Array.unsafe_set st.c_regs r (Array.unsafe_get st.c_scratch off);
+        next st
+    | Vm.Sts (off, Reg s) ->
+      fun st ->
+        Array.unsafe_set st.c_scratch off (Array.unsafe_get st.c_regs s);
+        next st
+    | Vm.Sts (off, Imm v) ->
+      fun st ->
+        Array.unsafe_set st.c_scratch off v;
+        next st
+    | Vm.Emit (ok, ov) -> (
+      match (ok, ov) with
+      | Reg a, Reg b ->
+        fun st ->
+          let regs = st.c_regs in
+          st.c_emit (Array.unsafe_get regs a) (Array.unsafe_get regs b);
+          next st
+      | Reg a, Imm v ->
+        fun st ->
+          st.c_emit (Array.unsafe_get st.c_regs a) v;
+          next st
+      | Imm k, Reg b ->
+        fun st ->
+          st.c_emit k (Array.unsafe_get st.c_regs b);
+          next st
+      | Imm k, Imm v ->
+        fun st ->
+          st.c_emit k v;
+          next st)
+    | Vm.Jmp _ | Vm.Jeq _ | Vm.Jne _ | Vm.Jlt _ | Vm.Jge _ | Vm.Loop _
+    | Vm.End | Vm.Drop | Vm.Redirect _ | Vm.Ret ->
+      assert false (* terminators are compiled by [term] *)
+  in
+  let plain_fault_steps bump st = st.c_steps <- st.c_steps + bump in
+  (* Curated superinstructions: adjacent pairs that dominate fold and
+     mask loop bodies (byte load + fold, mix + mask, mask + counter
+     bump, store + counter bump) compile to one closure holding the
+     literal concatenation of the two instruction bodies. Loads and
+     stores keep their exact order, so the composition is correct for
+     any register aliasing — the only thing removed is the indirect
+     call between the two. Pairs that can fault put the payload
+     instruction first, so the fault charge is [j + 1] as usual. *)
+  let step2 ~fault_steps pc j (next : state -> unit) : (state -> unit) option
+      =
+    let bump = j + 1 in
+    match (insns.(pc), insns.(pc + 1)) with
+    | Vm.Ldp (r, Reg s), Vm.Xor (r2, Reg s2) ->
+      let oob st off =
+        fault_steps bump st;
+        Vm.fault "payload load at %d outside %d bytes (pc %d)" off st.c_len
+          pc
+      in
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          let off = Array.unsafe_get regs s in
+          if off < 0 || off >= st.c_len then oob st off;
+          Array.unsafe_set regs r (Char.code (Bytes.unsafe_get st.c_cur off));
+          Array.unsafe_set regs r2
+            (Array.unsafe_get regs r2 lxor Array.unsafe_get regs s2);
+          next st)
+    | Vm.Ldp (r, Reg s), Vm.Xor (r2, Imm v) ->
+      let oob st off =
+        fault_steps bump st;
+        Vm.fault "payload load at %d outside %d bytes (pc %d)" off st.c_len
+          pc
+      in
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          let off = Array.unsafe_get regs s in
+          if off < 0 || off >= st.c_len then oob st off;
+          Array.unsafe_set regs r (Char.code (Bytes.unsafe_get st.c_cur off));
+          Array.unsafe_set regs r2 (Array.unsafe_get regs r2 lxor v);
+          next st)
+    | Vm.Xor (r, Reg s), Vm.Mul (r2, Imm v) ->
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          Array.unsafe_set regs r
+            (Array.unsafe_get regs r lxor Array.unsafe_get regs s);
+          Array.unsafe_set regs r2 (Array.unsafe_get regs r2 * v);
+          next st)
+    | Vm.Mul (r, Imm v), Vm.And (r2, Imm m) ->
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          Array.unsafe_set regs r (Array.unsafe_get regs r * v);
+          Array.unsafe_set regs r2 (Array.unsafe_get regs r2 land m);
+          next st)
+    | Vm.And (r, Imm m), Vm.Add (r2, Imm v) ->
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          Array.unsafe_set regs r (Array.unsafe_get regs r land m);
+          Array.unsafe_set regs r2 (Array.unsafe_get regs r2 + v);
+          next st)
+    | Vm.Add (r, Imm v), Vm.Add (r2, Imm v2) ->
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          Array.unsafe_set regs r (Array.unsafe_get regs r + v);
+          Array.unsafe_set regs r2 (Array.unsafe_get regs r2 + v2);
+          next st)
+    | Vm.Stp (Reg a, Reg b), Vm.Add (r, Imm v) ->
+      let oob st off =
+        fault_steps bump st;
+        Vm.fault "payload store at %d outside %d bytes (pc %d)" off st.c_len
+          pc
+      in
+      let cow st =
+        st.c_cur <- Bytes.copy st.c_data;
+        st.c_copied <- true
+      in
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          let off = Array.unsafe_get regs a in
+          if off < 0 || off >= st.c_len then oob st off;
+          if not st.c_copied then cow st;
+          Bytes.unsafe_set st.c_cur off
+            (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+          Array.unsafe_set regs r (Array.unsafe_get regs r + v);
+          next st)
+    | _ -> None
+  in
+  (* One curated triple on top of the pairs: byte load + fold + mix is
+     the opening of every multiplicative hash loop (FNV, tee-hash). *)
+  let step3 ~fault_steps pc j (next : state -> unit) : (state -> unit) option
+      =
+    let bump = j + 1 in
+    match (insns.(pc), insns.(pc + 1), insns.(pc + 2)) with
+    | Vm.Ldp (r, Reg s), Vm.Xor (r2, Reg s2), Vm.Mul (r3, Imm v) ->
+      let oob st off =
+        fault_steps bump st;
+        Vm.fault "payload load at %d outside %d bytes (pc %d)" off st.c_len
+          pc
+      in
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          let off = Array.unsafe_get regs s in
+          if off < 0 || off >= st.c_len then oob st off;
+          Array.unsafe_set regs r (Char.code (Bytes.unsafe_get st.c_cur off));
+          Array.unsafe_set regs r2
+            (Array.unsafe_get regs r2 lxor Array.unsafe_get regs s2);
+          Array.unsafe_set regs r3 (Array.unsafe_get regs r3 * v);
+          next st)
+    | Vm.Ldp (r, Reg s), Vm.Xor (r2, Imm v2), Vm.Mul (r3, Imm v) ->
+      let oob st off =
+        fault_steps bump st;
+        Vm.fault "payload load at %d outside %d bytes (pc %d)" off st.c_len
+          pc
+      in
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          let off = Array.unsafe_get regs s in
+          if off < 0 || off >= st.c_len then oob st off;
+          Array.unsafe_set regs r (Char.code (Bytes.unsafe_get st.c_cur off));
+          Array.unsafe_set regs r2 (Array.unsafe_get regs r2 lxor v2);
+          Array.unsafe_set regs r3 (Array.unsafe_get regs r3 * v);
+          next st)
+    | _ -> None
+  in
+  (* Fused-tail pairs: the last two instructions of a fused loop body,
+     one closure, no continuation call at all. *)
+  let tail_step2 ~fault_steps pc j : (state -> unit) option =
+    let bump = j + 1 in
+    match (insns.(pc), insns.(pc + 1)) with
+    | Vm.And (r, Imm m), Vm.Add (r2, Imm v) ->
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          Array.unsafe_set regs r (Array.unsafe_get regs r land m);
+          Array.unsafe_set regs r2 (Array.unsafe_get regs r2 + v))
+    | Vm.Mul (r, Imm v), Vm.And (r2, Imm m) ->
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          Array.unsafe_set regs r (Array.unsafe_get regs r * v);
+          Array.unsafe_set regs r2 (Array.unsafe_get regs r2 land m))
+    | Vm.Add (r, Imm v), Vm.Add (r2, Imm v2) ->
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          Array.unsafe_set regs r (Array.unsafe_get regs r + v);
+          Array.unsafe_set regs r2 (Array.unsafe_get regs r2 + v2))
+    | Vm.Stp (Reg a, Reg b), Vm.Add (r, Imm v) ->
+      let oob st off =
+        fault_steps bump st;
+        Vm.fault "payload store at %d outside %d bytes (pc %d)" off st.c_len
+          pc
+      in
+      let cow st =
+        st.c_cur <- Bytes.copy st.c_data;
+        st.c_copied <- true
+      in
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          let off = Array.unsafe_get regs a in
+          if off < 0 || off >= st.c_len then oob st off;
+          if not st.c_copied then cow st;
+          Bytes.unsafe_set st.c_cur off
+            (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+          Array.unsafe_set regs r (Array.unsafe_get regs r + v))
+    | _ -> None
+  in
+  (* The last instruction of a fused loop body: same arms as [step] for
+     the common fault-free shapes, but with no continuation — the
+     fused-loop driver owns control, so the chain should just return
+     instead of paying an indirect call into [halt] every iteration.
+     Rarer shapes fall back to the chained form. *)
+  let tail_step ~fault_steps pc j : state -> unit =
+    match insns.(pc) with
+    | Vm.Mov (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs s)
+    | Vm.Mov (r, Imm v) -> fun st -> Array.unsafe_set st.c_regs r v
+    | Vm.Add (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs r + Array.unsafe_get regs s)
+    | Vm.Add (r, Imm v) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r + v)
+    | Vm.Sub (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs r - Array.unsafe_get regs s)
+    | Vm.Sub (r, Imm v) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r - v)
+    | Vm.Mul (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs r * Array.unsafe_get regs s)
+    | Vm.Mul (r, Imm v) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r * v)
+    | Vm.And (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs r land Array.unsafe_get regs s)
+    | Vm.And (r, Imm v) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r land v)
+    | Vm.Or (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs r lor Array.unsafe_get regs s)
+    | Vm.Or (r, Imm v) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r lor v)
+    | Vm.Xor (r, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs r lxor Array.unsafe_get regs s)
+    | Vm.Xor (r, Imm v) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r lxor v)
+    | Vm.Shl (r, Imm v) ->
+      let sh = v land 63 in
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r lsl sh)
+    | Vm.Shr (r, Imm v) ->
+      let sh = v land 63 in
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r (Array.unsafe_get regs r lsr sh)
+    | Vm.Len r -> fun st -> Array.unsafe_set st.c_regs r st.c_len
+    | Vm.Blkno r -> fun st -> Array.unsafe_set st.c_regs r st.c_lblk
+    | Vm.Lds (r, off) ->
+      fun st ->
+        Array.unsafe_set st.c_regs r (Array.unsafe_get st.c_scratch off)
+    | Vm.Sts (off, Reg s) ->
+      fun st ->
+        Array.unsafe_set st.c_scratch off (Array.unsafe_get st.c_regs s)
+    | Vm.Sts (off, Imm v) ->
+      fun st -> Array.unsafe_set st.c_scratch off v
+    | _ -> step ~fault_steps pc j halt
+  in
+  (* A loop whose whole body (through its End) is a single basic block
+     runs a known number of instructions per iteration, so the Loop
+     terminator fuses it into a counted for-loop: the step charge for
+     all iterations is batched up front, the loop book only tracks the
+     remaining count for fault unwinding, and no block dispatch happens
+     per iteration. [body_nb] counts the body instructions plus the
+     End. A fault [j] instructions into iteration with [i] remaining
+     must read as if only the completed iterations were charged:
+     subtract [i * body_nb], add [j + 1]. *)
+  let fused_body lp end_pc =
+    let d = depth_of.(lp) in
+    let body_nb = end_pc - lp in
+    let fault_steps bump st =
+      st.c_steps <-
+        st.c_steps + bump - (Array.unsafe_get st.c_lleft d * body_nb)
+    in
+    let rec build pc =
+      let j = pc - (lp + 1) in
+      if pc > end_pc - 1 then halt
+      else if pc = end_pc - 1 then tail_step ~fault_steps pc j
+      else if pc = end_pc - 2 then
+        match tail_step2 ~fault_steps pc j with
+        | Some f -> f
+        | None -> (
+          match step2 ~fault_steps pc j (build (pc + 2)) with
+          | Some f -> f
+          | None -> step ~fault_steps pc j (build (pc + 1)))
+      else
+        match step3 ~fault_steps pc j (build (pc + 3)) with
+        | Some f -> f
+        | None -> (
+          match step2 ~fault_steps pc j (build (pc + 2)) with
+          | Some f -> f
+          | None -> step ~fault_steps pc j (build (pc + 1)))
+    in
+    (d, body_nb, build (lp + 1))
+  in
+  (* The terminator of the block [first..last]: batch the whole block's
+     step count ([nb] instructions all executed by the time control
+     leaves), then tail-call the successor block. *)
+  let term first last : state -> unit =
+    let nb = last - first + 1 in
+    match insns.(last) with
+    | Vm.Jmp off ->
+      let t = target (last + off) in
+      fun st ->
+        st.c_steps <- st.c_steps + nb;
+        t st
+    | Vm.Jeq (r, o, off) ->
+      let tt = target (last + off) and tf = target (last + 1) in
+      (match o with
+       | Reg s ->
+         fun st ->
+           st.c_steps <- st.c_steps + nb;
+           let regs = st.c_regs in
+           if Array.unsafe_get regs r = Array.unsafe_get regs s then tt st
+           else tf st
+       | Imm v ->
+         fun st ->
+           st.c_steps <- st.c_steps + nb;
+           if Array.unsafe_get st.c_regs r = v then tt st else tf st)
+    | Vm.Jne (r, o, off) ->
+      let tt = target (last + off) and tf = target (last + 1) in
+      (match o with
+       | Reg s ->
+         fun st ->
+           st.c_steps <- st.c_steps + nb;
+           let regs = st.c_regs in
+           if Array.unsafe_get regs r <> Array.unsafe_get regs s then tt st
+           else tf st
+       | Imm v ->
+         fun st ->
+           st.c_steps <- st.c_steps + nb;
+           if Array.unsafe_get st.c_regs r <> v then tt st else tf st)
+    | Vm.Jlt (r, o, off) ->
+      let tt = target (last + off) and tf = target (last + 1) in
+      (match o with
+       | Reg s ->
+         fun st ->
+           st.c_steps <- st.c_steps + nb;
+           let regs = st.c_regs in
+           if Array.unsafe_get regs r < Array.unsafe_get regs s then tt st
+           else tf st
+       | Imm v ->
+         fun st ->
+           st.c_steps <- st.c_steps + nb;
+           if Array.unsafe_get st.c_regs r < v then tt st else tf st)
+    | Vm.Jge (r, o, off) ->
+      let tt = target (last + off) and tf = target (last + 1) in
+      (match o with
+       | Reg s ->
+         fun st ->
+           st.c_steps <- st.c_steps + nb;
+           let regs = st.c_regs in
+           if Array.unsafe_get regs r >= Array.unsafe_get regs s then tt st
+           else tf st
+       | Imm v ->
+         fun st ->
+           st.c_steps <- st.c_steps + nb;
+           if Array.unsafe_get st.c_regs r >= v then tt st else tf st)
+    | Vm.Loop (o, cap) ->
+      let lp = last in
+      let end_pc = end_of.(lp) in
+      let exit_ = target (end_pc + 1) in
+      let body_blk = blk_of_pc.(lp + 1) in
+      let fusable =
+        bounds.(body_blk).bb_first = lp + 1
+        && bounds.(body_blk).bb_last = end_pc
+      in
+      if fusable then begin
+        let d, body_nb, body = fused_body lp end_pc in
+        let iterate st c =
+          st.c_steps <- st.c_steps + (c * body_nb);
+          let ll = st.c_lleft in
+          for i = c downto 1 do
+            Array.unsafe_set ll d i;
+            body st
+          done
+        in
+        (* Loop-idiom recognition: a body that is exactly the byte-scan
+           multiplicative fold — load the byte at the counter register,
+           fold it into an accumulator, mix, mask, bump the counter —
+           reads offsets [i .. i+c-1], so a single entry test proves
+           the whole loop fault-free and the scan runs with the
+           accumulator in a host register ([hash_fold]). Final register
+           effects are reproduced exactly: byte register holds the last
+           byte, accumulator the fold, counter [i + c]. Anything the
+           entry test cannot prove (or any other shape) takes the
+           generic fused path, which faults bit-identically to the
+           interpreter. *)
+        let idiom =
+          if end_pc = lp + 6 then
+            match
+              ( insns.(lp + 1),
+                insns.(lp + 2),
+                insns.(lp + 3),
+                insns.(lp + 4),
+                insns.(lp + 5) )
+            with
+            | ( Vm.Ldp (r, Reg s),
+                Vm.Xor (h, Reg s2),
+                Vm.Mul (h2, Imm v),
+                Vm.And (h3, Imm m),
+                Vm.Add (i, Imm 1) )
+              when s2 = r && h2 = h && h3 = h && i = s && r <> h && r <> s
+                   && h <> s ->
+              Some (r, s, h, v, m)
+            | _ -> None
+          else None
+        in
+        let run_body =
+          match idiom with
+          | Some (r, s, h, v, m) ->
+            fun st c ->
+              let regs = st.c_regs in
+              let i0 = Array.unsafe_get regs s in
+              if i0 >= 0 && c <= st.c_len - i0 then begin
+                st.c_steps <- st.c_steps + (c * body_nb);
+                let last = i0 + c - 1 in
+                Array.unsafe_set regs h
+                  (hash_fold st.c_cur last i0 (Array.unsafe_get regs h) v m);
+                Array.unsafe_set regs r
+                  (Char.code (Bytes.unsafe_get st.c_cur last));
+                Array.unsafe_set regs s (i0 + c)
+              end
+              else iterate st c
+          | None -> iterate
+        in
+        match o with
+        | Reg s ->
+          fun st ->
+            st.c_steps <- st.c_steps + nb;
+            let c = Array.unsafe_get st.c_regs s in
+            let c = if c < 0 then 0 else if c > cap then cap else c in
+            if c = 0 then exit_ st
+            else begin
+              run_body st c;
+              exit_ st
+            end
+        | Imm v ->
+          let c = min (max v 0) cap in
+          if c = 0 then
+            fun st ->
+              st.c_steps <- st.c_steps + nb;
+              exit_ st
+          else
+            fun st ->
+              st.c_steps <- st.c_steps + nb;
+              run_body st c;
+              exit_ st
+      end
+      else begin
+        let d = depth_of.(lp) in
+        let body = target (lp + 1) in
+        match o with
+        | Reg s ->
+          fun st ->
+            st.c_steps <- st.c_steps + nb;
+            let c = Array.unsafe_get st.c_regs s in
+            let c = if c < 0 then 0 else if c > cap then cap else c in
+            if c = 0 then exit_ st
+            else begin
+              Array.unsafe_set st.c_lleft d c;
+              body st
+            end
+        | Imm v ->
+          let c = min (max v 0) cap in
+          if c = 0 then
+            fun st ->
+              st.c_steps <- st.c_steps + nb;
+              exit_ st
+          else
+            fun st ->
+              st.c_steps <- st.c_steps + nb;
+              Array.unsafe_set st.c_lleft d c;
+              body st
+      end
+    | Vm.End ->
+      (* Only reached when its loop was not fused (multi-block body).
+         The body block sits above this one, so the back-edge goes
+         through [funs] at runtime; it carries the one defensive fuel
+         check — the verifier proved worst-case cost <= fuel, so
+         compiled code cannot trip it. *)
+      let lp = loop_of_end.(last) in
+      let d = depth_of.(lp) in
+      let body_blk = blk_of_pc.(lp + 1) in
+      let out = target (last + 1) in
+      fun st ->
+        st.c_steps <- st.c_steps + nb;
+        let v = Array.unsafe_get st.c_lleft d - 1 in
+        Array.unsafe_set st.c_lleft d v;
+        if v > 0 then begin
+          if st.c_steps > fuel then Vm.fault "fuel exhausted";
+          (Array.unsafe_get funs body_blk) st
+        end
+        else out st
+    | Vm.Drop ->
+      fun st ->
+        st.c_steps <- st.c_steps + nb;
+        st.c_verdict <- Vm.Drop
+    | Vm.Redirect (Reg s) ->
+      fun st ->
+        st.c_steps <- st.c_steps + nb;
+        st.c_verdict <- Vm.Redirect (Array.unsafe_get st.c_regs s)
+    | Vm.Redirect (Imm v) ->
+      let verdict = Vm.Redirect v in
+      fun st ->
+        st.c_steps <- st.c_steps + nb;
+        st.c_verdict <- verdict
+    | Vm.Ret -> fun st -> st.c_steps <- st.c_steps + nb
+    | _ ->
+      (* Straight-line last instruction: the block falls through into
+         the next leader (or off the end of the program). *)
+      let t = target (last + 1) in
+      fun st ->
+        st.c_steps <- st.c_steps + nb;
+        t st
+  in
+  let compile_block first last : state -> unit =
+    let straight_hi = if is_terminator insns.(last) then last - 1 else last in
+    let tail = term first last in
+    let rec build pc =
+      if pc > straight_hi then tail
+      else if pc < straight_hi then
+        match
+          step2 ~fault_steps:plain_fault_steps pc (pc - first) (build (pc + 2))
+        with
+        | Some f -> f
+        | None ->
+          step ~fault_steps:plain_fault_steps pc (pc - first) (build (pc + 1))
+      else
+        step ~fault_steps:plain_fault_steps pc (pc - first) (build (pc + 1))
+    in
+    build first
+  in
+  for b = !nblocks - 1 downto 0 do
+    funs.(b) <- compile_block bounds.(b).bb_first bounds.(b).bb_last
+  done;
+  {
+    k_prog = p;
+    k_entry = (if n = 0 then halt else funs.(0));
+    k_bounds = (if n = 0 then [||] else Array.sub bounds 0 !nblocks);
+  }
+
+let prog k = k.k_prog
+
+let blocks k = Array.copy k.k_bounds
+
+let new_state k =
+  {
+    c_regs = Array.make Vm.max_regs 0;
+    c_scratch = Array.make (max (Vm.scratch_cells k.k_prog) 1) 0;
+    c_lleft = Array.make Vm.max_loop_depth 0;
+    c_data = Bytes.empty;
+    c_cur = Bytes.empty;
+    c_copied = false;
+    c_len = 0;
+    c_lblk = 0;
+    c_emit = no_emit;
+    c_steps = 0;
+    c_verdict = Vm.Pass;
+  }
+
+let[@kpath.intr] exec k st ~data ~len ~lblk ~emit =
+  Array.fill st.c_regs 0 Vm.max_regs 0;
+  st.c_data <- data;
+  st.c_cur <- data;
+  st.c_copied <- false;
+  st.c_len <- len;
+  st.c_lblk <- lblk;
+  st.c_emit <- emit;
+  st.c_steps <- 0;
+  st.c_verdict <- Vm.Pass;
+  (try k.k_entry st with Vm.Fault_exn m -> st.c_verdict <- Vm.Fault m);
+  let r =
+    { Vm.r_verdict = st.c_verdict; r_steps = st.c_steps; r_data = st.c_cur }
+  in
+  (* Do not retain the block buffer (or a caller's emit closure) past
+     the run: the buffer cache recycles aggressively. *)
+  st.c_data <- Bytes.empty;
+  st.c_cur <- Bytes.empty;
+  st.c_emit <- no_emit;
+  r

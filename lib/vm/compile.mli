@@ -1,0 +1,93 @@
+(** Closure-compiling backend for verified filter programs.
+
+    {!Vm.exec} pays a dispatch — a fuel check, two counter bumps, a
+    27-way match and an operand decode — for every executed
+    instruction. This module removes it by translating verified
+    bytecode to OCaml closures {e once, at load time}: a leader
+    analysis splits the program into basic blocks (jump targets and
+    the [Loop]/[End] structure start blocks; jumps, loop edges and
+    verdicts end them), each straight-line instruction becomes a
+    closure with its operands resolved at compile time (register index
+    or immediate baked in), and the closures of a block are chained by
+    direct continuation calls. Executing a block costs one indirect
+    call per instruction and a single batched step-count update;
+    blocks tail-call their successors (the verifier admits only
+    forward jumps, so the one back-edge is [End] returning to its loop
+    body), so compiled code needs no dispatch loop and no host stack
+    depth proportional to the program. A loop whose whole body is a
+    single basic block is fused further into a counted host loop with
+    its step charge batched across iterations — the interpreter's
+    per-iteration bookkeeping survives only in the loop book an
+    in-body fault uses to unwind the batched charge. On top of that
+    sits one loop-idiom pass: a fused body that is exactly the
+    byte-scan multiplicative fold (load byte at the counter, fold,
+    mix, mask, bump the counter — the FNV/tee-hash shape) reads a
+    contiguous offset range, so a single entry test proves the whole
+    loop fault-free and it runs as a register-resident tail-recursive
+    scan; anything the test cannot prove falls back to the generic
+    fused path and faults bit-identically. Register, scratch
+    and loop-book indices were range-checked by the verifier and
+    compile to unchecked accesses; payload offsets are runtime values
+    and keep their checks.
+
+    The trusted surface is unchanged: {!compile} consumes only
+    {!Vm.prog} values, which exist only by passing {!Vm.verify} — the
+    compiler relies on the verifier's invariants (matched [Loop]/[End]
+    nesting, jumps that stay inside their loop region, static scratch
+    bounds, non-zero immediate divisors) rather than re-checking them,
+    exactly as the interpreter does. Runtime payload bounds and
+    register divisors are still checked per access and fault with the
+    interpreter's byte-identical messages.
+
+    Observational equivalence is exact, not approximate: for every
+    verified program, payload and per-edge state, {!exec} returns the
+    same {!Vm.run} as {!Vm.exec} — same verdict, same [r_steps] (so
+    per-instruction CPU accounting and the simulated timeline are
+    bit-identical), same emit sequence, same payload bytes, and the
+    same physical-identity contract on [r_data] (the input buffer
+    itself unless a [Stp] forced the copy-on-write clone). The test
+    suite enforces this over the fixture corpus, the canned samples
+    and randomized programs ([vm-parity]). *)
+
+type code
+(** A compiled program: one closure per basic block plus the metadata
+    to account steps exactly like the interpreter. Immutable and
+    shareable — attach one [code] to any number of edges, each with
+    its own {!state}. *)
+
+val compile : Vm.prog -> code
+(** Translate a verified program. Load-time cost is linear in the
+    program; running it allocates nothing beyond what the interpreter
+    allocates (the copy-on-write clone on the first [Stp] and the
+    {!Vm.run} record). *)
+
+val prog : code -> Vm.prog
+(** The verified program this code was compiled from. *)
+
+type block_bounds = { bb_first : int; bb_last : int }
+(** One basic block: instructions [bb_first .. bb_last] inclusive. *)
+
+val blocks : code -> block_bounds array
+(** The basic blocks found by the leader analysis, in program order —
+    what [kpathctl prog] prints next to the disassembly. *)
+
+type state
+(** Mutable per-attachment state: scratch arena (persists across
+    blocks), register file and loop books, all preallocated so a run
+    does not allocate. One [state] per edge; never share across
+    edges. *)
+
+val new_state : code -> state
+
+val exec :
+  code ->
+  state ->
+  data:bytes ->
+  len:int ->
+  lblk:int ->
+  emit:(int -> int -> unit) ->
+  Vm.run
+(** Run the compiled program over one block, with {!Vm.exec}'s exact
+    contract (registers zeroed per run, scratch persistent, [data]
+    never mutated, synchronous [emit]). Interrupt-safe: compiled
+    closures perform no I/O, no blocking and no allocation. *)

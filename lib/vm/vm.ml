@@ -274,7 +274,12 @@ exception Fault_exn of string
 
 let fault fmt = Printf.ksprintf (fun m -> raise (Fault_exn m)) fmt
 
-let exec p st ~data ~len ~lblk ~emit =
+(* Operand decode, hoisted out of [exec]: defining it inside the run
+   captured [regs] and allocated a closure per block, which shows up
+   once a fan-out pushes millions of blocks through an edge program. *)
+let[@inline] ev regs = function Reg r -> regs.(r) | Imm k -> k
+
+let[@kpath.intr] exec p st ~data ~len ~lblk ~emit =
   let code = p.p_insns in
   let n = Array.length code in
   let regs = st.st_regs in
@@ -288,7 +293,6 @@ let exec p st ~data ~len ~lblk ~emit =
   let copied = ref false in
   let pc = ref 0 in
   let verdict = ref Pass in
-  let ev = function Reg r -> regs.(r) | Imm k -> k in
   (try
      while !pc < n do
        (* Defense in depth: the verifier proved p_cost <= p_fuel, so a
@@ -299,32 +303,32 @@ let exec p st ~data ~len ~lblk ~emit =
        let here = !pc in
        incr pc;
        match code.(here) with
-       | Mov (r, o) -> regs.(r) <- ev o
-       | Add (r, o) -> regs.(r) <- regs.(r) + ev o
-       | Sub (r, o) -> regs.(r) <- regs.(r) - ev o
-       | Mul (r, o) -> regs.(r) <- regs.(r) * ev o
+       | Mov (r, o) -> regs.(r) <- ev regs o
+       | Add (r, o) -> regs.(r) <- regs.(r) + ev regs o
+       | Sub (r, o) -> regs.(r) <- regs.(r) - ev regs o
+       | Mul (r, o) -> regs.(r) <- regs.(r) * ev regs o
        | Div (r, o) ->
-         let d = ev o in
+         let d = ev regs o in
          if d = 0 then fault "division by zero at pc %d" here;
          regs.(r) <- regs.(r) / d
        | Rem (r, o) ->
-         let d = ev o in
+         let d = ev regs o in
          if d = 0 then fault "division by zero at pc %d" here;
          regs.(r) <- regs.(r) mod d
-       | And (r, o) -> regs.(r) <- regs.(r) land ev o
-       | Or (r, o) -> regs.(r) <- regs.(r) lor ev o
-       | Xor (r, o) -> regs.(r) <- regs.(r) lxor ev o
-       | Shl (r, o) -> regs.(r) <- regs.(r) lsl (ev o land 63)
-       | Shr (r, o) -> regs.(r) <- regs.(r) lsr (ev o land 63)
+       | And (r, o) -> regs.(r) <- regs.(r) land ev regs o
+       | Or (r, o) -> regs.(r) <- regs.(r) lor ev regs o
+       | Xor (r, o) -> regs.(r) <- regs.(r) lxor ev regs o
+       | Shl (r, o) -> regs.(r) <- regs.(r) lsl (ev regs o land 63)
+       | Shr (r, o) -> regs.(r) <- regs.(r) lsr (ev regs o land 63)
        | Len r -> regs.(r) <- len
        | Blkno r -> regs.(r) <- lblk
        | Ldp (r, o) ->
-         let off = ev o in
+         let off = ev regs o in
          if off < 0 || off >= len then
            fault "payload load at %d outside %d bytes (pc %d)" off len here;
          regs.(r) <- Char.code (Bytes.unsafe_get !cur off)
        | Stp (o_off, o_v) ->
-         let off = ev o_off in
+         let off = ev regs o_off in
          if off < 0 || off >= len then
            fault "payload store at %d outside %d bytes (pc %d)" off len here;
          if not !copied then begin
@@ -332,16 +336,16 @@ let exec p st ~data ~len ~lblk ~emit =
            cur := Bytes.copy data;
            copied := true
          end;
-         Bytes.unsafe_set !cur off (Char.unsafe_chr (ev o_v land 0xff))
+         Bytes.unsafe_set !cur off (Char.unsafe_chr (ev regs o_v land 0xff))
        | Lds (r, off) -> regs.(r) <- scratch.(off)
-       | Sts (off, o) -> scratch.(off) <- ev o
+       | Sts (off, o) -> scratch.(off) <- ev regs o
        | Jmp off -> pc := here + off
-       | Jeq (r, o, off) -> if regs.(r) = ev o then pc := here + off
-       | Jne (r, o, off) -> if regs.(r) <> ev o then pc := here + off
-       | Jlt (r, o, off) -> if regs.(r) < ev o then pc := here + off
-       | Jge (r, o, off) -> if regs.(r) >= ev o then pc := here + off
+       | Jeq (r, o, off) -> if regs.(r) = ev regs o then pc := here + off
+       | Jne (r, o, off) -> if regs.(r) <> ev regs o then pc := here + off
+       | Jlt (r, o, off) -> if regs.(r) < ev regs o then pc := here + off
+       | Jge (r, o, off) -> if regs.(r) >= ev regs o then pc := here + off
        | Loop (count, cap) ->
-         let c = min (max (ev count) 0) cap in
+         let c = min (max (ev regs count) 0) cap in
          if c = 0 then pc := p.p_end_of.(here) + 1
          else begin
            lstart.(!depth) <- !pc;
@@ -353,12 +357,12 @@ let exec p st ~data ~len ~lblk ~emit =
          let d = !depth - 1 in
          lleft.(d) <- lleft.(d) - 1;
          if lleft.(d) > 0 then pc := lstart.(d) else depth := d
-       | Emit (ok, ov) -> emit (ev ok) (ev ov)
+       | Emit (ok, ov) -> emit (ev regs ok) (ev regs ov)
        | Drop ->
          verdict := (Drop : verdict);
          pc := n
        | Redirect o ->
-         verdict := (Redirect (ev o) : verdict);
+         verdict := (Redirect (ev regs o) : verdict);
          pc := n
        | Ret -> pc := n
      done

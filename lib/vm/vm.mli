@@ -189,3 +189,16 @@ val exec :
     zeroed per run; scratch persists. [emit k v] is called
     synchronously for each [Emit]. Deterministic: same program, state,
     and block give the same result. *)
+
+(** {1 Backend support}
+
+    Shared with {!Compile}, the closure-compiling backend, so both
+    backends fault with byte-identical reasons. Not for general use:
+    raising [Fault_exn] anywhere else bypasses the run accounting. *)
+
+exception Fault_exn of string
+(** Raised internally on a runtime fault (payload bounds, zero register
+    divisor); caught by [exec] and turned into a [Fault] verdict. *)
+
+val fault : ('a, unit, string, 'b) format4 -> 'a
+(** [fault fmt ...] raises {!Fault_exn} with the formatted reason. *)

@@ -272,7 +272,7 @@ type prog_row = {
   pr_kb_per_sec : float;
   pr_cpu_sec : float;  (** simulated CPU the whole copy consumed *)
   pr_runs : int;  (** program invocations (one per block) *)
-  pr_insns : int;  (** bytecode instructions interpreted *)
+  pr_insns : int;  (** bytecode instructions executed (either backend) *)
   pr_checksum : int option;  (** the edge checksum, if the stage feeds one *)
   pr_verified : bool;
   pr_events : int;
@@ -289,18 +289,21 @@ val measure_prog :
     | `Prog of string * Kpath_vm.Vm.prog list ]
   ->
   ?machine_config:Config.t ->
+  ?vm_backend:[ `Interp | `Compiled ] ->
   unit ->
   prog_row
 (** One cold file-to-file splice-graph copy whose single edge carries
     the given stage: nothing, the built-in [Checksum], or a chain of
     verified filter programs (labelled for reporting; each program sees
     the previous one's output payload). Comparing a [`Prog] row against
-    [`Plain] prices the interpreter (simulated CPU per block and
+    [`Plain] prices the program machinery (simulated CPU per block and
     instructions per block); comparing its [pr_checksum] against the
     [`Checksum] row's proves the program computed the same function.
     [pr_verified] checks the destination against the {e source} pattern,
     so a transforming chain should compose to the identity (e.g. the
-    same XOR mask applied twice). *)
+    same XOR mask applied twice). [vm_backend] overrides the machine
+    config's program backend; every simulated number is bit-identical
+    between backends — only host wall-clock moves. *)
 
 (** {1 UDP relay (socket-to-socket splice)} *)
 

@@ -22,6 +22,7 @@ let () =
       ("trace", Test_trace.suite);
       ("splice", Test_splice.suite);
       ("vm", Test_vm.suite);
+      ("vm-parity", Test_vm_parity.suite);
       ("graph", Test_graph.suite);
       ("kernel", Test_kernel.suite);
       ("workloads", Test_workloads.suite);

@@ -1,0 +1,352 @@
+(* Differential suite: the closure-compiled VM backend must be
+   observationally identical to the interpreter — same verdict, same
+   r_steps (CPU accounting), same emit sequence, same payload bytes,
+   same copy-on-write identity on r_data — over the canned samples,
+   the fixture ok-corpus, hand-picked fault cases and random accepted
+   programs. CI runs this suite on its own as the vm-backend-parity
+   step. *)
+
+module Vm = Kpath_vm.Vm
+module Compile = Kpath_vm.Compile
+module Asm = Kpath_vm.Asm
+module Samples = Kpath_vm.Samples
+
+let pp_verdict fmt = function
+  | Vm.Pass -> Format.fprintf fmt "Pass"
+  | Vm.Drop -> Format.fprintf fmt "Drop"
+  | Vm.Redirect k -> Format.fprintf fmt "Redirect %d" k
+  | Vm.Fault m -> Format.fprintf fmt "Fault %S" m
+
+let verdict = Alcotest.testable pp_verdict ( = )
+
+(* Run [p] under both backends over the same block sequence (one
+   persistent state each, so scratch carry-over is compared too) and
+   assert every observable of every run matches. [what] names the
+   program in failures. *)
+let assert_parity ?(what = "prog") p blocks =
+  let code = Compile.compile p in
+  let ist = Vm.new_state p and cst = Compile.new_state code in
+  List.iteri
+    (fun i (data, lblk) ->
+      let tag fmt = Printf.ksprintf (fun s -> s) ("%s block %d: " ^^ fmt) what i in
+      let data = Bytes.of_string data in
+      let len = Bytes.length data in
+      let iemits = ref [] and cemits = ref [] in
+      let ir =
+        Vm.exec p ist ~data ~len ~lblk ~emit:(fun k v ->
+            iemits := (k, v) :: !iemits)
+      in
+      let cr =
+        Compile.exec code cst ~data ~len ~lblk ~emit:(fun k v ->
+            cemits := (k, v) :: !cemits)
+      in
+      Alcotest.check verdict (tag "verdict") ir.Vm.r_verdict cr.Vm.r_verdict;
+      Alcotest.(check int) (tag "steps") ir.Vm.r_steps cr.Vm.r_steps;
+      Alcotest.(check (list (pair int int)))
+        (tag "emits") (List.rev !iemits) (List.rev !cemits);
+      Alcotest.(check string)
+        (tag "payload bytes")
+        (Bytes.to_string ir.Vm.r_data)
+        (Bytes.to_string cr.Vm.r_data);
+      (* Copy-on-write contract: both backends either alias the input
+         buffer or both cloned it. *)
+      Alcotest.(check bool)
+        (tag "r_data aliases input")
+        (ir.Vm.r_data == data) (cr.Vm.r_data == data))
+    blocks
+
+let block n seed =
+  String.init n (fun i -> Char.chr ((seed + (i * 31) + (i / 7)) land 0xff))
+
+let standard_blocks =
+  [ (block 512 3, 0); (block 64 91, 1); ("", 2); (block 300 17, 12345) ]
+
+(* {1 Samples and fixtures} *)
+
+let test_samples () =
+  List.iter
+    (fun (what, p) -> assert_parity ~what p standard_blocks)
+    [
+      ("checksum", Samples.checksum ());
+      ("tee_hash", Samples.tee_hash ());
+      ("dropper", Samples.dropper ~modulo:3);
+      ("router", Samples.router ~fanout:4);
+      ("xor_mask", Samples.xor_mask ~key:0x5a);
+      ("oob_probe", Samples.oob_probe ());
+    ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_ok_corpus () =
+  let dir = "vm_fixtures" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".kvm")
+    |> List.sort String.compare
+  in
+  let ran = ref 0 in
+  List.iter
+    (fun f ->
+      match Asm.load (read_file (Filename.concat dir f)) with
+      | Error _ -> ()  (* the rejected corpus is test_vm's business *)
+      | Ok p ->
+        incr ran;
+        assert_parity ~what:f p standard_blocks)
+    files;
+  Alcotest.(check bool) "ok-corpus is non-empty" true (!ran >= 2)
+
+(* {1 Fault and verdict corners} *)
+
+let test_fault_parity () =
+  (* Each case must fault with a byte-identical reason and identical
+     partial step count under both backends. *)
+  let cases =
+    [
+      ( "payload load oob",
+        [ Vm.Len 0; Vm.Ldp (1, Reg 0); Vm.Ret ] );
+      ( "payload store oob",
+        [ Vm.Mov (0, Imm (-1)); Vm.Stp (Reg 0, Imm 7); Vm.Ret ] );
+      ( "div by zero",
+        [ Vm.Mov (0, Imm 9); Vm.Mov (1, Imm 0); Vm.Div (0, Reg 1); Vm.Ret ] );
+      ( "rem by zero mid-loop",
+        [
+          Vm.Mov (0, Imm 4);
+          Vm.Mov (1, Imm 2);
+          Vm.Loop (Imm 8, 8);
+          Vm.Sub (1, Imm 1);
+          Vm.Rem (0, Reg 1);
+          Vm.End;
+          Vm.Ret;
+        ] );
+    ]
+  in
+  List.iter
+    (fun (what, insns) ->
+      let spec =
+        { Vm.s_insns = Array.of_list insns; s_fuel = 1000; s_scratch = 0;
+          s_context = Vm.Edge }
+      in
+      match Vm.verify spec with
+      | Error d ->
+        Alcotest.failf "%s: unexpected rejection: %s" what
+          (Vm.diag_to_string d)
+      | Ok p -> assert_parity ~what p standard_blocks)
+    cases
+
+let test_verdict_parity () =
+  let progs =
+    [
+      ("drop", [ (Vm.Drop : Vm.insn) ]);
+      ("redirect reg", [ Vm.Blkno 0; Vm.Rem (0, Imm 3); Vm.Redirect (Reg 0) ]);
+      ("redirect imm", [ Vm.Redirect (Imm 2) ]);
+      ("empty", []);
+      ( "jump skips drop",
+        [ Vm.Len 0; Vm.Jge (0, Imm 1, 2); Vm.Drop; Vm.Ret ] );
+      ( "scratch carries across blocks",
+        [ Vm.Lds (0, 0); Vm.Add (0, Imm 1); Vm.Sts (0, Reg 0);
+          Vm.Emit (Imm 7, Reg 0); Vm.Ret ] );
+    ]
+  in
+  List.iter
+    (fun (what, insns) ->
+      let spec =
+        { Vm.s_insns = Array.of_list insns; s_fuel = 1000; s_scratch = 2;
+          s_context = Vm.Edge }
+      in
+      match Vm.verify spec with
+      | Error d ->
+        Alcotest.failf "%s: unexpected rejection: %s" what
+          (Vm.diag_to_string d)
+      | Ok p -> assert_parity ~what p standard_blocks)
+    progs
+
+let test_fold_idiom () =
+  (* The compiler recognizes the byte-scan multiplicative fold and runs
+     it register-resident behind an entry bounds test. Exercise the
+     fast path (count within bounds, zero and mid-payload starts), the
+     fallback (overruns and negative starts must fault bit-identically
+     mid-loop), and near-miss shapes that must not be specialized. *)
+  let fold ~start ~loop ~body =
+    [ Vm.Len 1; Vm.Mov (2, Imm 0x811c9dc5); Vm.Mov (0, Imm start); loop ]
+    @ body
+    @ [ Vm.End; Vm.Emit (Imm 0, Reg 2); Vm.Emit (Imm 1, Reg 3);
+        Vm.Emit (Imm 2, Reg 0); Vm.Ret ]
+  in
+  let fnv_body =
+    [ Vm.Ldp (3, Reg 0); Vm.Xor (2, Reg 3); Vm.Mul (2, Imm 0x01000193);
+      Vm.And (2, Imm 0xffffffff); Vm.Add (0, Imm 1) ]
+  in
+  let cases =
+    [
+      ( "fold whole payload",
+        fold ~start:0 ~loop:(Vm.Loop (Reg 1, 65536)) ~body:fnv_body );
+      ( "fold overruns payload",
+        fold ~start:0 ~loop:(Vm.Loop (Imm 600, 65536)) ~body:fnv_body );
+      ( "fold from mid-payload",
+        fold ~start:100 ~loop:(Vm.Loop (Imm 100, 65536)) ~body:fnv_body );
+      ( "fold from negative offset",
+        fold ~start:(-1) ~loop:(Vm.Loop (Imm 5, 65536)) ~body:fnv_body );
+      ( "near miss: counter is not the offset",
+        fold ~start:0
+          ~loop:(Vm.Loop (Imm 8, 65536))
+          ~body:
+            [ Vm.Ldp (3, Reg 0); Vm.Xor (2, Reg 3);
+              Vm.Mul (2, Imm 0x01000193); Vm.And (2, Imm 0xffffffff);
+              Vm.Add (4, Imm 1) ] );
+      ( "near miss: byte register is the accumulator",
+        fold ~start:0
+          ~loop:(Vm.Loop (Imm 8, 65536))
+          ~body:
+            [ Vm.Ldp (2, Reg 0); Vm.Xor (2, Reg 2);
+              Vm.Mul (2, Imm 0x01000193); Vm.And (2, Imm 0xffffffff);
+              Vm.Add (0, Imm 1) ] );
+    ]
+  in
+  List.iter
+    (fun (what, insns) ->
+      let spec =
+        { Vm.s_insns = Array.of_list insns; s_fuel = Vm.max_fuel;
+          s_scratch = 0; s_context = Vm.Edge }
+      in
+      match Vm.verify spec with
+      | Error d ->
+        Alcotest.failf "%s: unexpected rejection: %s" what
+          (Vm.diag_to_string d)
+      | Ok p -> assert_parity ~what p standard_blocks)
+    cases
+
+(* {1 Basic-block structure} *)
+
+let test_block_structure () =
+  (* Blocks tile the program: contiguous, in order, no gaps. *)
+  List.iter
+    (fun (what, p) ->
+      let code = Compile.compile p in
+      let bs = Compile.blocks code in
+      let n = Array.length (Vm.insns p) in
+      Alcotest.(check bool) (what ^ ": has blocks") true (Array.length bs > 0);
+      Array.iteri
+        (fun i { Compile.bb_first; bb_last } ->
+          if i = 0 then
+            Alcotest.(check int) (what ^ ": starts at 0") 0 bb_first
+          else
+            Alcotest.(check int)
+              (what ^ ": contiguous")
+              (bs.(i - 1).Compile.bb_last + 1)
+              bb_first;
+          Alcotest.(check bool) (what ^ ": ordered") true (bb_last >= bb_first))
+        bs;
+      Alcotest.(check int)
+        (what ^ ": covers program")
+        (n - 1)
+        bs.(Array.length bs - 1).Compile.bb_last)
+    [
+      ("checksum", Samples.checksum ());
+      ("dropper", Samples.dropper ~modulo:2);
+      ("xor_mask", Samples.xor_mask ~key:1);
+    ]
+
+(* {1 Steady-state allocation}
+
+   Both backends must run without per-block allocation: nothing beyond
+   the run record and a handful of words per run, independent of the
+   payload size. A per-byte or per-insn allocation would show up as
+   thousands of words per 4 KB block. *)
+
+let minor_words_per_run exec_once =
+  let runs = 200 in
+  exec_once ();  (* warm up *)
+  let before = Gc.minor_words () in
+  for _ = 1 to runs do
+    exec_once ()
+  done;
+  (Gc.minor_words () -. before) /. float_of_int runs
+
+let test_zero_alloc () =
+  let p = Samples.checksum () in
+  let code = Compile.compile p in
+  let ist = Vm.new_state p and cst = Compile.new_state code in
+  let data = Bytes.make 4096 '\x55' in
+  let emit _ _ = () in
+  let interp () =
+    ignore (Vm.exec p ist ~data ~len:4096 ~lblk:3 ~emit : Vm.run)
+  in
+  let compiled () =
+    ignore (Compile.exec code cst ~data ~len:4096 ~lblk:3 ~emit : Vm.run)
+  in
+  let wi = minor_words_per_run interp in
+  let wc = minor_words_per_run compiled in
+  Alcotest.(check bool)
+    (Printf.sprintf "interpreter allocates O(1) per run (%.1f words)" wi)
+    true (wi < 64.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "compiled allocates O(1) per run (%.1f words)" wc)
+    true (wc < 64.0)
+
+(* {1 Random programs} *)
+
+let prop_differential =
+  QCheck.Test.make ~count:400 ~name:"random accepted programs: backends agree"
+    Test_vm.arb_program (fun (insns, payload) ->
+      let spec =
+        { Vm.s_insns = Array.of_list insns; s_fuel = Vm.max_fuel;
+          s_scratch = 4; s_context = Vm.Edge }
+      in
+      match Vm.verify spec with
+      | Error d ->
+        QCheck.Test.fail_reportf "generator produced a rejected program: %s"
+          (Vm.diag_to_string d)
+      | Ok p ->
+        let code = Compile.compile p in
+        let ist = Vm.new_state p and cst = Compile.new_state code in
+        let check_block data lblk =
+          let len = Bytes.length data in
+          let iemits = ref [] and cemits = ref [] in
+          let ir =
+            Vm.exec p ist ~data ~len ~lblk ~emit:(fun k v ->
+                iemits := (k, v) :: !iemits)
+          in
+          let cr =
+            Compile.exec code cst ~data ~len ~lblk ~emit:(fun k v ->
+                cemits := (k, v) :: !cemits)
+          in
+          if ir.Vm.r_verdict <> cr.Vm.r_verdict then
+            QCheck.Test.fail_reportf "verdicts differ: %s vs %s"
+              (Format.asprintf "%a" pp_verdict ir.Vm.r_verdict)
+              (Format.asprintf "%a" pp_verdict cr.Vm.r_verdict);
+          if ir.Vm.r_steps <> cr.Vm.r_steps then
+            QCheck.Test.fail_reportf "steps differ: %d vs %d" ir.Vm.r_steps
+              cr.Vm.r_steps;
+          if !iemits <> !cemits then
+            QCheck.Test.fail_reportf "emit sequences differ (%d vs %d emits)"
+              (List.length !iemits) (List.length !cemits);
+          if not (Bytes.equal ir.Vm.r_data cr.Vm.r_data) then
+            QCheck.Test.fail_reportf "payloads differ";
+          if ir.Vm.r_data == data && cr.Vm.r_data != data then
+            QCheck.Test.fail_reportf "compiled cloned, interpreter aliased";
+          if ir.Vm.r_data != data && cr.Vm.r_data == data then
+            QCheck.Test.fail_reportf "interpreter cloned, compiled aliased"
+        in
+        (* Two blocks through the same states: scratch carry-over too. *)
+        check_block (Bytes.of_string payload) 7;
+        check_block (Bytes.of_string payload) 8;
+        true)
+
+let suite =
+  [
+    Alcotest.test_case "samples agree under both backends" `Quick test_samples;
+    Alcotest.test_case "fixture ok-corpus agrees" `Quick test_ok_corpus;
+    Alcotest.test_case "fault reasons and steps agree" `Quick test_fault_parity;
+    Alcotest.test_case "verdict corners agree" `Quick test_verdict_parity;
+    Alcotest.test_case "fold idiom: fast path and fallbacks agree" `Quick
+      test_fold_idiom;
+    Alcotest.test_case "basic blocks tile the program" `Quick
+      test_block_structure;
+    Alcotest.test_case "both backends run without per-block allocation" `Quick
+      test_zero_alloc;
+    QCheck_alcotest.to_alcotest prop_differential;
+  ]
