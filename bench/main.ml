@@ -455,6 +455,19 @@ let prog_stages () =
           Kpath_vm.Samples.xor_mask ~key:0x5a;
           Kpath_vm.Samples.xor_mask ~key:0x5a;
         ] );
+    (* Same identity trick for the per-block keystream cipher: two
+       identical xor-streams cancel, so the copy still verifies while
+       each block is transformed twice (scatter/store idiom). *)
+    `Prog
+      ( "prog-xorstream2",
+        [
+          Kpath_vm.Samples.xor_stream ~key:0x6b;
+          Kpath_vm.Samples.xor_stream ~key:0x6b;
+        ] );
+    (* Read-only probes: byte histogram (histogram idiom) and
+       content-defined chunking (rolling-hash idiom). *)
+    `Prog ("prog-histogram", [ Kpath_vm.Samples.histogram () ]);
+    `Prog ("prog-dedup", [ Kpath_vm.Samples.dedup_chunks ~bits:11 ]);
   ]
 
 let prog_backends = [ ("compiled", `Compiled); ("interp", `Interp) ]
@@ -475,12 +488,17 @@ let prog_rows ?(file_bytes = 4 * mb) ?(disks = [ `Ram; `Rz58 ]) () =
           prog_backends ))
     disks
 
-(* VM-only microbench: the FNV checksum program over one 8 KB payload,
-   no simulation around it. The sweep rows below price whole graph
-   copies, where engine events and block pumping swamp the VM's own
-   host cost; this is the number the compiler actually targets. *)
-let vm_micro_ns_per_run ~runs backend =
-  let p = Kpath_vm.Samples.checksum () in
+(* VM-only microbench: one program over one 8 KB payload, no simulation
+   around it. The sweep rows below price whole graph copies, where
+   engine events and block pumping swamp the VM's own host cost; this
+   is the number the compiler actually targets. [`NoIdiom] compiles
+   with the pattern library off — generic fused loops only — which is
+   exactly what each idiom's fallback path runs, so interp/noidiom/
+   compiled is the full tier ladder for a program. *)
+let vm_micro_ns_per_run ?prog ~runs backend =
+  let p =
+    match prog with Some p -> p | None -> Kpath_vm.Samples.checksum ()
+  in
   let data = Bytes.init 8192 (fun i -> Char.chr (i land 0xff)) in
   let emit _ _ = () in
   let run =
@@ -488,8 +506,10 @@ let vm_micro_ns_per_run ~runs backend =
     | `Interp ->
       let st = Kpath_vm.Vm.new_state p in
       fun () -> ignore (Kpath_vm.Vm.exec p st ~data ~len:8192 ~lblk:0 ~emit)
-    | `Compiled ->
-      let code = Kpath_vm.Compile.compile p in
+    | `Compiled | `NoIdiom ->
+      let code =
+        Kpath_vm.Compile.compile ~idioms:(backend = `Compiled) p
+      in
       let st = Kpath_vm.Compile.new_state code in
       fun () ->
         ignore (Kpath_vm.Compile.exec code st ~data ~len:8192 ~lblk:0 ~emit)
@@ -589,6 +609,32 @@ let print_prog_sweep ?(file_bytes = 4 * mb) () =
     "VM-only, FNV checksum over one 8 KB block: interp %.0f ns/run, compiled \
      %.0f ns/run -- %.1fx host speedup\n"
     ni nc (ni /. nc);
+  (* Tier ladder per idiom: interpreter, generic fused loop (the
+     idiom's own fallback path, ~idioms:false), and the recognized
+     idiom. "gain" is generic/idiom -- the value of pattern
+     recognition on top of fusion; "/byte vs fold" compares each
+     idiom's per-byte cost to the byte-scan fold's. *)
+  Printf.printf
+    "VM-only per idiom, one 8 KB block (ns/run):\n%-13s | %9s | %9s | %9s | \
+     %7s | %13s\n"
+    "program" "interp" "generic" "idiom" "gain" "/byte vs fold";
+  let fold_per_byte = ref 0.0 in
+  List.iter
+    (fun (name, p) ->
+      let ni = vm_micro_ns_per_run ~prog:p ~runs `Interp in
+      let ng = vm_micro_ns_per_run ~prog:p ~runs `NoIdiom in
+      let nc = vm_micro_ns_per_run ~prog:p ~runs `Compiled in
+      let per_byte = nc /. 8192.0 in
+      if name = "checksum" then fold_per_byte := per_byte;
+      Printf.printf "%-13s | %9.0f | %9.0f | %9.0f | %6.1fx | %12.2fx\n" name
+        ni ng nc (ng /. nc)
+        (if !fold_per_byte > 0.0 then per_byte /. !fold_per_byte else 0.0))
+    [
+      ("checksum", Kpath_vm.Samples.checksum ());
+      ("xor-stream", Kpath_vm.Samples.xor_stream ~key:0x6b);
+      ("histogram", Kpath_vm.Samples.histogram ());
+      ("dedup-11bit", Kpath_vm.Samples.dedup_chunks ~bits:11);
+    ];
   Printf.printf
     "(us/blk is the simulated CPU the stage adds per 8 KB block over the \
      plain edge; the FNV program\n runs ~6 instructions per payload byte. \
@@ -869,34 +915,43 @@ let sweep_wallclock ?(path = "BENCH_wallclock.json") () =
       backends
   in
   let prog_wc_rows =
+    (* Two VM workloads per engine x backend cell: the fold-idiom
+       checksum and the rolling-hash chunker, so the wall-clock gate
+       watches an idiom from each loop family. *)
+    let workloads =
+      [
+        ("checksum", fun () -> [ Kpath_vm.Samples.checksum () ]);
+        ("dedup", fun () -> [ Kpath_vm.Samples.dedup_chunks ~bits:11 ]);
+      ]
+    in
     List.concat_map
-      (fun (name, backend) ->
-        List.map
-          (fun (vm_name, vm_backend) ->
-            let (r, host, minor, majors), hwm =
-              in_child (fun () ->
-                  let r =
-                    gc_run (fun () ->
-                        Experiments.measure_prog ~disk:`Rz58
-                          ~file_bytes:(8 * mb)
-                          ~stage:
-                            (`Prog
-                              ( "prog-checksum",
-                                [ Kpath_vm.Samples.checksum () ] ))
-                          ~machine_config:(backend_config backend)
-                          ~vm_backend ())
-                  in
-                  (r, vm_hwm_kb ()))
-            in
-            Printf.printf
-              "%-26s | %-5s | %9d | %8.3f | %11.0f | %11.0f | %5d | %9d\n"
-              (Printf.sprintf "prog copy 8 MB rz58 %s" vm_name)
-              name r.Experiments.pr_events host
-              (evps r.Experiments.pr_events host)
-              minor majors hwm;
-            (name, vm_name, r, host, minor, majors, hwm))
-          prog_backends)
-      backends
+      (fun (wname, progs) ->
+        List.concat_map
+          (fun (name, backend) ->
+            List.map
+              (fun (vm_name, vm_backend) ->
+                let (r, host, minor, majors), hwm =
+                  in_child (fun () ->
+                      let r =
+                        gc_run (fun () ->
+                            Experiments.measure_prog ~disk:`Rz58
+                              ~file_bytes:(8 * mb)
+                              ~stage:(`Prog ("prog-" ^ wname, progs ()))
+                              ~machine_config:(backend_config backend)
+                              ~vm_backend ())
+                      in
+                      (r, vm_hwm_kb ()))
+                in
+                Printf.printf
+                  "%-26s | %-5s | %9d | %8.3f | %11.0f | %11.0f | %5d | %9d\n"
+                  (Printf.sprintf "prog %s 8 MB %s" wname vm_name)
+                  name r.Experiments.pr_events host
+                  (evps r.Experiments.pr_events host)
+                  minor majors hwm;
+                (wname, name, vm_name, r, host, minor, majors, hwm))
+              prog_backends)
+          backends)
+      workloads
   in
   let fan_rows =
     List.concat_map
@@ -1011,9 +1066,11 @@ let sweep_wallclock ?(path = "BENCH_wallclock.json") () =
       field false "\"max_rss_kb\": %d" hwm;
       field true "\"verified\": %b" m.Experiments.cm_verified);
   Buffer.add_string buf ",\n  \"prog\": ";
-  objects prog_wc_rows (fun (name, vm_name, r, host, minor, majors, hwm) ->
+  objects prog_wc_rows
+    (fun (wname, name, vm_name, r, host, minor, majors, hwm) ->
       field false "\"engine\": \"%s\"" (json_escape name);
       field false "\"backend\": \"%s\"" (json_escape vm_name);
+      field false "\"workload\": \"%s\"" (json_escape wname);
       field false "\"file_bytes\": %d" (8 * mb);
       field false "\"events\": %d" r.Experiments.pr_events;
       field false "\"host_seconds\": %.4f" host;

@@ -514,9 +514,10 @@ let prog_cmd =
         (Kpath_vm.Vm.fuel p)
         (Kpath_vm.Vm.scratch_cells p)
         (Array.length bs);
+      let tiers = Kpath_vm.Compile.block_tiers code in
       Array.iteri
         (fun b { Kpath_vm.Compile.bb_first; bb_last } ->
-          Format.printf "b%d:@." b;
+          Format.printf "b%d: [%s]@." b tiers.(b);
           for pc = bb_first to bb_last do
             Format.printf "  %4d: %s@." pc
               (Kpath_vm.Asm.insn_to_string ~pc insns.(pc))
@@ -526,10 +527,14 @@ let prog_cmd =
   Cmd.v
     (Cmd.info "prog"
        ~doc:"Verify and disassemble a filter program without running it: \
-             static cost against its fuel budget, scratch footprint and the \
-             basic-block structure the closure compiler found. A rejected \
-             program prints the violated rule and instruction offset and \
-             exits 124, exactly as graph --prog would.")
+             static cost against its fuel budget, scratch footprint, the \
+             basic-block structure the closure compiler found, and per \
+             block the compilation tier that fired (named loop idiom, \
+             fused loop, superinstructions, or plain chained closures) — \
+             so a slow program is diagnosable without reading the \
+             compiler. A rejected program prints the violated rule and \
+             instruction offset and exits 124, exactly as graph --prog \
+             would.")
     Term.(const run $ file_arg)
 
 (* sendfile *)

@@ -109,6 +109,8 @@ let parse text =
       | [ "stp"; a; b ] -> Stp (op a, op b)
       | [ "lds"; a; b ] -> Lds (reg a, imm b)
       | [ "sts"; a; b ] -> Sts (imm a, op b)
+      | [ "ldsx"; a; b ] -> Ldsx (reg a, reg b)
+      | [ "stsx"; a; b ] -> Stsx (reg a, op b)
       | [ "jmp"; l ] -> Jmp (lbl l)
       | [ "jeq"; a; b; l ] -> Jeq (reg a, op b, lbl l)
       | [ "jne"; a; b; l ] -> Jne (reg a, op b, lbl l)
@@ -173,6 +175,8 @@ let insn_to_string ~pc (i : Vm.insn) =
   | Stp (a, b) -> two "stp" (operand a) (operand b)
   | Lds (r, off) -> two "lds" (operand (Reg r)) (string_of_int off)
   | Sts (off, o) -> two "sts" (string_of_int off) (operand o)
+  | Ldsx (r, ri) -> two "ldsx" (operand (Reg r)) (operand (Reg ri))
+  | Stsx (ri, o) -> two "stsx" (operand (Reg ri)) (operand o)
   | Jmp off -> Printf.sprintf "jmp -> %d" (pc + off)
   | Jeq (r, o, off) -> jump "jeq" r o off
   | Jne (r, o, off) -> jump "jne" r o off
@@ -226,6 +230,8 @@ let print p =
       | Stp (a, b) -> two "stp" (operand a) (operand b)
       | Lds (r, off) -> two "lds" (operand (Reg r)) (string_of_int off)
       | Sts (off, o) -> two "sts" (string_of_int off) (operand o)
+      | Ldsx (r, ri) -> two "ldsx" (operand (Reg r)) (operand (Reg ri))
+      | Stsx (ri, o) -> two "stsx" (operand (Reg ri)) (operand o)
       | Jmp off -> line "    jmp %s" (lbl (pc + off))
       | Jeq (r, o, off) ->
         line "    jeq r%d, %s, %s" r (operand o) (lbl (pc + off))

@@ -28,7 +28,9 @@
 
     Mnemonics: [mov add sub mul div rem and or xor shl shr] (reg,
     operand); [len blkno] (reg); [ldp] (reg, operand); [stp] (operand,
-    operand); [lds] (reg, imm); [sts] (imm, operand); [jmp] (label);
+    operand); [lds] (reg, imm); [sts] (imm, operand); [ldsx] (reg,
+    reg); [stsx] (reg, operand) — scratch indexed by a register,
+    masked to the power-of-two arena size; [jmp] (label);
     [jeq jne jlt jge] (reg, operand, label); [loop] (operand, imm);
     [end]; [emit] (operand, operand); [drop]; [redirect] (operand);
     [ret]. *)

@@ -39,6 +39,10 @@ type code = {
   k_prog : Vm.prog;
   k_entry : state -> unit;
   k_bounds : block_bounds array;
+  (* One human-readable note per block: which compilation tier fired
+     (named idiom / fused loop / superinstructions / chained
+     closures). *)
+  k_tiers : string array;
 }
 
 let no_emit (_ : int) (_ : int) = ()
@@ -57,16 +61,98 @@ let rec hash_fold cur hi k h v m =
       (((h lxor Char.code (Bytes.unsafe_get cur k)) * v) land m)
       v m
 
+(* Scatter scans, the target of the scatter/store idiom: transform
+   [cur.(k .. hi)] in place with a scalar mask, returning the last
+   transformed value (the full integer, pre-truncation — that is what
+   the byte register holds after the loop). The caller proved every
+   offset in bounds and forced the copy-on-write clone, so the loop is
+   pure byte traffic. One scan per ALU shape keeps the operator out of
+   the inner loop. *)
+let rec scat_xor cur hi k m v =
+  if k > hi then v
+  else begin
+    let v = Char.code (Bytes.unsafe_get cur k) lxor m in
+    Bytes.unsafe_set cur k (Char.unsafe_chr (v land 0xff));
+    scat_xor cur hi (k + 1) m v
+  end
+
+let rec scat_add cur hi k m v =
+  if k > hi then v
+  else begin
+    let v = Char.code (Bytes.unsafe_get cur k) + m in
+    Bytes.unsafe_set cur k (Char.unsafe_chr (v land 0xff));
+    scat_add cur hi (k + 1) m v
+  end
+
+let rec scat_sub cur hi k m v =
+  if k > hi then v
+  else begin
+    let v = Char.code (Bytes.unsafe_get cur k) - m in
+    Bytes.unsafe_set cur k (Char.unsafe_chr (v land 0xff));
+    scat_sub cur hi (k + 1) m v
+  end
+
+let rec scat_and cur hi k m v =
+  if k > hi then v
+  else begin
+    let v = Char.code (Bytes.unsafe_get cur k) land m in
+    Bytes.unsafe_set cur k (Char.unsafe_chr v);
+    scat_and cur hi (k + 1) m v
+  end
+
+let rec scat_or cur hi k m v =
+  if k > hi then v
+  else begin
+    let v = Char.code (Bytes.unsafe_get cur k) lor m in
+    Bytes.unsafe_set cur k (Char.unsafe_chr (v land 0xff));
+    scat_or cur hi (k + 1) m v
+  end
+
+(* Histogram scan: bump the scratch cell selected by each payload byte.
+   The verifier admitted the indexed stores only over a power-of-two
+   arena, so [land smask] is the whole bounds argument. *)
+let rec hist_scan cur scratch smask hi k =
+  if k <= hi then begin
+    let cell = Char.code (Bytes.unsafe_get cur k) land smask in
+    Array.unsafe_set scratch cell (Array.unsafe_get scratch cell + 1);
+    hist_scan cur scratch smask hi (k + 1)
+  end
+
+(* Rolling-hash scan, the heart of content-defined chunking: fold each
+   byte into the window hash [h <- (h * a + byte) land m] and emit at
+   every chunk boundary [(h land m2) = tv]. Returns the final hash; the
+   per-boundary Emit step charge is accounted here because only the
+   scan knows how many boundaries fired. [vsel] picks the emitted value
+   the way the source program's Emit operand did: 0 the hash, 1 the
+   (already bumped) position, 2 the byte, 3 the boundary register
+   (= [tv] whenever it fires), anything else the immediate [vimm]. *)
+let rec roll_scan st cur hi k h a m m2 tv kimm vsel vimm =
+  if k > hi then h
+  else begin
+    let b = Char.code (Bytes.unsafe_get cur k) in
+    let h = ((h * a) + b) land m in
+    if h land m2 = tv then begin
+      st.c_steps <- st.c_steps + 1;
+      st.c_emit kimm
+        (match vsel with 0 -> h | 1 -> k + 1 | 2 -> b | 3 -> tv | _ -> vimm)
+    end;
+    roll_scan st cur hi (k + 1) h a m m2 tv kimm vsel vimm
+  end
+
 let is_terminator : Vm.insn -> bool = function
   | Vm.Jmp _ | Vm.Jeq _ | Vm.Jne _ | Vm.Jlt _ | Vm.Jge _ | Vm.Loop _
   | Vm.End | Vm.Drop | Vm.Redirect _ | Vm.Ret ->
     true
   | _ -> false
 
-let[@kpath.intr] compile p =
+let[@kpath.intr] compile ?(idioms = true) p =
   let insns = Vm.insns p in
   let n = Array.length insns in
   let fuel = Vm.fuel p in
+  (* Mask for indexed scratch access; only read when the program
+     contains Ldsx/Stsx, in which case the verifier proved the arena a
+     non-empty power of two. *)
+  let smask = Vm.scratch_cells p - 1 in
   (* Loop structure. The program passed the verifier, so Loop/End pairs
      are matched and nest within max_loop_depth; rebuild the matching
      here instead of widening Vm's interface. *)
@@ -129,6 +215,10 @@ let[@kpath.intr] compile p =
     end
   done;
   let funs = Array.make (max !nblocks 1) halt in
+  (* Per-block compilation-tier notes, filled in as blocks compile; the
+     [kpathctl prog] report prints them so a slow program is
+     diagnosable without reading this file. *)
+  let tiers = Array.make (max !nblocks 1) "" in
   (* Blocks are compiled bottom-up, so a forward control edge resolves
      to the successor's closure right here at compile time; only the
      End back-edge reads [funs] at runtime (its body block sits above
@@ -142,8 +232,12 @@ let[@kpath.intr] compile p =
      partial progress via [fault_steps] ([j + 1] instructions ran, the
      faulting one included — exactly the interpreter's counter at the
      raise; inside a fused loop the batched pre-charge is unwound
-     first). *)
-  let step ~fault_steps pc j (next : state -> unit) : state -> unit =
+     first). [assume_copied] is set only for the second body chain of a
+     fused loop whose driver already proved [c_copied]: store arms then
+     skip the copy-on-write test (the bounds test stays — it must fault
+     exactly like the interpreter). *)
+  let step ~fault_steps ~assume_copied pc j (next : state -> unit) :
+      state -> unit =
     let bump = j + 1 in
     match insns.(pc) with
     | Vm.Mov (r, Reg s) ->
@@ -310,6 +404,14 @@ let[@kpath.intr] compile p =
         st.c_copied <- true
       in
       (match (o_off, o_v) with
+       | Reg a, Reg b when assume_copied ->
+         fun st ->
+           let regs = st.c_regs in
+           let off = Array.unsafe_get regs a in
+           if off < 0 || off >= st.c_len then oob st off;
+           Bytes.unsafe_set st.c_cur off
+             (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+           next st
        | Reg a, Reg b ->
          fun st ->
            let regs = st.c_regs in
@@ -318,6 +420,13 @@ let[@kpath.intr] compile p =
            if not st.c_copied then cow st;
            Bytes.unsafe_set st.c_cur off
              (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+           next st
+       | Reg a, Imm v when assume_copied ->
+         let b = Char.unsafe_chr (v land 0xff) in
+         fun st ->
+           let off = Array.unsafe_get st.c_regs a in
+           if off < 0 || off >= st.c_len then oob st off;
+           Bytes.unsafe_set st.c_cur off b;
            next st
        | Reg a, Imm v ->
          let b = Char.unsafe_chr (v land 0xff) in
@@ -353,6 +462,27 @@ let[@kpath.intr] compile p =
       fun st ->
         Array.unsafe_set st.c_scratch off v;
         next st
+    | Vm.Ldsx (r, ri) ->
+      (* Verifier-admitted only over a power-of-two arena: the mask is
+         the bounds proof. *)
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r
+          (Array.unsafe_get st.c_scratch (Array.unsafe_get regs ri land smask));
+        next st
+    | Vm.Stsx (ri, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set st.c_scratch
+          (Array.unsafe_get regs ri land smask)
+          (Array.unsafe_get regs s);
+        next st
+    | Vm.Stsx (ri, Imm v) ->
+      fun st ->
+        Array.unsafe_set st.c_scratch
+          (Array.unsafe_get st.c_regs ri land smask)
+          v;
+        next st
     | Vm.Emit (ok, ov) -> (
       match (ok, ov) with
       | Reg a, Reg b ->
@@ -385,8 +515,8 @@ let[@kpath.intr] compile p =
      any register aliasing — the only thing removed is the indirect
      call between the two. Pairs that can fault put the payload
      instruction first, so the fault charge is [j + 1] as usual. *)
-  let step2 ~fault_steps pc j (next : state -> unit) : (state -> unit) option
-      =
+  let step2 ~fault_steps ~assume_copied pc j (next : state -> unit) :
+      (state -> unit) option =
     let bump = j + 1 in
     match (insns.(pc), insns.(pc + 1)) with
     | Vm.Ldp (r, Reg s), Vm.Xor (r2, Reg s2) ->
@@ -458,15 +588,25 @@ let[@kpath.intr] compile p =
         st.c_copied <- true
       in
       Some
-        (fun st ->
-          let regs = st.c_regs in
-          let off = Array.unsafe_get regs a in
-          if off < 0 || off >= st.c_len then oob st off;
-          if not st.c_copied then cow st;
-          Bytes.unsafe_set st.c_cur off
-            (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
-          Array.unsafe_set regs r (Array.unsafe_get regs r + v);
-          next st)
+        (if assume_copied then
+           fun st ->
+             let regs = st.c_regs in
+             let off = Array.unsafe_get regs a in
+             if off < 0 || off >= st.c_len then oob st off;
+             Bytes.unsafe_set st.c_cur off
+               (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+             Array.unsafe_set regs r (Array.unsafe_get regs r + v);
+             next st
+         else
+           fun st ->
+             let regs = st.c_regs in
+             let off = Array.unsafe_get regs a in
+             if off < 0 || off >= st.c_len then oob st off;
+             if not st.c_copied then cow st;
+             Bytes.unsafe_set st.c_cur off
+               (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+             Array.unsafe_set regs r (Array.unsafe_get regs r + v);
+             next st)
     | _ -> None
   in
   (* One curated triple on top of the pairs: byte load + fold + mix is
@@ -510,7 +650,7 @@ let[@kpath.intr] compile p =
   in
   (* Fused-tail pairs: the last two instructions of a fused loop body,
      one closure, no continuation call at all. *)
-  let tail_step2 ~fault_steps pc j : (state -> unit) option =
+  let tail_step2 ~fault_steps ~assume_copied pc j : (state -> unit) option =
     let bump = j + 1 in
     match (insns.(pc), insns.(pc + 1)) with
     | Vm.And (r, Imm m), Vm.Add (r2, Imm v) ->
@@ -542,14 +682,23 @@ let[@kpath.intr] compile p =
         st.c_copied <- true
       in
       Some
-        (fun st ->
-          let regs = st.c_regs in
-          let off = Array.unsafe_get regs a in
-          if off < 0 || off >= st.c_len then oob st off;
-          if not st.c_copied then cow st;
-          Bytes.unsafe_set st.c_cur off
-            (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
-          Array.unsafe_set regs r (Array.unsafe_get regs r + v))
+        (if assume_copied then
+           fun st ->
+             let regs = st.c_regs in
+             let off = Array.unsafe_get regs a in
+             if off < 0 || off >= st.c_len then oob st off;
+             Bytes.unsafe_set st.c_cur off
+               (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+             Array.unsafe_set regs r (Array.unsafe_get regs r + v)
+         else
+           fun st ->
+             let regs = st.c_regs in
+             let off = Array.unsafe_get regs a in
+             if off < 0 || off >= st.c_len then oob st off;
+             if not st.c_copied then cow st;
+             Bytes.unsafe_set st.c_cur off
+               (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+             Array.unsafe_set regs r (Array.unsafe_get regs r + v))
     | _ -> None
   in
   (* The last instruction of a fused loop body: same arms as [step] for
@@ -557,7 +706,7 @@ let[@kpath.intr] compile p =
      fused-loop driver owns control, so the chain should just return
      instead of paying an indirect call into [halt] every iteration.
      Rarer shapes fall back to the chained form. *)
-  let tail_step ~fault_steps pc j : state -> unit =
+  let tail_step ~fault_steps ~assume_copied pc j : state -> unit =
     match insns.(pc) with
     | Vm.Mov (r, Reg s) ->
       fun st ->
@@ -638,7 +787,23 @@ let[@kpath.intr] compile p =
         Array.unsafe_set st.c_scratch off (Array.unsafe_get st.c_regs s)
     | Vm.Sts (off, Imm v) ->
       fun st -> Array.unsafe_set st.c_scratch off v
-    | _ -> step ~fault_steps pc j halt
+    | Vm.Ldsx (r, ri) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set regs r
+          (Array.unsafe_get st.c_scratch (Array.unsafe_get regs ri land smask))
+    | Vm.Stsx (ri, Reg s) ->
+      fun st ->
+        let regs = st.c_regs in
+        Array.unsafe_set st.c_scratch
+          (Array.unsafe_get regs ri land smask)
+          (Array.unsafe_get regs s)
+    | Vm.Stsx (ri, Imm v) ->
+      fun st ->
+        Array.unsafe_set st.c_scratch
+          (Array.unsafe_get st.c_regs ri land smask)
+          v
+    | _ -> step ~fault_steps ~assume_copied pc j halt
   in
   (* A loop whose whole body (through its End) is a single basic block
      runs a known number of instructions per iteration, so the Loop
@@ -656,31 +821,49 @@ let[@kpath.intr] compile p =
       st.c_steps <-
         st.c_steps + bump - (Array.unsafe_get st.c_lleft d * body_nb)
     in
-    let rec build pc =
+    let rec build ~assume_copied pc =
       let j = pc - (lp + 1) in
       if pc > end_pc - 1 then halt
-      else if pc = end_pc - 1 then tail_step ~fault_steps pc j
+      else if pc = end_pc - 1 then tail_step ~fault_steps ~assume_copied pc j
       else if pc = end_pc - 2 then
-        match tail_step2 ~fault_steps pc j with
+        match tail_step2 ~fault_steps ~assume_copied pc j with
         | Some f -> f
         | None -> (
-          match step2 ~fault_steps pc j (build (pc + 2)) with
+          match
+            step2 ~fault_steps ~assume_copied pc j (build ~assume_copied (pc + 2))
+          with
           | Some f -> f
-          | None -> step ~fault_steps pc j (build (pc + 1)))
+          | None ->
+            step ~fault_steps ~assume_copied pc j (build ~assume_copied (pc + 1)))
       else
-        match step3 ~fault_steps pc j (build (pc + 3)) with
+        match step3 ~fault_steps pc j (build ~assume_copied (pc + 3)) with
         | Some f -> f
         | None -> (
-          match step2 ~fault_steps pc j (build (pc + 2)) with
+          match
+            step2 ~fault_steps ~assume_copied pc j (build ~assume_copied (pc + 2))
+          with
           | Some f -> f
-          | None -> step ~fault_steps pc j (build (pc + 1)))
+          | None ->
+            step ~fault_steps ~assume_copied pc j (build ~assume_copied (pc + 1)))
     in
-    (d, body_nb, build (lp + 1))
+    let has_stp = ref false in
+    for pc = lp + 1 to end_pc - 1 do
+      match insns.(pc) with Vm.Stp _ -> has_stp := true | _ -> ()
+    done;
+    (* A store-bearing body gets a second chain compiled under the
+       proven-copied assumption: after the first iteration's Stp forces
+       the clone, the driver switches chains and the remaining
+       iterations pay no per-store copy-on-write test. *)
+    let fast =
+      if !has_stp then Some (build ~assume_copied:true (lp + 1)) else None
+    in
+    (d, body_nb, build ~assume_copied:false (lp + 1), fast)
   in
   (* The terminator of the block [first..last]: batch the whole block's
      step count ([nb] instructions all executed by the time control
-     leaves), then tail-call the successor block. *)
-  let term first last : state -> unit =
+     leaves), then tail-call the successor block. [bidx] is the block's
+     index, for the tier report. *)
+  let term bidx first last : state -> unit =
     let nb = last - first + 1 in
     match insns.(last) with
     | Vm.Jmp off ->
@@ -750,28 +933,62 @@ let[@kpath.intr] compile p =
         && bounds.(body_blk).bb_last = end_pc
       in
       if fusable then begin
-        let d, body_nb, body = fused_body lp end_pc in
-        let iterate st c =
-          st.c_steps <- st.c_steps + (c * body_nb);
-          let ll = st.c_lleft in
-          for i = c downto 1 do
-            Array.unsafe_set ll d i;
-            body st
-          done
+        let d, body_nb, body, body_fast = fused_body lp end_pc in
+        (* Generic fused iteration. A store-bearing body runs its
+           checked chain only until the first Stp forces the
+           copy-on-write clone, then switches to the proven-copied
+           chain for the rest of the count — the per-iteration clone
+           test is paid at most once per run instead of per store. *)
+        let iterate =
+          match body_fast with
+          | None ->
+            fun st c ->
+              st.c_steps <- st.c_steps + (c * body_nb);
+              let ll = st.c_lleft in
+              for i = c downto 1 do
+                Array.unsafe_set ll d i;
+                body st
+              done
+          | Some fast ->
+            fun st c ->
+              st.c_steps <- st.c_steps + (c * body_nb);
+              let ll = st.c_lleft in
+              let i = ref c in
+              while !i >= 1 && not st.c_copied do
+                Array.unsafe_set ll d !i;
+                body st;
+                decr i
+              done;
+              while !i >= 1 do
+                Array.unsafe_set ll d !i;
+                fast st;
+                decr i
+              done
         in
-        (* Loop-idiom recognition: a body that is exactly the byte-scan
-           multiplicative fold — load the byte at the counter register,
-           fold it into an accumulator, mix, mask, bump the counter —
-           reads offsets [i .. i+c-1], so a single entry test proves
-           the whole loop fault-free and the scan runs with the
-           accumulator in a host register ([hash_fold]). Final register
-           effects are reproduced exactly: byte register holds the last
-           byte, accumulator the fold, counter [i + c]. Anything the
-           entry test cannot prove (or any other shape) takes the
-           generic fused path, which faults bit-identically to the
-           interpreter. *)
+        (* Loop-idiom recognition, the pattern library. Every idiom is
+           a body that touches payload offsets [i .. i+c-1] through a
+           monotonically advancing counter, so one entry test ([i0 >= 0
+           && c <= len - i0]) proves the whole loop fault-free and the
+           scan runs with all state in host registers; final register
+           effects are reproduced exactly as the interpreter leaves
+           them. Anything the entry test cannot prove (or any shape not
+           matched) takes the generic fused path, which faults
+           bit-identically to the interpreter.
+
+           - byte-scan fold: load, xor-fold, mix, mask, bump — the
+             multiplicative hash ([hash_fold]).
+           - scatter/store: load, ALU-transform, store back, bump —
+             xor-stream masks and byte remaps, writing the
+             copy-on-write clone directly ([scat_*]). The clone is
+             forced once at loop entry: the entry test already proved
+             the first iteration's store in bounds.
+           - histogram: load, indexed scratch load, increment, indexed
+             scratch store, bump — scratch-table histograms
+             ([hist_scan]); the verifier's power-of-two arena proof is
+             what lets the host loop index the table unchecked. *)
         let idiom =
-          if end_pc = lp + 6 then
+          if not idioms then None
+          else if end_pc = lp + 6 then
             match
               ( insns.(lp + 1),
                 insns.(lp + 2),
@@ -786,27 +1003,108 @@ let[@kpath.intr] compile p =
                 Vm.Add (i, Imm 1) )
               when s2 = r && h2 = h && h3 = h && i = s && r <> h && r <> s
                    && h <> s ->
-              Some (r, s, h, v, m)
+              Some
+                ( "byte-scan fold",
+                  fun st c ->
+                    let regs = st.c_regs in
+                    let i0 = Array.unsafe_get regs s in
+                    if i0 >= 0 && c <= st.c_len - i0 then begin
+                      st.c_steps <- st.c_steps + (c * body_nb);
+                      let last = i0 + c - 1 in
+                      Array.unsafe_set regs h
+                        (hash_fold st.c_cur last i0 (Array.unsafe_get regs h)
+                           v m);
+                      Array.unsafe_set regs r
+                        (Char.code (Bytes.unsafe_get st.c_cur last));
+                      Array.unsafe_set regs s (i0 + c)
+                    end
+                    else iterate st c )
+            | ( Vm.Ldp (b, Reg i),
+                Vm.Ldsx (h, b2),
+                Vm.Add (h2, Imm 1),
+                Vm.Stsx (b3, Reg h3),
+                Vm.Add (i2, Imm 1) )
+              when b2 = b && h2 = h && b3 = b && h3 = h && i2 = i && b <> i
+                   && h <> i && h <> b ->
+              Some
+                ( "histogram",
+                  fun st c ->
+                    let regs = st.c_regs in
+                    let i0 = Array.unsafe_get regs i in
+                    if i0 >= 0 && c <= st.c_len - i0 then begin
+                      st.c_steps <- st.c_steps + (c * body_nb);
+                      let cur = st.c_cur in
+                      let hi = i0 + c - 1 in
+                      hist_scan cur st.c_scratch smask hi i0;
+                      let lastb = Char.code (Bytes.unsafe_get cur hi) in
+                      Array.unsafe_set regs b lastb;
+                      Array.unsafe_set regs h
+                        (Array.unsafe_get st.c_scratch (lastb land smask));
+                      Array.unsafe_set regs i (i0 + c)
+                    end
+                    else iterate st c )
             | _ -> None
+          else if end_pc = lp + 5 then begin
+            let op =
+              match insns.(lp + 2) with
+              | Vm.Xor (r2, o) -> Some (scat_xor, "xor", r2, o)
+              | Vm.Add (r2, o) -> Some (scat_add, "add", r2, o)
+              | Vm.Sub (r2, o) -> Some (scat_sub, "sub", r2, o)
+              | Vm.And (r2, o) -> Some (scat_and, "and", r2, o)
+              | Vm.Or (r2, o) -> Some (scat_or, "or", r2, o)
+              | _ -> None
+            in
+            match (insns.(lp + 1), insns.(lp + 3), insns.(lp + 4), op) with
+            | ( Vm.Ldp (r, Reg i),
+                Vm.Stp (Reg i2, Reg r3),
+                Vm.Add (i3, Imm 1),
+                Some (scan, opname, r2, o) )
+              when r2 = r && i2 = i && r3 = r && i3 = i && r <> i
+                   && (match o with
+                       | Reg s -> s <> r && s <> i
+                       | Imm _ -> true) ->
+              (* The mask operand is loop-invariant: the body writes
+                 only [r] and [i], and a register operand was required
+                 distinct from both. *)
+              let get_m =
+                match o with
+                | Imm v -> fun (_ : state) -> v
+                | Reg s -> fun st -> Array.unsafe_get st.c_regs s
+              in
+              Some
+                ( "scatter/store (" ^ opname ^ ")",
+                  fun st c ->
+                    let regs = st.c_regs in
+                    let i0 = Array.unsafe_get regs i in
+                    if i0 >= 0 && c <= st.c_len - i0 then begin
+                      st.c_steps <- st.c_steps + (c * body_nb);
+                      if not st.c_copied then begin
+                        st.c_cur <- Bytes.copy st.c_data;
+                        st.c_copied <- true
+                      end;
+                      let v = scan st.c_cur (i0 + c - 1) i0 (get_m st) 0 in
+                      Array.unsafe_set regs r v;
+                      Array.unsafe_set regs i (i0 + c)
+                    end
+                    else iterate st c )
+            | _ -> None
+          end
           else None
         in
+        (tiers.(bidx) <-
+           (match idiom with
+            | Some (name, _) -> Printf.sprintf "fused loop: %s idiom" name
+            | None ->
+              Printf.sprintf "fused loop: generic %d-insn body%s" (body_nb - 1)
+                (match body_fast with
+                 | Some _ -> ", cow hoisted"
+                 | None -> "")));
+        tiers.(body_blk) <-
+          (match idiom with
+           | Some (name, _) -> Printf.sprintf "body of b%d (%s idiom)" bidx name
+           | None -> Printf.sprintf "body of b%d (inlined in the fused loop)" bidx);
         let run_body =
-          match idiom with
-          | Some (r, s, h, v, m) ->
-            fun st c ->
-              let regs = st.c_regs in
-              let i0 = Array.unsafe_get regs s in
-              if i0 >= 0 && c <= st.c_len - i0 then begin
-                st.c_steps <- st.c_steps + (c * body_nb);
-                let last = i0 + c - 1 in
-                Array.unsafe_set regs h
-                  (hash_fold st.c_cur last i0 (Array.unsafe_get regs h) v m);
-                Array.unsafe_set regs r
-                  (Char.code (Bytes.unsafe_get st.c_cur last));
-                Array.unsafe_set regs s (i0 + c)
-              end
-              else iterate st c
-          | None -> iterate
+          match idiom with Some (_, run) -> run | None -> iterate
         in
         match o with
         | Reg s ->
@@ -834,28 +1132,133 @@ let[@kpath.intr] compile p =
       else begin
         let d = depth_of.(lp) in
         let body = target (lp + 1) in
-        match o with
-        | Reg s ->
-          fun st ->
-            st.c_steps <- st.c_steps + nb;
-            let c = Array.unsafe_get st.c_regs s in
-            let c = if c < 0 then 0 else if c > cap then cap else c in
-            if c = 0 then exit_ st
-            else begin
-              Array.unsafe_set st.c_lleft d c;
-              body st
-            end
-        | Imm v ->
-          let c = min (max v 0) cap in
-          if c = 0 then
-            fun st ->
-              st.c_steps <- st.c_steps + nb;
-              exit_ st
+        (* Rolling-hash window idiom, the shape behind content-defined
+           chunking: fold each byte into a window hash, bump the
+           position, test the hash's low bits and emit at chunk
+           boundaries. The conditional Emit splits the body into three
+           blocks, so it can never fuse — but the whole region is
+           recognizable at the Loop, and [roll_scan] runs it with the
+           window state in host registers. The entry test proves every
+           load in bounds; a count the test cannot cover falls back to
+           the block-chained body, which faults bit-identically. *)
+        let rolling =
+          if not idioms || end_pc <> lp + 10 then None
           else
+            match
+              ( insns.(lp + 1),
+                insns.(lp + 2),
+                insns.(lp + 3),
+                insns.(lp + 4),
+                insns.(lp + 5),
+                insns.(lp + 6),
+                insns.(lp + 7),
+                insns.(lp + 8),
+                insns.(lp + 9) )
+            with
+            | ( Vm.Ldp (b, Reg i),
+                Vm.Mul (h, Imm a),
+                Vm.Add (h2, Reg b2),
+                Vm.And (h3, Imm m),
+                Vm.Add (i2, Imm 1),
+                Vm.Mov (t, Reg h4),
+                Vm.And (t2, Imm m2),
+                Vm.Jne (t3, Imm tv, 2),
+                Vm.Emit (Imm kimm, ov) )
+              when h2 = h && b2 = b && h3 = h && i2 = i && h4 = h && t2 = t
+                   && t3 = t && b <> i && b <> h && b <> t && h <> i
+                   && h <> t && t <> i -> (
+              let vsel, vimm =
+                match ov with
+                | Reg rv when rv = h -> (0, 0)
+                | Reg rv when rv = i -> (1, 0)
+                | Reg rv when rv = b -> (2, 0)
+                | Reg rv when rv = t -> (3, 0)
+                | Imm v -> (4, v)
+                | Reg _ -> (-1, 0)
+              in
+              match vsel with
+              | -1 -> None
+              | _ ->
+                Some
+                  (fun st c ->
+                    let regs = st.c_regs in
+                    let i0 = Array.unsafe_get regs i in
+                    if i0 >= 0 && c <= st.c_len - i0 then begin
+                      (* 9 of the 10 body instructions run every
+                         iteration (the Emit is skipped off-boundary);
+                         [roll_scan] charges each boundary's Emit as it
+                         fires. *)
+                      st.c_steps <- st.c_steps + (c * 9);
+                      let hi = i0 + c - 1 in
+                      let h' =
+                        roll_scan st st.c_cur hi i0
+                          (Array.unsafe_get regs h)
+                          a m m2 tv kimm vsel vimm
+                      in
+                      Array.unsafe_set regs b
+                        (Char.code (Bytes.unsafe_get st.c_cur hi));
+                      Array.unsafe_set regs h h';
+                      Array.unsafe_set regs t (h' land m2);
+                      Array.unsafe_set regs i (i0 + c);
+                      exit_ st
+                    end
+                    else begin
+                      Array.unsafe_set st.c_lleft d c;
+                      body st
+                    end))
+            | _ -> None
+        in
+        (match rolling with
+         | Some _ ->
+           tiers.(bidx) <- "loop: rolling-hash idiom (multi-block body)";
+           for bb = blk_of_pc.(lp + 1) to blk_of_pc.(end_pc) do
+             tiers.(bb) <-
+               Printf.sprintf "body of b%d (rolling-hash scan; chain is the fallback)"
+                 bidx
+           done
+         | None -> tiers.(bidx) <- "loop: block-chained multi-block body");
+        match rolling with
+        | Some run -> (
+          match o with
+          | Reg s ->
             fun st ->
               st.c_steps <- st.c_steps + nb;
-              Array.unsafe_set st.c_lleft d c;
-              body st
+              let c = Array.unsafe_get st.c_regs s in
+              let c = if c < 0 then 0 else if c > cap then cap else c in
+              if c = 0 then exit_ st else run st c
+          | Imm v ->
+            let c = min (max v 0) cap in
+            if c = 0 then
+              fun st ->
+                st.c_steps <- st.c_steps + nb;
+                exit_ st
+            else
+              fun st ->
+                st.c_steps <- st.c_steps + nb;
+                run st c)
+        | None -> (
+          match o with
+          | Reg s ->
+            fun st ->
+              st.c_steps <- st.c_steps + nb;
+              let c = Array.unsafe_get st.c_regs s in
+              let c = if c < 0 then 0 else if c > cap then cap else c in
+              if c = 0 then exit_ st
+              else begin
+                Array.unsafe_set st.c_lleft d c;
+                body st
+              end
+          | Imm v ->
+            let c = min (max v 0) cap in
+            if c = 0 then
+              fun st ->
+                st.c_steps <- st.c_steps + nb;
+                exit_ st
+            else
+              fun st ->
+                st.c_steps <- st.c_steps + nb;
+                Array.unsafe_set st.c_lleft d c;
+                body st)
       end
     | Vm.End ->
       (* Only reached when its loop was not fused (multi-block body).
@@ -898,35 +1301,54 @@ let[@kpath.intr] compile p =
         st.c_steps <- st.c_steps + nb;
         t st
   in
-  let compile_block first last : state -> unit =
+  let compile_block bidx first last : state -> unit =
     let straight_hi = if is_terminator insns.(last) then last - 1 else last in
-    let tail = term first last in
+    let tail = term bidx first last in
+    let supers = ref 0 in
     let rec build pc =
       if pc > straight_hi then tail
       else if pc < straight_hi then
         match
-          step2 ~fault_steps:plain_fault_steps pc (pc - first) (build (pc + 2))
+          step2 ~fault_steps:plain_fault_steps ~assume_copied:false pc
+            (pc - first)
+            (build (pc + 2))
         with
-        | Some f -> f
+        | Some f ->
+          incr supers;
+          f
         | None ->
-          step ~fault_steps:plain_fault_steps pc (pc - first) (build (pc + 1))
+          step ~fault_steps:plain_fault_steps ~assume_copied:false pc
+            (pc - first)
+            (build (pc + 1))
       else
-        step ~fault_steps:plain_fault_steps pc (pc - first) (build (pc + 1))
+        step ~fault_steps:plain_fault_steps ~assume_copied:false pc
+          (pc - first)
+          (build (pc + 1))
     in
-    build first
+    let f = build first in
+    if tiers.(bidx) = "" then
+      tiers.(bidx) <-
+        (if !supers > 0 then
+           Printf.sprintf "chained closures, %d superinstruction%s" !supers
+             (if !supers = 1 then "" else "s")
+         else "chained closures");
+    f
   in
   for b = !nblocks - 1 downto 0 do
-    funs.(b) <- compile_block bounds.(b).bb_first bounds.(b).bb_last
+    funs.(b) <- compile_block b bounds.(b).bb_first bounds.(b).bb_last
   done;
   {
     k_prog = p;
     k_entry = (if n = 0 then halt else funs.(0));
     k_bounds = (if n = 0 then [||] else Array.sub bounds 0 !nblocks);
+    k_tiers = (if n = 0 then [||] else Array.sub tiers 0 !nblocks);
   }
 
 let prog k = k.k_prog
 
 let blocks k = Array.copy k.k_bounds
+
+let block_tiers k = Array.copy k.k_tiers
 
 let new_state k =
   {

@@ -19,16 +19,33 @@
     its step charge batched across iterations — the interpreter's
     per-iteration bookkeeping survives only in the loop book an
     in-body fault uses to unwind the batched charge. On top of that
-    sits one loop-idiom pass: a fused body that is exactly the
-    byte-scan multiplicative fold (load byte at the counter, fold,
-    mix, mask, bump the counter — the FNV/tee-hash shape) reads a
-    contiguous offset range, so a single entry test proves the whole
-    loop fault-free and it runs as a register-resident tail-recursive
-    scan; anything the test cannot prove falls back to the generic
-    fused path and faults bit-identically. Register, scratch
-    and loop-book indices were range-checked by the verifier and
-    compile to unchecked accesses; payload offsets are runtime values
-    and keep their checks.
+    sits the loop-idiom pass, a small pattern library over bodies that
+    walk the payload through a monotonically advancing counter — a
+    single entry test then proves the whole loop fault-free and the
+    scan runs with all state in host registers:
+
+    - {e byte-scan fold}: load byte at the counter, fold, mix, mask,
+      bump — the FNV/tee-hash shape;
+    - {e scatter/store}: load, ALU-transform, store back, bump —
+      xor-stream cipher masks and byte remaps, writing the
+      copy-on-write clone directly with the clone forced once at loop
+      entry;
+    - {e histogram}: load, indexed scratch load ([Ldsx]), increment,
+      indexed scratch store ([Stsx]), bump — the verifier's
+      power-of-two arena rule (["scratch-index"]) is the proof that
+      lets the host loop index the table unchecked;
+    - {e rolling-hash window}: fold each byte into a window hash and
+      emit at chunk boundaries — the content-defined-chunking shape;
+      its conditional [Emit] splits the body into three blocks so it
+      can never fuse, but the whole region is recognized at the [Loop]
+      and runs as one scan, charging the skipped-[Emit] step
+      difference per boundary.
+
+    Anything an entry test cannot prove (or any shape not matched)
+    falls back to the generic path and faults bit-identically.
+    Register, scratch and loop-book indices were range-checked by the
+    verifier and compile to unchecked accesses; payload offsets are
+    runtime values and keep their checks.
 
     The trusted surface is unchanged: {!compile} consumes only
     {!Vm.prog} values, which exist only by passing {!Vm.verify} — the
@@ -55,11 +72,14 @@ type code
     shareable — attach one [code] to any number of edges, each with
     its own {!state}. *)
 
-val compile : Vm.prog -> code
+val compile : ?idioms:bool -> Vm.prog -> code
 (** Translate a verified program. Load-time cost is linear in the
     program; running it allocates nothing beyond what the interpreter
     allocates (the copy-on-write clone on the first [Stp] and the
-    {!Vm.run} record). *)
+    {!Vm.run} record). [?idioms] (default [true]) enables the
+    loop-idiom pass; [~idioms:false] keeps only the generic fused
+    path — the benches use it to measure what each idiom buys, and the
+    parity suite uses it as a third differential backend. *)
 
 val prog : code -> Vm.prog
 (** The verified program this code was compiled from. *)
@@ -70,6 +90,13 @@ type block_bounds = { bb_first : int; bb_last : int }
 val blocks : code -> block_bounds array
 (** The basic blocks found by the leader analysis, in program order —
     what [kpathctl prog] prints next to the disassembly. *)
+
+val block_tiers : code -> string array
+(** One note per basic block (parallel to {!blocks}) naming the
+    compilation tier that fired: a named loop idiom, a fused or
+    block-chained loop, superinstruction counts, or plain chained
+    closures. [kpathctl prog] prints these so a slow program is
+    diagnosable without reading the compiler. *)
 
 type state
 (** Mutable per-attachment state: scratch arena (persists across

@@ -98,6 +98,101 @@ fuel 400000
 |}
        (key land 0xff) (key land 0xff))
 
+let xor_stream ~key =
+  compile
+    (Printf.sprintf
+       {|; Keyed xor-stream cipher (copy-on-write): every byte is XORed with
+; a per-block key byte derived from the stream key and the block
+; number, so identical plaintext blocks encrypt differently. The loop
+; body is the scatter/store idiom; self-inverse for the same key.
+fuel 400000
+    len r1
+    blkno r3
+    add r3, 1
+    mul r3, 0x9e3779b9
+    xor r3, %d
+    and r3, 0xff
+    mov r0, 0
+    loop r1, 65536
+    ldp r2, r0
+    xor r2, r3
+    stp r0, r2
+    add r0, 1
+    end
+    ret
+|}
+       (key land 0xff))
+
+let histogram_src =
+  {|; Block-local byte histogram + entropy probe, read-only. The scratch
+; arena (256 cells, power of two: the "scratch-index" rule) is cleared
+; per block, filled by the histogram idiom (ldp/ldsx/add/stsx/add),
+; then scanned for the number of distinct byte values, emitted as
+; key 4 -- a cheap entropy signal next to the disk (compressibility,
+; encrypted-vs-plaintext detection).
+fuel 400000
+scratch 256
+context readonly
+    mov r0, 0
+    loop 256, 256
+    stsx r0, 0
+    add r0, 1
+    end
+    len r1
+    mov r0, 0
+    loop r1, 65536
+    ldp r2, r0
+    ldsx r3, r2
+    add r3, 1
+    stsx r2, r3
+    add r0, 1
+    end
+    mov r4, 0
+    mov r5, 0
+    loop 256, 256
+    ldsx r6, r4
+    jeq r6, 0, next
+    add r5, 1
+next:
+    add r4, 1
+    end
+    emit 4, r5
+    ret
+|}
+
+let histogram () = compile histogram_src
+
+let dedup_chunks ~bits =
+  if bits < 1 || bits > 24 then invalid_arg "Samples.dedup_chunks: bits";
+  let mask = (1 lsl bits) - 1 in
+  compile
+    (Printf.sprintf
+       {|; Content-defined chunking for dedup, read-only: a multiplicative
+; rolling hash over the payload; positions where its low %d bits are
+; all ones are chunk boundaries (expected chunk ~%d bytes), and the
+; hash at each boundary goes out as key 3 -- the chunk fingerprint a
+; dedup index would look up. The loop is the rolling-hash idiom.
+fuel 700000
+context readonly
+    len r1
+    mov r2, 0
+    mov r0, 0
+    loop r1, 65536
+    ldp r3, r0
+    mul r2, 0x01000193
+    add r2, r3
+    and r2, 0xffffff
+    add r0, 1
+    mov r4, r2
+    and r4, %d
+    jne r4, %d, next
+    emit 3, r2
+next:
+    end
+    ret
+|}
+       bits (1 lsl bits) mask mask)
+
 let oob_probe () =
   compile
     {|; Verifies (payload bounds are a run-time check) but always faults:

@@ -30,6 +30,29 @@ val xor_mask : key:int -> Vm.prog
 (** Transforms the payload in place (copy-on-write): XORs every byte
     with [key land 0xff]. Self-inverse. *)
 
+val xor_stream : key:int -> Vm.prog
+(** Keyed xor-stream cipher (copy-on-write): XORs every byte with a
+    per-block key byte derived from [key] and the block number, so
+    identical plaintext blocks encrypt differently. The loop body is
+    the scatter/store idiom; self-inverse for the same key. *)
+
+val histogram_src : string
+(** Block-local byte histogram + entropy probe, read-only: clears a
+    256-cell scratch arena, fills it with the histogram idiom
+    ([Ldsx]/[Stsx] indexed by the payload byte), and emits the number
+    of distinct byte values as key 4 — a cheap compressibility /
+    encrypted-payload signal next to the disk. *)
+
+val histogram : unit -> Vm.prog
+
+val dedup_chunks : bits:int -> Vm.prog
+(** Content-defined chunking for dedup, read-only: a multiplicative
+    rolling hash over the payload; positions where its low [bits]
+    (1..24) bits are all ones are chunk boundaries (expected chunk
+    [2^bits] bytes), and the hash at each boundary is emitted as
+    key 3 — the chunk fingerprint a dedup index would look up. The
+    loop is the rolling-hash idiom. *)
+
 val oob_probe : unit -> Vm.prog
 (** Verifier-accepted but faults at run time: loads one byte past the
     payload. Exercises the edge fault/abort path. *)

@@ -23,6 +23,8 @@ type insn =
   | Stp of operand * operand
   | Lds of reg * int
   | Sts of int * operand
+  | Ldsx of reg * reg
+  | Stsx of reg * operand
   | Jmp of int
   | Jeq of reg * operand * int
   | Jne of reg * operand * int
@@ -156,6 +158,14 @@ let check_insn ~scratch ~context ~encl ~n pc insn =
     if off < 0 || off >= scratch then
       reject "scratch-oob" pc "scratch cell %d outside 0..%d" off (scratch - 1)
   in
+  (* Indexed scratch access is masked to [idx land (scratch - 1)], so it
+     is statically in bounds exactly when the arena is a non-empty power
+     of two — the proof the compiler relies on to elide the check. *)
+  let scratch_indexable name =
+    if scratch = 0 || scratch land (scratch - 1) <> 0 then
+      reject "scratch-index" pc
+        "%s needs a power-of-two scratch arena (scratch %d)" name scratch
+  in
   let effect name =
     if context = Readonly then
       reject "effect-context" pc "%s not allowed in a read-only program" name
@@ -185,6 +195,14 @@ let check_insn ~scratch ~context ~encl ~n pc insn =
   | Sts (off, o) ->
     scratch_cell off;
     check_operand pc o
+  | Ldsx (r, ri) ->
+    check_reg pc r;
+    check_reg pc ri;
+    scratch_indexable "Ldsx"
+  | Stsx (ri, o) ->
+    check_reg pc ri;
+    check_operand pc o;
+    scratch_indexable "Stsx"
   | Jmp off -> jump off
   | Jeq (r, o, off) | Jne (r, o, off) | Jlt (r, o, off) | Jge (r, o, off) ->
     check_reg pc r;
@@ -339,6 +357,14 @@ let[@kpath.intr] exec p st ~data ~len ~lblk ~emit =
          Bytes.unsafe_set !cur off (Char.unsafe_chr (ev regs o_v land 0xff))
        | Lds (r, off) -> regs.(r) <- scratch.(off)
        | Sts (off, o) -> scratch.(off) <- ev regs o
+       | Ldsx (r, ri) ->
+         (* The verifier admits Ldsx/Stsx only over a power-of-two
+            arena, so the mask keeps the access in bounds. *)
+         regs.(r) <- Array.unsafe_get scratch (regs.(ri) land (p.p_scratch - 1))
+       | Stsx (ri, o) ->
+         Array.unsafe_set scratch
+           (regs.(ri) land (p.p_scratch - 1))
+           (ev regs o)
        | Jmp off -> pc := here + off
        | Jeq (r, o, off) -> if regs.(r) = ev regs o then pc := here + off
        | Jne (r, o, off) -> if regs.(r) <> ev regs o then pc := here + off

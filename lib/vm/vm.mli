@@ -66,6 +66,15 @@ type insn =
           [off], copy-on-write; faults out of bounds *)
   | Lds of reg * int  (** load scratch cell (static offset) *)
   | Sts of int * operand  (** store scratch cell (static offset) *)
+  | Ldsx of reg * reg
+      (** [Ldsx (r, ri)] loads the scratch cell at
+          [ri land (scratch - 1)]. Admitted only over a non-empty
+          power-of-two arena (rule ["scratch-index"]), which makes the
+          masked access statically in bounds — the proof the compiled
+          backend relies on to index the host array unchecked. *)
+  | Stsx of reg * operand
+      (** [Stsx (ri, v)] stores [v] at scratch cell
+          [ri land (scratch - 1)]; same power-of-two requirement. *)
   | Jmp of int  (** relative forward jump: next pc is [pc + off] *)
   | Jeq of reg * operand * int  (** jump forward when [r = v] *)
   | Jne of reg * operand * int
@@ -129,8 +138,8 @@ type diag = {
   d_msg : string;  (** human-readable explanation *)
 }
 (** A structured rejection. Rules: ["program-size"], ["fuel-bound"],
-    ["scratch-oob"], ["bad-register"], ["unbounded-loop"],
-    ["loop-depth"], ["jump-oob"], ["div-by-zero"],
+    ["scratch-oob"], ["scratch-index"], ["bad-register"],
+    ["unbounded-loop"], ["loop-depth"], ["jump-oob"], ["div-by-zero"],
     ["effect-context"]. *)
 
 val verify : spec -> (prog, diag) result

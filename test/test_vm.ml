@@ -74,6 +74,14 @@ let rejections =
       reject [ Vm.Lds (0, 0); Vm.Ret ] "scratch-oob" );
     ( "scratch size above limit",
       reject ~scratch:(Vm.max_scratch + 1) [ Vm.Ret ] "scratch-oob" );
+    ( "indexed scratch load without an arena",
+      reject [ Vm.Ldsx (0, 1); Vm.Ret ] "scratch-index" );
+    ( "indexed scratch store without an arena",
+      reject [ Vm.Stsx (0, Imm 1); Vm.Ret ] "scratch-index" );
+    ( "indexed scratch arena not a power of two",
+      reject ~scratch:3 [ Vm.Ldsx (0, 1); Vm.Ret ] "scratch-index" );
+    ( "indexed scratch store into a 48-cell arena",
+      reject ~scratch:48 [ Vm.Stsx (0, Imm 1); Vm.Ret ] "scratch-index" );
     ("negative fuel", reject ~fuel:(-5) [ Vm.Ret ] "fuel-bound");
     ("zero fuel", reject ~fuel:0 [ Vm.Ret ] "fuel-bound");
     ( "fuel above limit",
@@ -235,6 +243,23 @@ let test_scratch_persists () =
   done;
   Alcotest.(check (list int)) "counter advances" [ 3; 2; 1 ] !seen
 
+let test_indexed_scratch_masks () =
+  (* Ldsx/Stsx mask the index register with [scratch - 1]: on a 4-cell
+     arena index 13 is cell 1, and a negative index wraps the same way
+     (-3 land 3 = 1). A power-of-two arena is exactly what makes the
+     mask a bounds proof, which is why the verifier demands one. *)
+  let p =
+    accept ~scratch:4
+      [ Vm.Mov (0, Imm 13); Vm.Stsx (0, Imm 77); Vm.Lds (2, 1);
+        Vm.Emit (Imm 0, Reg 2); Vm.Mov (3, Imm (-3)); Vm.Ldsx (4, 3);
+        Vm.Emit (Imm 1, Reg 4); Vm.Ret ]
+  in
+  let _, emits = run p in
+  Alcotest.(check (list (pair int int)))
+    "masked cells round-trip"
+    [ (0, 77); (1, 77) ]
+    emits
+
 (* {1 The checksum sample matches the built-in formula} *)
 
 let reference_checksum ~lblk data len =
@@ -288,6 +313,13 @@ let test_samples_verify () =
   ignore (Samples.router ~fanout:3);
   ignore (Samples.xor_mask ~key:0xff);
   ignore (Samples.oob_probe ());
+  ignore (Samples.xor_stream ~key:0x17);
+  ignore (Samples.histogram ());
+  ignore (Samples.dedup_chunks ~bits:1);
+  ignore (Samples.dedup_chunks ~bits:24);
+  (match Samples.dedup_chunks ~bits:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dedup_chunks must reject bits = 0");
   let r, _ = run (Samples.oob_probe ()) in
   match r.Vm.r_verdict with
   | Vm.Fault _ -> ()
@@ -407,6 +439,10 @@ let gen_simple =
         (1, map2 (fun a b -> Vm.Stp (a, b)) gen_operand gen_operand);
         (1, map2 (fun r off -> Vm.Lds (r, off)) reg (int_range 0 3));
         (1, map2 (fun off o -> Vm.Sts (off, o)) (int_range 0 3) gen_operand);
+        (* Indexed scratch: the property specs use power-of-two arenas,
+           so these always verify. *)
+        (1, map2 (fun r ri -> Vm.Ldsx (r, ri)) reg reg);
+        (1, map2 (fun ri o -> Vm.Stsx (ri, o)) reg gen_operand);
         (1, map2 (fun a b -> Vm.Emit (a, b)) gen_operand gen_operand);
       ])
 
@@ -526,6 +562,8 @@ let suite =
       Alcotest.test_case "copy-on-write transform" `Quick test_cow_transform;
       Alcotest.test_case "scratch persists across blocks" `Quick
         test_scratch_persists;
+      Alcotest.test_case "indexed scratch masks into the arena" `Quick
+        test_indexed_scratch_masks;
       Alcotest.test_case "checksum sample matches built-in formula" `Quick
         test_checksum_sample;
       Alcotest.test_case "xor mask is self-inverse" `Quick

@@ -19,40 +19,61 @@ let pp_verdict fmt = function
 
 let verdict = Alcotest.testable pp_verdict ( = )
 
-(* Run [p] under both backends over the same block sequence (one
-   persistent state each, so scratch carry-over is compared too) and
-   assert every observable of every run matches. [what] names the
-   program in failures. *)
+(* Run [p] under the interpreter and BOTH compiled variants — the full
+   compiler and the idiom-free one (generic fused paths only) — over
+   the same block sequence (one persistent state each, so scratch
+   carry-over is compared too) and assert every observable of every
+   run matches the interpreter's. The no-idiom variant is what every
+   idiom falls back to, so any divergence between the three is a
+   compiler bug by construction. [what] names the program in
+   failures. *)
 let assert_parity ?(what = "prog") p blocks =
-  let code = Compile.compile p in
-  let ist = Vm.new_state p and cst = Compile.new_state code in
+  let ist = Vm.new_state p in
+  let variants =
+    List.map
+      (fun (vname, code) -> (vname, code, Compile.new_state code))
+      [
+        ("compiled", Compile.compile p);
+        ("compiled[no-idiom]", Compile.compile ~idioms:false p);
+      ]
+  in
   List.iteri
     (fun i (data, lblk) ->
-      let tag fmt = Printf.ksprintf (fun s -> s) ("%s block %d: " ^^ fmt) what i in
       let data = Bytes.of_string data in
       let len = Bytes.length data in
-      let iemits = ref [] and cemits = ref [] in
+      let iemits = ref [] in
       let ir =
         Vm.exec p ist ~data ~len ~lblk ~emit:(fun k v ->
             iemits := (k, v) :: !iemits)
       in
-      let cr =
-        Compile.exec code cst ~data ~len ~lblk ~emit:(fun k v ->
-            cemits := (k, v) :: !cemits)
-      in
-      Alcotest.check verdict (tag "verdict") ir.Vm.r_verdict cr.Vm.r_verdict;
-      Alcotest.(check int) (tag "steps") ir.Vm.r_steps cr.Vm.r_steps;
-      Alcotest.(check (list (pair int int)))
-        (tag "emits") (List.rev !iemits) (List.rev !cemits);
-      Alcotest.(check string)
-        (tag "payload bytes")
-        (Bytes.to_string ir.Vm.r_data)
-        (Bytes.to_string cr.Vm.r_data);
-      (* Copy-on-write contract: both backends either alias the input
-         buffer or both cloned it. *)
-      Alcotest.(check bool)
-        (tag "r_data aliases input")
-        (ir.Vm.r_data == data) (cr.Vm.r_data == data))
+      List.iter
+        (fun (vname, code, cst) ->
+          let tag fmt =
+            Printf.ksprintf
+              (fun s -> s)
+              ("%s block %d [%s]: " ^^ fmt)
+              what i vname
+          in
+          let cemits = ref [] in
+          let cr =
+            Compile.exec code cst ~data ~len ~lblk ~emit:(fun k v ->
+                cemits := (k, v) :: !cemits)
+          in
+          Alcotest.check verdict (tag "verdict") ir.Vm.r_verdict
+            cr.Vm.r_verdict;
+          Alcotest.(check int) (tag "steps") ir.Vm.r_steps cr.Vm.r_steps;
+          Alcotest.(check (list (pair int int)))
+            (tag "emits") (List.rev !iemits) (List.rev !cemits);
+          Alcotest.(check string)
+            (tag "payload bytes")
+            (Bytes.to_string ir.Vm.r_data)
+            (Bytes.to_string cr.Vm.r_data);
+          (* Copy-on-write contract: both backends either alias the
+             input buffer or both cloned it. *)
+          Alcotest.(check bool)
+            (tag "r_data aliases input")
+            (ir.Vm.r_data == data) (cr.Vm.r_data == data))
+        variants)
     blocks
 
 let block n seed =
@@ -73,6 +94,9 @@ let test_samples () =
       ("router", Samples.router ~fanout:4);
       ("xor_mask", Samples.xor_mask ~key:0x5a);
       ("oob_probe", Samples.oob_probe ());
+      ("xor_stream", Samples.xor_stream ~key:0x6b);
+      ("histogram", Samples.histogram ());
+      ("dedup_chunks", Samples.dedup_chunks ~bits:4);
     ]
 
 let read_file path =
@@ -219,6 +243,198 @@ let test_fold_idiom () =
       | Ok p -> assert_parity ~what p standard_blocks)
     cases
 
+let test_scatter_idiom () =
+  (* The scatter/store idiom rewrites Ldp/transform/Stp/Add loops into
+     one entry bounds test plus a host loop writing the copy-on-write
+     clone directly. Exercise every transform op, immediate and
+     register-held keys, mid-payload starts, overruns that fault
+     mid-loop after partial writes, and near-miss shapes that must stay
+     on the generic per-store-checked path — including a store that
+     bounds-faults before the clone would happen, so the CoW hoist may
+     not clone early. *)
+  let scatter ?(pre = []) ~start ~loop ~body () =
+    [ Vm.Len 1 ] @ pre
+    @ [ Vm.Mov (0, Imm start); loop ]
+    @ body
+    @ [ Vm.End; Vm.Emit (Imm 0, Reg 2); Vm.Emit (Imm 1, Reg 0); Vm.Ret ]
+  in
+  let body op = [ Vm.Ldp (2, Reg 0); op; Vm.Stp (Reg 0, Reg 2); Vm.Add (0, Imm 1) ] in
+  let whole = Vm.Loop (Reg 1, 65536) in
+  let cases =
+    [
+      ("scatter xor whole payload", scatter ~start:0 ~loop:whole ~body:(body (Vm.Xor (2, Imm 0x5a))) ());
+      ("scatter add whole payload", scatter ~start:0 ~loop:whole ~body:(body (Vm.Add (2, Imm 0x21))) ());
+      ("scatter sub whole payload", scatter ~start:0 ~loop:whole ~body:(body (Vm.Sub (2, Imm 0x13))) ());
+      ("scatter and whole payload", scatter ~start:0 ~loop:whole ~body:(body (Vm.And (2, Imm 0x7f))) ());
+      ("scatter or whole payload", scatter ~start:0 ~loop:whole ~body:(body (Vm.Or (2, Imm 0x80))) ());
+      ( "scatter with register-held key",
+        scatter ~pre:[ Vm.Mov (4, Imm 0xa7) ] ~start:0 ~loop:whole
+          ~body:(body (Vm.Xor (2, Reg 4))) () );
+      ( "scatter from mid-payload",
+        scatter ~start:100 ~loop:(Vm.Loop (Imm 150, 65536))
+          ~body:(body (Vm.Xor (2, Imm 0x33))) () );
+      ( "scatter overruns payload",
+        scatter ~start:0 ~loop:(Vm.Loop (Imm 600, 65536))
+          ~body:(body (Vm.Xor (2, Imm 0x5a))) () );
+      ( "scatter from negative offset",
+        scatter ~start:(-1) ~loop:(Vm.Loop (Imm 5, 65536))
+          ~body:(body (Vm.Xor (2, Imm 0x5a))) () );
+      ( "scatter store faults before the clone",
+        (* First Stp is out of bounds: the bounds check fires before the
+           copy-on-write clone, so the input must stay aliased. *)
+        scatter ~pre:[ Vm.Mov (4, Imm 1000) ] ~start:0 ~loop:whole
+          ~body:
+            [ Vm.Ldp (2, Reg 0); Vm.Xor (2, Imm 3); Vm.Stp (Reg 4, Reg 2);
+              Vm.Add (0, Imm 1) ]
+          () );
+      ( "near miss: store offset is not the counter",
+        scatter ~pre:[ Vm.Mov (3, Imm 0) ] ~start:0 ~loop:whole
+          ~body:
+            [ Vm.Ldp (2, Reg 0); Vm.Xor (2, Imm 1); Vm.Stp (Reg 3, Reg 2);
+              Vm.Add (0, Imm 1) ]
+          () );
+      ( "near miss: key register is the byte register",
+        scatter ~start:0 ~loop:whole ~body:(body (Vm.Xor (2, Reg 2))) () );
+      ( "near miss: counter strides by 2",
+        scatter ~start:0
+          ~loop:(Vm.Loop (Imm 100, 65536))
+          ~body:
+            [ Vm.Ldp (2, Reg 0); Vm.Xor (2, Imm 9); Vm.Stp (Reg 0, Reg 2);
+              Vm.Add (0, Imm 2) ]
+          () );
+    ]
+  in
+  List.iter
+    (fun (what, insns) ->
+      let spec =
+        { Vm.s_insns = Array.of_list insns; s_fuel = Vm.max_fuel;
+          s_scratch = 0; s_context = Vm.Edge }
+      in
+      match Vm.verify spec with
+      | Error d ->
+        Alcotest.failf "%s: unexpected rejection: %s" what
+          (Vm.diag_to_string d)
+      | Ok p -> assert_parity ~what p standard_blocks)
+    cases
+
+let test_histogram_idiom () =
+  (* The histogram idiom turns Ldp/Ldsx/Add/Stsx/Add loops into host
+     array increments over the scratch arena; the verifier's
+     power-of-two proof is what justifies the unchecked indexing.
+     After the counted loop every program dumps the whole arena through
+     a second (generic) loop so scratch contents take part in parity.
+     Cover the arena at its static bound (a block of 0xff bytes hits
+     the last cell of a 256-cell table), masked wrap-around on small
+     arenas, the degenerate 1-cell arena, overruns and negative starts
+     on the fallback path, and near misses. *)
+  let hist ~scratch ~start ~loop ~body =
+    let insns =
+      [ Vm.Len 1; Vm.Mov (0, Imm start); loop ]
+      @ body
+      @ [ Vm.End; Vm.Emit (Imm 0, Reg 2); Vm.Emit (Imm 1, Reg 3);
+          Vm.Emit (Imm 2, Reg 0); Vm.Mov (4, Imm 0);
+          Vm.Loop (Imm scratch, 1024); Vm.Ldsx (5, 4);
+          Vm.Emit (Imm 9, Reg 5); Vm.Add (4, Imm 1); Vm.End; Vm.Ret ]
+    in
+    (scratch, insns)
+  in
+  let body =
+    [ Vm.Ldp (2, Reg 0); Vm.Ldsx (3, 2); Vm.Add (3, Imm 1);
+      Vm.Stsx (2, Reg 3); Vm.Add (0, Imm 1) ]
+  in
+  let whole = Vm.Loop (Reg 1, 65536) in
+  let cases =
+    [
+      ("histogram over 256 cells", hist ~scratch:256 ~start:0 ~loop:whole ~body);
+      ("histogram wraps a 16-cell arena", hist ~scratch:16 ~start:0 ~loop:whole ~body);
+      ("histogram into a single cell", hist ~scratch:1 ~start:0 ~loop:whole ~body);
+      ( "histogram overruns payload",
+        hist ~scratch:256 ~start:0 ~loop:(Vm.Loop (Imm 600, 65536)) ~body );
+      ( "histogram from negative offset",
+        hist ~scratch:256 ~start:(-1) ~loop:(Vm.Loop (Imm 5, 65536)) ~body );
+      ( "near miss: count register aliases the byte register",
+        hist ~scratch:256 ~start:0 ~loop:whole
+          ~body:
+            [ Vm.Ldp (2, Reg 0); Vm.Ldsx (2, 2); Vm.Add (2, Imm 1);
+              Vm.Stsx (2, Reg 2); Vm.Add (0, Imm 1) ] );
+      ( "near miss: store indexed by the counter",
+        hist ~scratch:256 ~start:0 ~loop:whole
+          ~body:
+            [ Vm.Ldp (2, Reg 0); Vm.Ldsx (3, 2); Vm.Add (3, Imm 1);
+              Vm.Stsx (0, Reg 3); Vm.Add (0, Imm 1) ] );
+      ( "near miss: increment is not 1",
+        hist ~scratch:256 ~start:0 ~loop:whole
+          ~body:
+            [ Vm.Ldp (2, Reg 0); Vm.Ldsx (3, 2); Vm.Add (3, Imm 2);
+              Vm.Stsx (2, Reg 3); Vm.Add (0, Imm 1) ] );
+    ]
+  in
+  let blocks = standard_blocks @ [ (String.make 9 '\xff', 77) ] in
+  List.iter
+    (fun (what, (scratch, insns)) ->
+      let spec =
+        { Vm.s_insns = Array.of_list insns; s_fuel = Vm.max_fuel;
+          s_scratch = scratch; s_context = Vm.Edge }
+      in
+      match Vm.verify spec with
+      | Error d ->
+        Alcotest.failf "%s: unexpected rejection: %s" what
+          (Vm.diag_to_string d)
+      | Ok p -> assert_parity ~what p blocks)
+    cases
+
+let test_rolling_idiom () =
+  (* The rolling-hash idiom recognizes the content-defined-chunking
+     region at its Loop — the conditional Emit keeps the body from ever
+     fusing — and runs it with the window state in host registers.
+     Cover every emit-value selector, dense and absent boundaries,
+     payload edges (empty and one-byte blocks ride along in the block
+     list), overruns and negative starts on the block-chained fallback,
+     and near misses that must stay on the chain. *)
+  let roll ?(m2 = 0x3) ?(tv = 0x3) ?(emitv = (Vm.Reg 2 : Vm.operand))
+      ?(key = (Vm.Imm 3 : Vm.operand)) ?(jne = true) ?(start = 0)
+      ?(loop = Vm.Loop (Reg 1, 65536)) () =
+    [ Vm.Len 1; Vm.Mov (2, Imm 0); Vm.Mov (0, Imm start); loop;
+      Vm.Ldp (3, Reg 0); Vm.Mul (2, Imm 0x01000193); Vm.Add (2, Reg 3);
+      Vm.And (2, Imm 0xffffff); Vm.Add (0, Imm 1); Vm.Mov (4, Reg 2);
+      Vm.And (4, Imm m2);
+      (if jne then Vm.Jne (4, Imm tv, 2) else Vm.Jeq (4, Imm tv, 2));
+      Vm.Emit (key, emitv); Vm.End; Vm.Emit (Imm 0, Reg 2);
+      Vm.Emit (Imm 1, Reg 0); Vm.Emit (Imm 2, Reg 3); Vm.Emit (Imm 4, Reg 4);
+      Vm.Ret ]
+  in
+  let cases =
+    [
+      ("rolling hash emits the window hash", roll ());
+      ("rolling hash emits the position", roll ~emitv:(Vm.Reg 0) ());
+      ("rolling hash emits the byte", roll ~emitv:(Vm.Reg 3) ());
+      ("rolling hash emits the test register", roll ~emitv:(Vm.Reg 4) ());
+      ("rolling hash emits an immediate", roll ~emitv:(Vm.Imm 42) ());
+      ("rolling hash with boundaries every byte", roll ~m2:0 ~tv:0 ());
+      ("rolling hash with no boundaries", roll ~m2:0xffffff ~tv:1 ());
+      ( "rolling hash overruns payload",
+        roll ~loop:(Vm.Loop (Imm 600, 65536)) () );
+      ( "rolling hash from negative offset",
+        roll ~start:(-1) ~loop:(Vm.Loop (Imm 5, 65536)) () );
+      ("near miss: boundary test is inverted", roll ~jne:false ());
+      ("near miss: emit key is a register", roll ~key:(Vm.Reg 4) ());
+      ("near miss: emit value register is dead", roll ~emitv:(Vm.Reg 5) ());
+    ]
+  in
+  let blocks = standard_blocks @ [ ("A", 9); (block 1 200, 10) ] in
+  List.iter
+    (fun (what, insns) ->
+      let spec =
+        { Vm.s_insns = Array.of_list insns; s_fuel = Vm.max_fuel;
+          s_scratch = 0; s_context = Vm.Edge }
+      in
+      match Vm.verify spec with
+      | Error d ->
+        Alcotest.failf "%s: unexpected rejection: %s" what
+          (Vm.diag_to_string d)
+      | Ok p -> assert_parity ~what p blocks)
+    cases
+
 (* {1 Basic-block structure} *)
 
 let test_block_structure () =
@@ -248,6 +464,9 @@ let test_block_structure () =
       ("checksum", Samples.checksum ());
       ("dropper", Samples.dropper ~modulo:2);
       ("xor_mask", Samples.xor_mask ~key:1);
+      ("xor_stream", Samples.xor_stream ~key:1);
+      ("histogram", Samples.histogram ());
+      ("dedup_chunks", Samples.dedup_chunks ~bits:11);
     ]
 
 (* {1 Steady-state allocation}
@@ -267,25 +486,35 @@ let minor_words_per_run exec_once =
   (Gc.minor_words () -. before) /. float_of_int runs
 
 let test_zero_alloc () =
-  let p = Samples.checksum () in
-  let code = Compile.compile p in
-  let ist = Vm.new_state p and cst = Compile.new_state code in
-  let data = Bytes.make 4096 '\x55' in
-  let emit _ _ = () in
-  let interp () =
-    ignore (Vm.exec p ist ~data ~len:4096 ~lblk:3 ~emit : Vm.run)
-  in
-  let compiled () =
-    ignore (Compile.exec code cst ~data ~len:4096 ~lblk:3 ~emit : Vm.run)
-  in
-  let wi = minor_words_per_run interp in
-  let wc = minor_words_per_run compiled in
-  Alcotest.(check bool)
-    (Printf.sprintf "interpreter allocates O(1) per run (%.1f words)" wi)
-    true (wi < 64.0);
-  Alcotest.(check bool)
-    (Printf.sprintf "compiled allocates O(1) per run (%.1f words)" wc)
-    true (wc < 64.0)
+  (* Read-only programs only: a store-bearing program clones the 4 KB
+     payload, which is a (major-heap) allocation by design. *)
+  List.iter
+    (fun (what, p) ->
+      let code = Compile.compile p in
+      let ist = Vm.new_state p and cst = Compile.new_state code in
+      let data = Bytes.make 4096 '\x55' in
+      let emit _ _ = () in
+      let interp () =
+        ignore (Vm.exec p ist ~data ~len:4096 ~lblk:3 ~emit : Vm.run)
+      in
+      let compiled () =
+        ignore (Compile.exec code cst ~data ~len:4096 ~lblk:3 ~emit : Vm.run)
+      in
+      let wi = minor_words_per_run interp in
+      let wc = minor_words_per_run compiled in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: interpreter allocates O(1) per run (%.1f words)"
+           what wi)
+        true (wi < 64.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: compiled allocates O(1) per run (%.1f words)"
+           what wc)
+        true (wc < 64.0))
+    [
+      ("checksum", Samples.checksum ());
+      ("histogram", Samples.histogram ());
+      ("dedup_chunks", Samples.dedup_chunks ~bits:11);
+    ]
 
 (* {1 Random programs} *)
 
@@ -301,35 +530,50 @@ let prop_differential =
         QCheck.Test.fail_reportf "generator produced a rejected program: %s"
           (Vm.diag_to_string d)
       | Ok p ->
-        let code = Compile.compile p in
-        let ist = Vm.new_state p and cst = Compile.new_state code in
+        let ist = Vm.new_state p in
+        let variants =
+          List.map
+            (fun (vname, code) -> (vname, code, Compile.new_state code))
+            [
+              ("compiled", Compile.compile p);
+              ("compiled[no-idiom]", Compile.compile ~idioms:false p);
+            ]
+        in
         let check_block data lblk =
           let len = Bytes.length data in
-          let iemits = ref [] and cemits = ref [] in
+          let iemits = ref [] in
           let ir =
             Vm.exec p ist ~data ~len ~lblk ~emit:(fun k v ->
                 iemits := (k, v) :: !iemits)
           in
-          let cr =
-            Compile.exec code cst ~data ~len ~lblk ~emit:(fun k v ->
-                cemits := (k, v) :: !cemits)
-          in
-          if ir.Vm.r_verdict <> cr.Vm.r_verdict then
-            QCheck.Test.fail_reportf "verdicts differ: %s vs %s"
-              (Format.asprintf "%a" pp_verdict ir.Vm.r_verdict)
-              (Format.asprintf "%a" pp_verdict cr.Vm.r_verdict);
-          if ir.Vm.r_steps <> cr.Vm.r_steps then
-            QCheck.Test.fail_reportf "steps differ: %d vs %d" ir.Vm.r_steps
-              cr.Vm.r_steps;
-          if !iemits <> !cemits then
-            QCheck.Test.fail_reportf "emit sequences differ (%d vs %d emits)"
-              (List.length !iemits) (List.length !cemits);
-          if not (Bytes.equal ir.Vm.r_data cr.Vm.r_data) then
-            QCheck.Test.fail_reportf "payloads differ";
-          if ir.Vm.r_data == data && cr.Vm.r_data != data then
-            QCheck.Test.fail_reportf "compiled cloned, interpreter aliased";
-          if ir.Vm.r_data != data && cr.Vm.r_data == data then
-            QCheck.Test.fail_reportf "interpreter cloned, compiled aliased"
+          List.iter
+            (fun (vname, code, cst) ->
+              let cemits = ref [] in
+              let cr =
+                Compile.exec code cst ~data ~len ~lblk ~emit:(fun k v ->
+                    cemits := (k, v) :: !cemits)
+              in
+              if ir.Vm.r_verdict <> cr.Vm.r_verdict then
+                QCheck.Test.fail_reportf "[%s] verdicts differ: %s vs %s"
+                  vname
+                  (Format.asprintf "%a" pp_verdict ir.Vm.r_verdict)
+                  (Format.asprintf "%a" pp_verdict cr.Vm.r_verdict);
+              if ir.Vm.r_steps <> cr.Vm.r_steps then
+                QCheck.Test.fail_reportf "[%s] steps differ: %d vs %d" vname
+                  ir.Vm.r_steps cr.Vm.r_steps;
+              if !iemits <> !cemits then
+                QCheck.Test.fail_reportf
+                  "[%s] emit sequences differ (%d vs %d emits)" vname
+                  (List.length !iemits) (List.length !cemits);
+              if not (Bytes.equal ir.Vm.r_data cr.Vm.r_data) then
+                QCheck.Test.fail_reportf "[%s] payloads differ" vname;
+              if ir.Vm.r_data == data && cr.Vm.r_data != data then
+                QCheck.Test.fail_reportf
+                  "[%s] compiled cloned, interpreter aliased" vname;
+              if ir.Vm.r_data != data && cr.Vm.r_data == data then
+                QCheck.Test.fail_reportf
+                  "[%s] interpreter cloned, compiled aliased" vname)
+            variants
         in
         (* Two blocks through the same states: scratch carry-over too. *)
         check_block (Bytes.of_string payload) 7;
@@ -344,6 +588,12 @@ let suite =
     Alcotest.test_case "verdict corners agree" `Quick test_verdict_parity;
     Alcotest.test_case "fold idiom: fast path and fallbacks agree" `Quick
       test_fold_idiom;
+    Alcotest.test_case "scatter idiom: fast path and fallbacks agree" `Quick
+      test_scatter_idiom;
+    Alcotest.test_case "histogram idiom: fast path and fallbacks agree" `Quick
+      test_histogram_idiom;
+    Alcotest.test_case "rolling-hash idiom: fast path and fallbacks agree"
+      `Quick test_rolling_idiom;
     Alcotest.test_case "basic blocks tile the program" `Quick
       test_block_structure;
     Alcotest.test_case "both backends run without per-block allocation" `Quick
