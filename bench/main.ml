@@ -470,7 +470,8 @@ let prog_stages () =
     `Prog ("prog-dedup", [ Kpath_vm.Samples.dedup_chunks ~bits:11 ]);
   ]
 
-let prog_backends = [ ("compiled", `Compiled); ("interp", `Interp) ]
+let prog_backends =
+  [ ("compiled", `Compiled); ("checked", `Checked); ("interp", `Interp) ]
 
 let prog_rows ?(file_bytes = 4 * mb) ?(disks = [ `Ram; `Rz58 ]) () =
   List.map
@@ -506,9 +507,12 @@ let vm_micro_ns_per_run ?prog ~runs backend =
     | `Interp ->
       let st = Kpath_vm.Vm.new_state p in
       fun () -> ignore (Kpath_vm.Vm.exec p st ~data ~len:8192 ~lblk:0 ~emit)
-    | `Compiled | `NoIdiom ->
+    | (`Compiled | `NoIdiom | `Checked) as b ->
       let code =
-        Kpath_vm.Compile.compile ~idioms:(backend = `Compiled) p
+        match b with
+        | `Compiled -> Kpath_vm.Compile.compile p
+        | `NoIdiom -> Kpath_vm.Compile.compile ~idioms:false p
+        | `Checked -> Kpath_vm.Compile.compile ~idioms:false ~elide:false p
       in
       let st = Kpath_vm.Compile.new_state code in
       fun () ->
@@ -581,12 +585,16 @@ let print_prog_sweep ?(file_bytes = 4 * mb) () =
              | Some a, Some b -> a = b
              | _ -> false))
         per_backend;
-      (match (List.assoc_opt "compiled" per_backend,
-              List.assoc_opt "interp" per_backend) with
-       | Some compiled, Some interp ->
-         Printf.printf "%-5s   backends bit-identical (sim numbers): %b\n"
-           (Experiments.disk_name disk)
-           (prog_rows_bit_identical compiled interp);
+      (match List.assoc_opt "interp" per_backend with
+       | Some interp ->
+         List.iter
+           (fun (bname, rows) ->
+             if bname <> "interp" then
+               Printf.printf
+                 "%-5s   %s vs interp bit-identical (sim numbers): %b\n"
+                 (Experiments.disk_name disk) bname
+                 (prog_rows_bit_identical rows interp))
+           per_backend;
          let host_of rows stage =
            List.find_map
              (fun (r, host) ->
@@ -594,13 +602,14 @@ let print_prog_sweep ?(file_bytes = 4 * mb) () =
              rows
          in
          (match (host_of interp "prog-checksum",
-                 host_of compiled "prog-checksum") with
+                 Option.bind (List.assoc_opt "compiled" per_backend)
+                   (fun rows -> host_of rows "prog-checksum")) with
           | Some hi, Some hc when hc > 0.0 ->
             Printf.printf
               "%-5s   prog-checksum host speedup (interp/compiled): %.2fx\n"
               (Experiments.disk_name disk) (hi /. hc)
           | _ -> ())
-       | _ -> ()))
+       | None -> ()))
     (prog_rows ~file_bytes ());
   let runs = 2000 in
   let ni = vm_micro_ns_per_run ~runs `Interp in
@@ -609,31 +618,38 @@ let print_prog_sweep ?(file_bytes = 4 * mb) () =
     "VM-only, FNV checksum over one 8 KB block: interp %.0f ns/run, compiled \
      %.0f ns/run -- %.1fx host speedup\n"
     ni nc (ni /. nc);
-  (* Tier ladder per idiom: interpreter, generic fused loop (the
-     idiom's own fallback path, ~idioms:false), and the recognized
-     idiom. "gain" is generic/idiom -- the value of pattern
-     recognition on top of fusion; "/byte vs fold" compares each
-     idiom's per-byte cost to the byte-scan fold's. *)
+  (* Tier ladder per idiom: interpreter, generic fused loop with every
+     runtime check kept (~elide:false), the same generic loop with the
+     range analysis's proven checks elided (the ~idioms:false default),
+     and the recognized idiom. "elide" is checked/generic -- what the
+     range analysis buys on the generic tier; "gain" is generic/idiom
+     -- the value of pattern recognition on top of elision; "/byte vs
+     fold" compares each idiom's per-byte cost to the byte-scan
+     fold's. *)
   Printf.printf
     "VM-only per idiom, one 8 KB block (ns/run):\n%-13s | %9s | %9s | %9s | \
-     %7s | %13s\n"
-    "program" "interp" "generic" "idiom" "gain" "/byte vs fold";
+     %9s | %6s | %7s | %13s\n"
+    "program" "interp" "checked" "generic" "idiom" "elide" "gain"
+    "/byte vs fold";
   let fold_per_byte = ref 0.0 in
   List.iter
     (fun (name, p) ->
       let ni = vm_micro_ns_per_run ~prog:p ~runs `Interp in
+      let nk = vm_micro_ns_per_run ~prog:p ~runs `Checked in
       let ng = vm_micro_ns_per_run ~prog:p ~runs `NoIdiom in
       let nc = vm_micro_ns_per_run ~prog:p ~runs `Compiled in
       let per_byte = nc /. 8192.0 in
       if name = "checksum" then fold_per_byte := per_byte;
-      Printf.printf "%-13s | %9.0f | %9.0f | %9.0f | %6.1fx | %12.2fx\n" name
-        ni ng nc (ng /. nc)
+      Printf.printf
+        "%-13s | %9.0f | %9.0f | %9.0f | %9.0f | %5.2fx | %6.1fx | %12.2fx\n"
+        name ni nk ng nc (nk /. ng) (ng /. nc)
         (if !fold_per_byte > 0.0 then per_byte /. !fold_per_byte else 0.0))
     [
       ("checksum", Kpath_vm.Samples.checksum ());
       ("xor-stream", Kpath_vm.Samples.xor_stream ~key:0x6b);
       ("histogram", Kpath_vm.Samples.histogram ());
       ("dedup-11bit", Kpath_vm.Samples.dedup_chunks ~bits:11);
+      ("bounded-copy", Kpath_vm.Samples.bounded_copy ());
     ];
   Printf.printf
     "(us/blk is the simulated CPU the stage adds per 8 KB block over the \
@@ -689,8 +705,11 @@ let smoke ?(path = "BENCH_kpath.json") () =
   in
   let prog_compiled_match =
     match (List.assoc_opt "compiled" pr_backends,
+           List.assoc_opt "checked" pr_backends,
            List.assoc_opt "interp" pr_backends) with
-    | Some compiled, Some interp -> prog_rows_bit_identical compiled interp
+    | Some compiled, Some checked, Some interp ->
+      prog_rows_bit_identical compiled interp
+      && prog_rows_bit_identical checked interp
     | _ -> false
   in
   let buf = Buffer.create 4096 in

@@ -63,12 +63,18 @@ let vm_backend_conv =
   let parse = function
     | "interp" -> Ok `Interp
     | "compiled" -> Ok `Compiled
+    | "checked" -> Ok `Checked
     | s ->
-      Error (`Msg (Printf.sprintf "unknown backend %S (interp|compiled)" s))
+      Error
+        (`Msg
+          (Printf.sprintf "unknown backend %S (interp|compiled|checked)" s))
   in
   let print fmt b =
     Format.pp_print_string fmt
-      (match b with `Interp -> "interp" | `Compiled -> "compiled")
+      (match b with
+       | `Interp -> "interp"
+       | `Compiled -> "compiled"
+       | `Checked -> "checked")
   in
   Arg.conv (parse, print)
 
@@ -77,10 +83,11 @@ let vm_backend_arg =
        & opt vm_backend_conv Config.decstation_5000_200.Config.vm_backend
        & info [ "vm-backend" ] ~docv:"BACKEND"
            ~doc:"Filter-program execution backend: compiled \
-                 (closure-compiled at load time, the default) or interp \
-                 (the reference interpreter). Verdicts, emits and simulated \
-                 cost are identical either way; only host wall-clock \
-                 differs.")
+                 (closure-compiled at load time, the default), interp \
+                 (the reference interpreter), or checked (compiled with \
+                 the range analysis's check elision disabled). Verdicts, \
+                 emits and simulated cost are identical in all three; \
+                 only host wall-clock differs.")
 
 let config_with_cluster max_cluster sim_engine =
   if max_cluster < 1 then begin
@@ -459,7 +466,8 @@ let graph_cmd =
         r.Experiments.fo_prog_runs r.Experiments.fo_prog_insns
         (match vm_backend with
          | `Interp -> "interp"
-         | `Compiled -> "compiled");
+         | `Compiled -> "compiled"
+         | `Checked -> "checked");
     if r.Experiments.fo_pinned_after <> 0 then
       Format.printf "WARNING: %d buffers still pinned after completion@."
         r.Experiments.fo_pinned_after
@@ -514,13 +522,43 @@ let prog_cmd =
         (Kpath_vm.Vm.fuel p)
         (Kpath_vm.Vm.scratch_cells p)
         (Array.length bs);
+      let accesses = Kpath_vm.Vm.accesses p in
+      let proven =
+        List.length
+          (List.filter
+             (fun a ->
+               match a.Kpath_vm.Vm.a_bounds with
+               | `Proven -> true
+               | `Checked -> false)
+             accesses)
+      in
+      Format.printf
+        "range analysis: %d faultable sites, %d proven (checks elided)@."
+        (List.length accesses) proven;
       let tiers = Kpath_vm.Compile.block_tiers code in
       Array.iteri
         (fun b { Kpath_vm.Compile.bb_first; bb_last } ->
           Format.printf "b%d: [%s]@." b tiers.(b);
           for pc = bb_first to bb_last do
-            Format.printf "  %4d: %s@." pc
+            let note =
+              match
+                List.find_opt (fun a -> a.Kpath_vm.Vm.a_pc = pc) accesses
+              with
+              | None -> ""
+              | Some a ->
+                Format.sprintf "  ; %s %s, %s"
+                  (match a.Kpath_vm.Vm.a_kind with
+                   | `Load -> "load"
+                   | `Store -> "store"
+                   | `Div -> "div")
+                  (match a.Kpath_vm.Vm.a_bounds with
+                   | `Proven -> "proven"
+                   | `Checked -> "checked")
+                  a.Kpath_vm.Vm.a_range
+            in
+            Format.printf "  %4d: %s%s@." pc
               (Kpath_vm.Asm.insn_to_string ~pc insns.(pc))
+              note
           done)
         bs
   in
@@ -528,10 +566,12 @@ let prog_cmd =
     (Cmd.info "prog"
        ~doc:"Verify and disassemble a filter program without running it: \
              static cost against its fuel budget, scratch footprint, the \
-             basic-block structure the closure compiler found, and per \
-             block the compilation tier that fired (named loop idiom, \
-             fused loop, superinstructions, or plain chained closures) — \
-             so a slow program is diagnosable without reading the \
+             basic-block structure the closure compiler found, per block \
+             the compilation tier that fired (named loop idiom, fused \
+             loop, superinstructions, or plain chained closures), and the \
+             range analysis's verdict at every faultable site — the \
+             offset interval and whether the runtime check was proven \
+             away — so a slow program is diagnosable without reading the \
              compiler. A rejected program prints the violated rule and \
              instruction offset and exits 124, exactly as graph --prog \
              would.")

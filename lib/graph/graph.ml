@@ -15,7 +15,7 @@ type ctx = {
   intr : service:Time.span -> (unit -> unit) -> unit;
   handler_cost : Time.span;
   vm_insn_cost : Time.span;
-  vm_backend : [ `Interp | `Compiled ];
+  vm_backend : [ `Interp | `Compiled | `Checked ];
   (* Compiled-code cache, keyed by program identity ([assq]: progs are
      abstract and may carry no structural equality): one program
      attached to a thousand edges is compiled once, at load time. *)
@@ -49,13 +49,20 @@ let prog_code ctx p =
   match List.assq_opt p ctx.vm_codes with
   | Some code -> code
   | None ->
-    let code = Vm_compile.compile p in
+    (* `Checked keeps every runtime payload check the range analysis
+       would have elided; a ctx has one fixed backend, so the cache
+       never mixes the two compilations. *)
+    let code =
+      match ctx.vm_backend with
+      | `Checked -> Vm_compile.compile ~elide:false p
+      | `Interp | `Compiled -> Vm_compile.compile p
+    in
     ctx.vm_codes <- (p, code) :: ctx.vm_codes;
     code
 
 let preload_prog ctx p =
   match ctx.vm_backend with
-  | `Compiled -> ignore (prog_code ctx p : Vm_compile.code)
+  | `Compiled | `Checked -> ignore (prog_code ctx p : Vm_compile.code)
   | `Interp -> ()
 
 let ctx_stats ctx = ctx.stats
@@ -322,7 +329,7 @@ let make_prog_inst ctx e p =
          same filter list is passed to several connects. *)
       let st = Vm.new_state p in
       fun ~data ~len ~lblk -> Vm.exec p st ~data ~len ~lblk ~emit
-    | `Compiled ->
+    | `Compiled | `Checked ->
       let code = prog_code ctx p in
       let st = Vm_compile.new_state code in
       fun ~data ~len ~lblk -> Vm_compile.exec code st ~data ~len ~lblk ~emit

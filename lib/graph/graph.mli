@@ -47,7 +47,7 @@ val make_ctx :
   intr:(service:Time.span -> (unit -> unit) -> unit) ->
   ?handler_cost:Time.span ->
   ?vm_insn_cost:Time.span ->
-  ?vm_backend:[ `Interp | `Compiled ] ->
+  ?vm_backend:[ `Interp | `Compiled | `Checked ] ->
   ?trace:Trace.t ->
   unit ->
   ctx
@@ -57,7 +57,9 @@ val make_ctx :
     instruction (default 100 ns — a handful of R3000 cycles per
     dispatched bytecode). [vm_backend] picks how programs execute
     (default [`Compiled]: closures compiled from the verified bytecode
-    at load time; [`Interp]: the direct interpreter) — the two are
+    at load time; [`Interp]: the direct interpreter; [`Checked]: the
+    compiled backend with the range analysis's check elision disabled,
+    for pricing what the analysis buys) — all three are
     observationally identical, down to per-instruction CPU accounting,
     so the choice only moves host wall-clock. Pass [trace] to record
     per-block events under the ["graph"] category. *)

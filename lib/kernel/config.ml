@@ -12,7 +12,7 @@ type t = {
   page_fault_cost : Time.span;
   callout_tick : Time.span;
   vm_insn_cost : Time.span;
-  vm_backend : [ `Interp | `Compiled ];
+  vm_backend : [ `Interp | `Compiled | `Checked ];
   sim_engine : Engine.backend;
   copy_rate : float;
   block_size : int;

@@ -31,13 +31,16 @@ type t = {
       (** CPU charged per executed filter-program instruction
           ([r_steps]), whatever backend ran it (100 ns — a handful of
           R3000 cycles per dispatched bytecode) *)
-  vm_backend : [ `Interp | `Compiled ];
+  vm_backend : [ `Interp | `Compiled | `Checked ];
       (** how splice-graph [Prog] filter stages execute: [`Compiled]
           (the default) runs closures compiled from the verified
-          bytecode at load time, [`Interp] the direct interpreter.
-          Observationally identical — same verdicts, emits, step counts
-          and therefore the same simulated timeline; the compiled
-          backend only reduces host wall-clock per block *)
+          bytecode at load time, [`Interp] the direct interpreter, and
+          [`Checked] the compiled backend with the range analysis's
+          check elision disabled (every payload access keeps its
+          runtime test — the benches use it to price what the analysis
+          buys). Observationally identical — same verdicts, emits, step
+          counts and therefore the same simulated timeline; the choice
+          only moves host wall-clock per block *)
   sim_engine : Engine.backend;
       (** event-queue implementation backing the simulation ([`Wheel]:
           hierarchical timing wheel keyed on [callout_tick]; [`Heap]:

@@ -145,9 +145,20 @@ let is_terminator : Vm.insn -> bool = function
     true
   | _ -> false
 
-let[@kpath.intr] compile ?(idioms = true) p =
+let[@kpath.intr] compile ?(idioms = true) ?(elide = true) p =
   let insns = Vm.insns p in
   let n = Array.length insns in
+  (* Elision oracle: [pv.(pc)] is true when the verifier's range
+     analysis proved the faultable site at [pc] can never fault, so the
+     arms below may drop the runtime test. This is the idiom library's
+     entry-test trick generalized to arbitrary verified programs — the
+     trusted surface is the analysis in [Vm], not anything here.
+     [~elide:false] keeps every check (the "checks-kept" backend the
+     bench ladder compares against). *)
+  let pv =
+    Array.init (max n 1) (fun pc ->
+        match Vm.bounds_at p pc with `Proven -> elide | `Checked -> false)
+  in
   let fuel = Vm.fuel p in
   (* Mask for indexed scratch access; only read when the program
      contains Ldsx/Stsx, in which case the verifier proved the arena a
@@ -280,15 +291,23 @@ let[@kpath.intr] compile ?(idioms = true) p =
         Array.unsafe_set regs r (Array.unsafe_get regs r * v);
         next st
     | Vm.Div (r, Reg s) ->
-      fun st ->
-        let regs = st.c_regs in
-        let d = Array.unsafe_get regs s in
-        if d = 0 then begin
-          fault_steps bump st;
-          Vm.fault "division by zero at pc %d" pc
-        end;
-        Array.unsafe_set regs r (Array.unsafe_get regs r / d);
-        next st
+      if pv.(pc) then
+        (* Range analysis proved the divisor non-zero. *)
+        fun st ->
+          let regs = st.c_regs in
+          Array.unsafe_set regs r
+            (Array.unsafe_get regs r / Array.unsafe_get regs s);
+          next st
+      else
+        fun st ->
+          let regs = st.c_regs in
+          let d = Array.unsafe_get regs s in
+          if d = 0 then begin
+            fault_steps bump st;
+            Vm.fault "division by zero at pc %d" pc
+          end;
+          Array.unsafe_set regs r (Array.unsafe_get regs r / d);
+          next st
     | Vm.Div (r, Imm v) ->
       (* The verifier rejected constant zero divisors. *)
       fun st ->
@@ -296,15 +315,22 @@ let[@kpath.intr] compile ?(idioms = true) p =
         Array.unsafe_set regs r (Array.unsafe_get regs r / v);
         next st
     | Vm.Rem (r, Reg s) ->
-      fun st ->
-        let regs = st.c_regs in
-        let d = Array.unsafe_get regs s in
-        if d = 0 then begin
-          fault_steps bump st;
-          Vm.fault "division by zero at pc %d" pc
-        end;
-        Array.unsafe_set regs r (Array.unsafe_get regs r mod d);
-        next st
+      if pv.(pc) then
+        fun st ->
+          let regs = st.c_regs in
+          Array.unsafe_set regs r
+            (Array.unsafe_get regs r mod Array.unsafe_get regs s);
+          next st
+      else
+        fun st ->
+          let regs = st.c_regs in
+          let d = Array.unsafe_get regs s in
+          if d = 0 then begin
+            fault_steps bump st;
+            Vm.fault "division by zero at pc %d" pc
+          end;
+          Array.unsafe_set regs r (Array.unsafe_get regs r mod d);
+          next st
     | Vm.Rem (r, Imm v) ->
       fun st ->
         let regs = st.c_regs in
@@ -379,12 +405,24 @@ let[@kpath.intr] compile ?(idioms = true) p =
           pc
       in
       (match o with
+       | Reg s when pv.(pc) ->
+         (* Range analysis proved 0 <= off < len on every path. *)
+         fun st ->
+           let regs = st.c_regs in
+           let off = Array.unsafe_get regs s in
+           Array.unsafe_set regs r (Char.code (Bytes.unsafe_get st.c_cur off));
+           next st
        | Reg s ->
          fun st ->
            let regs = st.c_regs in
            let off = Array.unsafe_get regs s in
            if off < 0 || off >= st.c_len then oob st off;
            Array.unsafe_set regs r (Char.code (Bytes.unsafe_get st.c_cur off));
+           next st
+       | Imm v when pv.(pc) ->
+         fun st ->
+           Array.unsafe_set st.c_regs r
+             (Char.code (Bytes.unsafe_get st.c_cur v));
            next st
        | Imm v ->
          fun st ->
@@ -403,12 +441,29 @@ let[@kpath.intr] compile ?(idioms = true) p =
         st.c_cur <- Bytes.copy st.c_data;
         st.c_copied <- true
       in
+      (* Proven arms drop only the bounds test; the copy-on-write logic
+         is behavior, not a check, and stays byte-identical. *)
       (match (o_off, o_v) with
+       | Reg a, Reg b when assume_copied && pv.(pc) ->
+         fun st ->
+           let regs = st.c_regs in
+           let off = Array.unsafe_get regs a in
+           Bytes.unsafe_set st.c_cur off
+             (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+           next st
        | Reg a, Reg b when assume_copied ->
          fun st ->
            let regs = st.c_regs in
            let off = Array.unsafe_get regs a in
            if off < 0 || off >= st.c_len then oob st off;
+           Bytes.unsafe_set st.c_cur off
+             (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+           next st
+       | Reg a, Reg b when pv.(pc) ->
+         fun st ->
+           let regs = st.c_regs in
+           let off = Array.unsafe_get regs a in
+           if not st.c_copied then cow st;
            Bytes.unsafe_set st.c_cur off
              (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
            next st
@@ -421,11 +476,24 @@ let[@kpath.intr] compile ?(idioms = true) p =
            Bytes.unsafe_set st.c_cur off
              (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
            next st
+       | Reg a, Imm v when assume_copied && pv.(pc) ->
+         let b = Char.unsafe_chr (v land 0xff) in
+         fun st ->
+           let off = Array.unsafe_get st.c_regs a in
+           Bytes.unsafe_set st.c_cur off b;
+           next st
        | Reg a, Imm v when assume_copied ->
          let b = Char.unsafe_chr (v land 0xff) in
          fun st ->
            let off = Array.unsafe_get st.c_regs a in
            if off < 0 || off >= st.c_len then oob st off;
+           Bytes.unsafe_set st.c_cur off b;
+           next st
+       | Reg a, Imm v when pv.(pc) ->
+         let b = Char.unsafe_chr (v land 0xff) in
+         fun st ->
+           let off = Array.unsafe_get st.c_regs a in
+           if not st.c_copied then cow st;
            Bytes.unsafe_set st.c_cur off b;
            next st
        | Reg a, Imm v ->
@@ -436,12 +504,24 @@ let[@kpath.intr] compile ?(idioms = true) p =
            if not st.c_copied then cow st;
            Bytes.unsafe_set st.c_cur off b;
            next st
+       | Imm o, Reg b when pv.(pc) ->
+         fun st ->
+           if not st.c_copied then cow st;
+           Bytes.unsafe_set st.c_cur o
+             (Char.unsafe_chr (Array.unsafe_get st.c_regs b land 0xff));
+           next st
        | Imm o, Reg b ->
          fun st ->
            if o < 0 || o >= st.c_len then oob st o;
            if not st.c_copied then cow st;
            Bytes.unsafe_set st.c_cur o
              (Char.unsafe_chr (Array.unsafe_get st.c_regs b land 0xff));
+           next st
+       | Imm o, Imm v when pv.(pc) ->
+         let b = Char.unsafe_chr (v land 0xff) in
+         fun st ->
+           if not st.c_copied then cow st;
+           Bytes.unsafe_set st.c_cur o b;
            next st
        | Imm o, Imm v ->
          let b = Char.unsafe_chr (v land 0xff) in
@@ -519,6 +599,15 @@ let[@kpath.intr] compile ?(idioms = true) p =
       (state -> unit) option =
     let bump = j + 1 in
     match (insns.(pc), insns.(pc + 1)) with
+    | Vm.Ldp (r, Reg s), Vm.Xor (r2, Reg s2) when pv.(pc) ->
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          let off = Array.unsafe_get regs s in
+          Array.unsafe_set regs r (Char.code (Bytes.unsafe_get st.c_cur off));
+          Array.unsafe_set regs r2
+            (Array.unsafe_get regs r2 lxor Array.unsafe_get regs s2);
+          next st)
     | Vm.Ldp (r, Reg s), Vm.Xor (r2, Reg s2) ->
       let oob st off =
         fault_steps bump st;
@@ -533,6 +622,14 @@ let[@kpath.intr] compile ?(idioms = true) p =
           Array.unsafe_set regs r (Char.code (Bytes.unsafe_get st.c_cur off));
           Array.unsafe_set regs r2
             (Array.unsafe_get regs r2 lxor Array.unsafe_get regs s2);
+          next st)
+    | Vm.Ldp (r, Reg s), Vm.Xor (r2, Imm v) when pv.(pc) ->
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          let off = Array.unsafe_get regs s in
+          Array.unsafe_set regs r (Char.code (Bytes.unsafe_get st.c_cur off));
+          Array.unsafe_set regs r2 (Array.unsafe_get regs r2 lxor v);
           next st)
     | Vm.Ldp (r, Reg s), Vm.Xor (r2, Imm v) ->
       let oob st off =
@@ -577,6 +674,29 @@ let[@kpath.intr] compile ?(idioms = true) p =
           Array.unsafe_set regs r (Array.unsafe_get regs r + v);
           Array.unsafe_set regs r2 (Array.unsafe_get regs r2 + v2);
           next st)
+    | Vm.Stp (Reg a, Reg b), Vm.Add (r, Imm v) when pv.(pc) ->
+      let cow st =
+        st.c_cur <- Bytes.copy st.c_data;
+        st.c_copied <- true
+      in
+      Some
+        (if assume_copied then
+           fun st ->
+             let regs = st.c_regs in
+             let off = Array.unsafe_get regs a in
+             Bytes.unsafe_set st.c_cur off
+               (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+             Array.unsafe_set regs r (Array.unsafe_get regs r + v);
+             next st
+         else
+           fun st ->
+             let regs = st.c_regs in
+             let off = Array.unsafe_get regs a in
+             if not st.c_copied then cow st;
+             Bytes.unsafe_set st.c_cur off
+               (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+             Array.unsafe_set regs r (Array.unsafe_get regs r + v);
+             next st)
     | Vm.Stp (Reg a, Reg b), Vm.Add (r, Imm v) ->
       let oob st off =
         fault_steps bump st;
@@ -615,6 +735,17 @@ let[@kpath.intr] compile ?(idioms = true) p =
       =
     let bump = j + 1 in
     match (insns.(pc), insns.(pc + 1), insns.(pc + 2)) with
+    | Vm.Ldp (r, Reg s), Vm.Xor (r2, Reg s2), Vm.Mul (r3, Imm v)
+      when pv.(pc) ->
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          let off = Array.unsafe_get regs s in
+          Array.unsafe_set regs r (Char.code (Bytes.unsafe_get st.c_cur off));
+          Array.unsafe_set regs r2
+            (Array.unsafe_get regs r2 lxor Array.unsafe_get regs s2);
+          Array.unsafe_set regs r3 (Array.unsafe_get regs r3 * v);
+          next st)
     | Vm.Ldp (r, Reg s), Vm.Xor (r2, Reg s2), Vm.Mul (r3, Imm v) ->
       let oob st off =
         fault_steps bump st;
@@ -629,6 +760,16 @@ let[@kpath.intr] compile ?(idioms = true) p =
           Array.unsafe_set regs r (Char.code (Bytes.unsafe_get st.c_cur off));
           Array.unsafe_set regs r2
             (Array.unsafe_get regs r2 lxor Array.unsafe_get regs s2);
+          Array.unsafe_set regs r3 (Array.unsafe_get regs r3 * v);
+          next st)
+    | Vm.Ldp (r, Reg s), Vm.Xor (r2, Imm v2), Vm.Mul (r3, Imm v)
+      when pv.(pc) ->
+      Some
+        (fun st ->
+          let regs = st.c_regs in
+          let off = Array.unsafe_get regs s in
+          Array.unsafe_set regs r (Char.code (Bytes.unsafe_get st.c_cur off));
+          Array.unsafe_set regs r2 (Array.unsafe_get regs r2 lxor v2);
           Array.unsafe_set regs r3 (Array.unsafe_get regs r3 * v);
           next st)
     | Vm.Ldp (r, Reg s), Vm.Xor (r2, Imm v2), Vm.Mul (r3, Imm v) ->
@@ -671,6 +812,27 @@ let[@kpath.intr] compile ?(idioms = true) p =
           let regs = st.c_regs in
           Array.unsafe_set regs r (Array.unsafe_get regs r + v);
           Array.unsafe_set regs r2 (Array.unsafe_get regs r2 + v2))
+    | Vm.Stp (Reg a, Reg b), Vm.Add (r, Imm v) when pv.(pc) ->
+      let cow st =
+        st.c_cur <- Bytes.copy st.c_data;
+        st.c_copied <- true
+      in
+      Some
+        (if assume_copied then
+           fun st ->
+             let regs = st.c_regs in
+             let off = Array.unsafe_get regs a in
+             Bytes.unsafe_set st.c_cur off
+               (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+             Array.unsafe_set regs r (Array.unsafe_get regs r + v)
+         else
+           fun st ->
+             let regs = st.c_regs in
+             let off = Array.unsafe_get regs a in
+             if not st.c_copied then cow st;
+             Bytes.unsafe_set st.c_cur off
+               (Char.unsafe_chr (Array.unsafe_get regs b land 0xff));
+             Array.unsafe_set regs r (Array.unsafe_get regs r + v))
     | Vm.Stp (Reg a, Reg b), Vm.Add (r, Imm v) ->
       let oob st off =
         fault_steps bump st;

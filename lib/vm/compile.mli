@@ -44,17 +44,23 @@
     Anything an entry test cannot prove (or any shape not matched)
     falls back to the generic path and faults bit-identically.
     Register, scratch and loop-book indices were range-checked by the
-    verifier and compile to unchecked accesses; payload offsets are
-    runtime values and keep their checks.
+    verifier and compile to unchecked accesses. Payload offsets are
+    runtime values, but the verifier's range analysis classifies each
+    load/store (and register-divisor [Div]/[Rem]) site: [`Proven]
+    sites compile to unchecked byte ops on the generic and fused
+    tiers — the idiom library's entry-test trick generalized to
+    arbitrary verified programs — while [`Checked] sites keep their
+    runtime test and the interpreter's byte-identical fault strings.
 
     The trusted surface is unchanged: {!compile} consumes only
     {!Vm.prog} values, which exist only by passing {!Vm.verify} — the
     compiler relies on the verifier's invariants (matched [Loop]/[End]
     nesting, jumps that stay inside their loop region, static scratch
-    bounds, non-zero immediate divisors) rather than re-checking them,
-    exactly as the interpreter does. Runtime payload bounds and
-    register divisors are still checked per access and fault with the
-    interpreter's byte-identical messages.
+    bounds, non-zero immediate divisors, and the range analysis's
+    [`Proven] verdicts) rather than re-checking them, exactly as the
+    interpreter does. Payload bounds and register divisors the
+    analysis could not prove are still checked per access and fault
+    with the interpreter's byte-identical messages.
 
     Observational equivalence is exact, not approximate: for every
     verified program, payload and per-edge state, {!exec} returns the
@@ -72,14 +78,21 @@ type code
     shareable — attach one [code] to any number of edges, each with
     its own {!state}. *)
 
-val compile : ?idioms:bool -> Vm.prog -> code
+val compile : ?idioms:bool -> ?elide:bool -> Vm.prog -> code
 (** Translate a verified program. Load-time cost is linear in the
     program; running it allocates nothing beyond what the interpreter
     allocates (the copy-on-write clone on the first [Stp] and the
     {!Vm.run} record). [?idioms] (default [true]) enables the
     loop-idiom pass; [~idioms:false] keeps only the generic fused
     path — the benches use it to measure what each idiom buys, and the
-    parity suite uses it as a third differential backend. *)
+    parity suite uses it as a third differential backend. [?elide]
+    (default [true]) lets the generic and fused tiers drop the runtime
+    bounds or zero-divisor test at every site the range analysis
+    marked [`Proven] (see {!Vm.bounds_at}); [~elide:false] keeps every
+    check — the benches use it to price what the analysis buys, and
+    the parity suite runs it as a fourth backend. Elision never
+    changes observable behavior: [`Proven] sites cannot fault, and
+    step accounting and copy-on-write are preserved either way. *)
 
 val prog : code -> Vm.prog
 (** The verified program this code was compiled from. *)

@@ -193,6 +193,32 @@ next:
 |}
        bits (1 lsl bits) mask mask)
 
+let bounded_copy_src =
+  {|; Mirror the 32-byte header into the next 32 bytes (copy-on-write),
+; skipping blocks shorter than 64 bytes. The leading jge guard is what
+; lets the range analysis prove every ldp/stp of the loop in bounds
+; (r0 in [0,31], r3 in [32,63], len >= 64 on the copy path), so the
+; compiled loop runs with no payload checks at all -- the
+; guard-then-raw-copy shape the structural verifier used to force into
+; per-access checks.
+fuel 400
+    len r1
+    jge r1, 64, copy
+    ret
+copy:
+    mov r0, 0
+    loop 32, 32
+    ldp r2, r0
+    mov r3, r0
+    add r3, 32
+    stp r3, r2
+    add r0, 1
+    end
+    ret
+|}
+
+let bounded_copy () = compile bounded_copy_src
+
 let oob_probe () =
   compile
     {|; Verifies (payload bounds are a run-time check) but always faults:

@@ -53,6 +53,16 @@ val dedup_chunks : bits:int -> Vm.prog
     key 3 — the chunk fingerprint a dedup index would look up. The
     loop is the rolling-hash idiom. *)
 
+val bounded_copy_src : string
+(** Mirrors the 32-byte header into the next 32 bytes (copy-on-write),
+    skipping blocks shorter than 64 bytes. The leading [jge len]
+    guard lets the range analysis prove every payload access of the
+    loop in bounds, so the compiled loop runs with no runtime payload
+    checks — the guard-then-raw-copy shape that demonstrates the
+    [`Proven] path end to end. *)
+
+val bounded_copy : unit -> Vm.prog
+
 val oob_probe : unit -> Vm.prog
 (** Verifier-accepted but faults at run time: loads one byte past the
     payload. Exercises the edge fault/abort path. *)

@@ -140,11 +140,46 @@ type diag = {
 (** A structured rejection. Rules: ["program-size"], ["fuel-bound"],
     ["scratch-oob"], ["scratch-index"], ["bad-register"],
     ["unbounded-loop"], ["loop-depth"], ["jump-oob"], ["div-by-zero"],
-    ["effect-context"]. *)
+    ["effect-context"], ["range-oob"]. The last is produced by the
+    range analysis: a payload access whose offset interval provably
+    misses every admissible payload (always negative, or at/past a
+    guard-derived length cap); its message names the violated interval,
+    e.g. [off in [256, 256], len in [0, 255]]. *)
 
 val verify : spec -> (prog, diag) result
 (** Statically check a program. On success the returned {!prog} is a
-    private copy: later mutation of [s_insns] cannot invalidate it. *)
+    private copy: later mutation of [s_insns] cannot invalidate it.
+
+    Beyond the structural rules, [verify] runs a flow-sensitive range
+    analysis: an abstract interpreter tracking one interval per
+    register (endpoints may be payload-relative, ["len-1"]) plus a
+    known multiple-of fact, refined by conditional guards and widened
+    through [Loop] back-edges via a monotone-counter envelope. Its
+    verdict table (see {!accesses}) marks every payload load/store and
+    register-divisor [Div]/[Rem] site [`Proven] — cannot fault on any
+    admissible payload — or [`Checked]; the compiled backend elides the
+    runtime test exactly at [`Proven] sites. *)
+
+type access = {
+  a_pc : int;  (** instruction offset of the faultable site *)
+  a_kind : [ `Load | `Store | `Div ];
+  a_bounds : [ `Proven | `Checked ];
+      (** [`Proven]: the range analysis showed the access in bounds (or
+          the divisor non-zero) on every path and payload, so the
+          runtime check may be elided. *)
+  a_range : string;
+      (** the analyzed interval, e.g. ["off in [0, len-1]"], or
+          ["unreachable"] for statically dead sites *)
+}
+(** One row of the range-analysis verdict table. *)
+
+val accesses : prog -> access list
+(** Every faultable site of the program in pc order: payload loads and
+    stores, and [Div]/[Rem] with a register divisor. *)
+
+val bounds_at : prog -> int -> [ `Proven | `Checked ]
+(** The verdict at one pc; [`Checked] for pcs that are not a faultable
+    site. This is the compiler's elision oracle. *)
 
 val diag_to_string : diag -> string
 (** ["rule at pc N: msg"] — one line, stable format. *)

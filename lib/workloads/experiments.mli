@@ -289,7 +289,7 @@ val measure_prog :
     | `Prog of string * Kpath_vm.Vm.prog list ]
   ->
   ?machine_config:Config.t ->
-  ?vm_backend:[ `Interp | `Compiled ] ->
+  ?vm_backend:[ `Interp | `Compiled | `Checked ] ->
   unit ->
   prog_row
 (** One cold file-to-file splice-graph copy whose single edge carries

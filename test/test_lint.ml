@@ -62,6 +62,13 @@ let test_domain_empty () =
     [ "bad-annotation"; "domain-global-mutable" ]
     (List.sort String.compare (rules result))
 
+let test_nested_nolint () =
+  (* [@kpath.nolint] on bindings inside a nested module (Outer.Inner)
+     suppresses exactly the named rule; the sibling violation without an
+     escape still fires. *)
+  let result = run "fix_nested_nolint" in
+  Alcotest.(check (list string)) "nested escapes" [ "rng" ] (rules result)
+
 let test_json () =
   let result = run "fix_rng" in
   let json = Lint.to_json result in
@@ -93,6 +100,8 @@ let suite =
     Alcotest.test_case "domain fixture: empty justification" `Quick
       test_domain_empty;
     Alcotest.test_case "good fixture: zero findings" `Quick test_good;
+    Alcotest.test_case "nested module nolint honored" `Quick
+      test_nested_nolint;
     Alcotest.test_case "bad fixtures together" `Quick test_all_at_once;
     Alcotest.test_case "json artifact shape" `Quick test_json;
   ]

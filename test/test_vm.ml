@@ -114,6 +114,12 @@ let rejections =
       reject ~context:Vm.Readonly [ Vm.Redirect (Imm 1) ] "effect-context" );
     ( "program too long",
       reject (List.init (Vm.max_insns + 1) (fun _ -> Vm.Ret)) "program-size" );
+    ( "constant negative payload load",
+      reject [ Vm.Ldp (0, Imm (-1)); Vm.Ret ] "range-oob" );
+    ( "negative register offset store",
+      reject
+        [ Vm.Mov (0, Imm (-4)); Vm.Stp (Reg 0, Imm 1); Vm.Ret ]
+        "range-oob" );
   ]
 
 let test_rejection_pc () =
@@ -123,6 +129,86 @@ let test_rejection_pc () =
   | Error d ->
     Alcotest.(check int) "pc" 2 d.Vm.d_pc;
     Alcotest.(check string) "rule" "unbounded-loop" d.Vm.d_rule
+
+let test_range_oob_pc () =
+  (* A guard can cap the payload length: loading at the cap is then
+     provably out of bounds. The diag names the exact rule, points at
+     the load, and includes the violated interval so the failure is
+     actionable from the CLI. *)
+  match
+    Vm.verify
+      (spec
+         [
+           Vm.Len 0;
+           Vm.Jlt (0, Imm 256, 2);
+           Vm.Ret;
+           Vm.Mov (1, Imm 256);
+           Vm.Ldp (2, Reg 1);
+           Vm.Ret;
+         ])
+  with
+  | Ok _ -> Alcotest.fail "expected range-oob rejection"
+  | Error d ->
+    Alcotest.(check string) "rule" "range-oob" d.Vm.d_rule;
+    Alcotest.(check int) "pc" 4 d.Vm.d_pc;
+    let line = Vm.diag_to_string d in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "message names the interval (%s)" line)
+      true
+      (contains line "off in [256, 256]" && contains line "len in [0, 255]")
+
+(* {1 Range analysis verdicts} *)
+
+let all_proven name p =
+  let accs = Vm.accesses p in
+  Alcotest.(check bool) (name ^ " has payload accesses") true (accs <> []);
+  List.iter
+    (fun a ->
+      match a.Vm.a_bounds with
+      | `Proven -> ()
+      | `Checked ->
+        Alcotest.failf "%s: pc %d (%s) not proven" name a.Vm.a_pc a.Vm.a_range)
+    accs
+
+let test_analysis_proves_samples () =
+  (* The acceptance bar for the analysis: every payload access of the
+     canned loop workloads is statically in bounds, so the compiled
+     generic tier runs them with no runtime checks even with the idiom
+     library disabled. *)
+  all_proven "checksum" (Samples.checksum ());
+  all_proven "tee_hash" (Samples.tee_hash ());
+  all_proven "xor_mask" (Samples.xor_mask ~key:0x5a);
+  all_proven "xor_stream" (Samples.xor_stream ~key:0x17);
+  all_proven "histogram" (Samples.histogram ());
+  all_proven "dedup_chunks" (Samples.dedup_chunks ~bits:12);
+  all_proven "bounded_copy" (Samples.bounded_copy ())
+
+let test_analysis_keeps_checks () =
+  (* oob_probe loads at offset = len: not provable (and it does fault
+     at run time), so its site must stay Checked — the analysis only
+     rejects accesses that are wrong on every payload. *)
+  let p = Samples.oob_probe () in
+  match Vm.accesses p with
+  | [ { Vm.a_bounds = `Checked; a_kind = `Load; _ } ] -> ()
+  | _ -> Alcotest.fail "oob_probe should keep its one checked load"
+
+let test_bounds_at () =
+  let p = Samples.bounded_copy () in
+  let accs = Vm.accesses p in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bounds_at pc %d agrees" a.Vm.a_pc)
+        true
+        (Vm.bounds_at p a.Vm.a_pc = a.Vm.a_bounds))
+    accs;
+  (* Non-sites answer Checked: the compiler may never elide there. *)
+  Alcotest.(check bool) "non-site is Checked" true (Vm.bounds_at p 0 = `Checked)
 
 let test_readonly_emit_ok () =
   ignore (accept ~context:Vm.Readonly [ Vm.Len 0; Vm.Emit (Imm 1, Reg 0) ])
@@ -317,6 +403,7 @@ let test_samples_verify () =
   ignore (Samples.histogram ());
   ignore (Samples.dedup_chunks ~bits:1);
   ignore (Samples.dedup_chunks ~bits:24);
+  ignore (Samples.bounded_copy ());
   (match Samples.dedup_chunks ~bits:0 with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "dedup_chunks must reject bits = 0");
@@ -492,6 +579,12 @@ let prop_accepted_halts =
   QCheck.Test.make ~count:300 ~name:"accepted programs halt within fuel"
     arb_program (fun (insns, payload) ->
       match Vm.verify (spec ~fuel:Vm.max_fuel ~scratch:4 insns) with
+      | Error { Vm.d_rule = "range-oob"; _ } ->
+        (* The generator freely emits accesses at constant negative
+           offsets; the range analysis rightly rejects those programs
+           as provably out of bounds. Every other rule would be a
+           generator bug. *)
+        true
       | Error d ->
         QCheck.Test.fail_reportf "generator produced a rejected program: %s"
           (Vm.diag_to_string d)
@@ -549,6 +642,14 @@ let suite =
     rejections
   @ [
       Alcotest.test_case "rejection carries the pc" `Quick test_rejection_pc;
+      Alcotest.test_case "range-oob names rule, pc and interval" `Quick
+        test_range_oob_pc;
+      Alcotest.test_case "range analysis proves the sample loops" `Quick
+        test_analysis_proves_samples;
+      Alcotest.test_case "unprovable access stays checked" `Quick
+        test_analysis_keeps_checks;
+      Alcotest.test_case "bounds_at mirrors the verdict table" `Quick
+        test_bounds_at;
       Alcotest.test_case "readonly may emit" `Quick test_readonly_emit_ok;
       Alcotest.test_case "continue jump accepted" `Quick test_continue_jump_ok;
       Alcotest.test_case "alu" `Quick test_alu;

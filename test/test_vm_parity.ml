@@ -19,14 +19,15 @@ let pp_verdict fmt = function
 
 let verdict = Alcotest.testable pp_verdict ( = )
 
-(* Run [p] under the interpreter and BOTH compiled variants — the full
-   compiler and the idiom-free one (generic fused paths only) — over
-   the same block sequence (one persistent state each, so scratch
-   carry-over is compared too) and assert every observable of every
-   run matches the interpreter's. The no-idiom variant is what every
-   idiom falls back to, so any divergence between the three is a
-   compiler bug by construction. [what] names the program in
-   failures. *)
+(* Run [p] under the interpreter and THREE compiled variants — the
+   full compiler, the idiom-free one (generic fused paths only) and
+   the checks-kept one (no range-analysis elision) — over the same
+   block sequence (one persistent state each, so scratch carry-over is
+   compared too) and assert every observable of every run matches the
+   interpreter's. The no-idiom variant is what every idiom falls back
+   to, and the checked variant is what elision claims to be equivalent
+   to, so any divergence between the four is a compiler bug by
+   construction. [what] names the program in failures. *)
 let assert_parity ?(what = "prog") p blocks =
   let ist = Vm.new_state p in
   let variants =
@@ -35,6 +36,7 @@ let assert_parity ?(what = "prog") p blocks =
       [
         ("compiled", Compile.compile p);
         ("compiled[no-idiom]", Compile.compile ~idioms:false p);
+        ("compiled[checked]", Compile.compile ~idioms:false ~elide:false p);
       ]
   in
   List.iteri
@@ -97,6 +99,7 @@ let test_samples () =
       ("xor_stream", Samples.xor_stream ~key:0x6b);
       ("histogram", Samples.histogram ());
       ("dedup_chunks", Samples.dedup_chunks ~bits:4);
+      ("bounded_copy", Samples.bounded_copy ());
     ]
 
 let read_file path =
@@ -133,7 +136,17 @@ let test_fault_parity () =
       ( "payload load oob",
         [ Vm.Len 0; Vm.Ldp (1, Reg 0); Vm.Ret ] );
       ( "payload store oob",
-        [ Vm.Mov (0, Imm (-1)); Vm.Stp (Reg 0, Imm 7); Vm.Ret ] );
+        (* The offset is -lblk - 1: always negative at run time, but
+           opaque to the range analysis (Blkno is unbounded), so the
+           program stays verifiable and faults in both backends. *)
+        [
+          Vm.Blkno 0;
+          Vm.Mov (1, Imm 0);
+          Vm.Sub (1, Reg 0);
+          Vm.Sub (1, Imm 1);
+          Vm.Stp (Reg 1, Imm 7);
+          Vm.Ret;
+        ] );
       ( "div by zero",
         [ Vm.Mov (0, Imm 9); Vm.Mov (1, Imm 0); Vm.Div (0, Reg 1); Vm.Ret ] );
       ( "rem by zero mid-loop",
@@ -526,6 +539,10 @@ let prop_differential =
           s_scratch = 4; s_context = Vm.Edge }
       in
       match Vm.verify spec with
+      | Error { Vm.d_rule = "range-oob"; _ } ->
+        (* Constant negative payload offsets out of the generator are
+           now (correctly) rejected statically; nothing to compare. *)
+        true
       | Error d ->
         QCheck.Test.fail_reportf "generator produced a rejected program: %s"
           (Vm.diag_to_string d)
@@ -537,6 +554,8 @@ let prop_differential =
             [
               ("compiled", Compile.compile p);
               ("compiled[no-idiom]", Compile.compile ~idioms:false p);
+              ( "compiled[checked]",
+                Compile.compile ~idioms:false ~elide:false p );
             ]
         in
         let check_block data lblk =
@@ -580,6 +599,176 @@ let prop_differential =
         check_block (Bytes.of_string payload) 8;
         true)
 
+(* {1 Guard-biased programs: the range analysis is sound}
+
+   The generator builds programs shaped like real filters — a length
+   guard up front, then strided counter loops, masked block-dependent
+   probes and len-relative accesses — exactly the refinement shapes
+   the range analysis exists for. Some fragments are provable under
+   the guard, some are not, and some are provably wrong (tolerated as
+   range-oob rejections). For every accepted program and a ladder of
+   adversarial payload lengths clustered around the guard bound, the
+   property asserts the soundness contract directly: the interpreter
+   runs FIRST, and a fault whose pc the analysis marked [`Proven] fails
+   the suite before any unchecked compiled code runs. Then all three
+   compiled variants (idioms, no-idiom, checks-kept) must match the
+   interpreter on every observable. *)
+
+let fault_pc msg =
+  (* Fault reasons carry their site as "... pc N" (the payload strings
+     close a paren after it); take the last occurrence. *)
+  let n = String.length msg in
+  let last = ref None in
+  for i = 0 to n - 3 do
+    if String.sub msg i 3 = "pc " then begin
+      let j = ref (i + 3) in
+      let v = ref 0 in
+      let any = ref false in
+      while
+        !j < n && msg.[!j] >= '0' && msg.[!j] <= '9'
+      do
+        v := (!v * 10) + (Char.code msg.[!j] - Char.code '0');
+        incr j;
+        any := true
+      done;
+      if !any then last := Some !v
+    end
+  done;
+  !last
+
+let arb_guarded =
+  QCheck.Gen.(
+    let reg = int_range 2 (Vm.max_regs - 1) in
+    let fragment =
+      frequency
+        [
+          ( 4,
+            (* Strided counter scan: offsets base, base+s, ...,
+               base+(c-1)s — provable when the envelope fits under the
+               guard, checked (or rejected) when it does not. *)
+            let* c = int_range 1 64 in
+            let* stride = int_range 1 4 in
+            let* base = int_range (-2) 8 in
+            let* dst = reg in
+            let* store = bool in
+            return
+              ([ Vm.Mov (0, Imm base); Vm.Loop (Imm c, c); Vm.Ldp (dst, Reg 0) ]
+              @ (if store then [ Vm.Stp (Reg 0, Reg dst) ] else [])
+              @ [ Vm.Add (0, Imm stride); Vm.End ]) );
+          ( 2,
+            (* Masked block-dependent probe: the offset register is
+               unbounded until the And. *)
+            let* mask = oneofl [ 0x0f; 0x1f; 0x3f; 0x7f; 0xff; 0x1ff ] in
+            let* dst = reg in
+            return
+              [
+                Vm.Blkno dst; Vm.Mul (dst, Imm 0x9e3779b9);
+                Vm.And (dst, Imm mask); Vm.Ldp (dst, Reg dst);
+              ] );
+          ( 2,
+            (* len-relative tail probe: off = len - k. *)
+            let* k = int_range 1 8 in
+            let* dst = reg in
+            return
+              [
+                Vm.Len dst; Vm.Sub (dst, Imm k); Vm.Ldp (dst, Reg dst);
+                Vm.Emit (Imm 1, Reg dst);
+              ] );
+          ( 1,
+            (* Direct immediate access, sometimes past the guard. *)
+            let* off = int_range 0 350 in
+            let* dst = reg in
+            return [ Vm.Ldp (dst, Imm off) ] );
+        ]
+    in
+    let* g = int_range 1 300 in
+    let* frags = list_size (int_range 1 4) fragment in
+    let insns =
+      [ Vm.Len 1; Vm.Jge (1, Imm g, 2); Vm.Ret ]
+      @ List.concat frags @ [ Vm.Ret ]
+    in
+    let* extra_len = int_range 0 511 in
+    return (g, insns, extra_len))
+
+let prop_guarded_sound =
+  QCheck.Test.make ~count:400
+    ~name:"guard-biased programs: proven sites never fault; backends agree"
+    (QCheck.make
+       ~print:(fun (g, insns, extra_len) ->
+         Printf.sprintf "guard %d, %d instructions, extra len %d" g
+           (List.length insns) extra_len)
+       arb_guarded)
+    (fun (g, insns, extra_len) ->
+      let spec =
+        { Vm.s_insns = Array.of_list insns; s_fuel = Vm.max_fuel;
+          s_scratch = 0; s_context = Vm.Edge }
+      in
+      match Vm.verify spec with
+      | Error { Vm.d_rule = "range-oob"; _ } ->
+        (* Provably-wrong fragments are meant to be generated; the
+           static rejection is the right answer. *)
+        true
+      | Error d ->
+        QCheck.Test.fail_reportf "generator produced a rejected program: %s"
+          (Vm.diag_to_string d)
+      | Ok p ->
+        let check_len l =
+          let data = Bytes.init l (fun i -> Char.chr ((i * 37) land 0xff)) in
+          let iemits = ref [] in
+          let ir =
+            Vm.exec p (Vm.new_state p) ~data ~len:l ~lblk:13
+              ~emit:(fun k v -> iemits := (k, v) :: !iemits)
+          in
+          (* Soundness first, before any unchecked code runs: a fault
+             at a pc the analysis called Proven is an analysis bug. *)
+          (match ir.Vm.r_verdict with
+           | Vm.Fault m -> (
+             match fault_pc m with
+             | Some pc -> (
+               match Vm.bounds_at p pc with
+               | `Proven ->
+                 QCheck.Test.fail_reportf
+                   "len %d: proven site faulted: %s" l m
+               | `Checked -> ())
+             | None -> ())
+           | _ -> ());
+          List.iter
+            (fun (vname, code) ->
+              let cemits = ref [] in
+              let cr =
+                Compile.exec code (Compile.new_state code) ~data ~len:l
+                  ~lblk:13 ~emit:(fun k v -> cemits := (k, v) :: !cemits)
+              in
+              if ir.Vm.r_verdict <> cr.Vm.r_verdict then
+                QCheck.Test.fail_reportf "len %d [%s] verdicts differ: %s vs %s"
+                  l vname
+                  (Format.asprintf "%a" pp_verdict ir.Vm.r_verdict)
+                  (Format.asprintf "%a" pp_verdict cr.Vm.r_verdict);
+              if ir.Vm.r_steps <> cr.Vm.r_steps then
+                QCheck.Test.fail_reportf "len %d [%s] steps differ: %d vs %d" l
+                  vname ir.Vm.r_steps cr.Vm.r_steps;
+              if !iemits <> !cemits then
+                QCheck.Test.fail_reportf "len %d [%s] emit sequences differ" l
+                  vname;
+              if not (Bytes.equal ir.Vm.r_data cr.Vm.r_data) then
+                QCheck.Test.fail_reportf "len %d [%s] payloads differ" l vname;
+              if (ir.Vm.r_data == data) <> (cr.Vm.r_data == data) then
+                QCheck.Test.fail_reportf
+                  "len %d [%s] copy-on-write identity differs" l vname)
+            [
+              ("compiled", Compile.compile p);
+              ("compiled[no-idiom]", Compile.compile ~idioms:false p);
+              ( "compiled[checked]",
+                Compile.compile ~idioms:false ~elide:false p );
+            ]
+        in
+        (* Adversarial lengths cluster around the guard bound, where a
+           refinement off-by-one would show. *)
+        List.iter check_len
+          (List.sort_uniq compare
+             [ 0; 1; max 0 (g - 1); g; g + 1; extra_len; 509 ]);
+        true)
+
 let suite =
   [
     Alcotest.test_case "samples agree under both backends" `Quick test_samples;
@@ -599,4 +788,5 @@ let suite =
     Alcotest.test_case "both backends run without per-block allocation" `Quick
       test_zero_alloc;
     QCheck_alcotest.to_alcotest prop_differential;
+    QCheck_alcotest.to_alcotest prop_guarded_sound;
   ]
