@@ -1,0 +1,140 @@
+module Vm = Kpath_vm.Vm
+module C = Kpath_vm.Compile
+
+let spec insns =
+  { Vm.s_insns = Array.of_list insns; s_fuel = Vm.max_fuel;
+    s_scratch = 8; s_context = Vm.Edge }
+
+let show name p =
+  Printf.printf "%s:\n" name;
+  List.iter (fun a ->
+    Printf.printf "  pc %d %s %s (%s)\n" a.Vm.a_pc
+      (match a.Vm.a_kind with `Load->"load"|`Store->"store"|`Div->"div")
+      (match a.Vm.a_bounds with `Proven->"PROVEN"|`Checked->"checked")
+      a.Vm.a_range) (Vm.accesses p)
+
+let run_both name p lens =
+  List.iter (fun l ->
+    let data = Bytes.init l (fun i -> Char.chr (i land 0xff)) in
+    let ir = Vm.exec p (Vm.new_state p) ~data ~len:l ~lblk:5 ~emit:(fun _ _ -> ()) in
+    let code = C.compile p in
+    let cr = C.exec code (C.new_state code) ~data ~len:l ~lblk:5 ~emit:(fun _ _ -> ()) in
+    let vs = function Vm.Pass->"pass"|Vm.Drop->"drop"|Vm.Redirect n->Printf.sprintf "redir %d" n|Vm.Fault m->"fault: "^m in
+    let iv = vs ir.Vm.r_verdict and cv = vs cr.Vm.r_verdict in
+    if iv <> cv || ir.Vm.r_steps <> cr.Vm.r_steps
+       || not (Bytes.equal ir.Vm.r_data cr.Vm.r_data) then
+      Printf.printf "  %s len=%d MISMATCH interp=(%s,%d) compiled=(%s,%d)\n"
+        name l iv ir.Vm.r_steps cv cr.Vm.r_steps
+    else Printf.printf "  %s len=%d ok (%s, steps %d)\n" name l iv ir.Vm.r_steps;
+    (* soundness: proven sites must not fault in the interpreter *)
+    (match ir.Vm.r_verdict with
+     | Vm.Fault m ->
+       List.iter (fun a ->
+         if a.Vm.a_bounds = `Proven then begin
+           let tag = Printf.sprintf "pc %d)" a.Vm.a_pc in
+           let n = String.length m and tn = String.length tag in
+           let rec has i = i + tn <= n && (String.sub m i tn = tag || has (i+1)) in
+           if has 0 then Printf.printf "  !!! UNSOUND: proven pc %d faulted: %s\n" a.Vm.a_pc m
+         end) (Vm.accesses p)
+     | _ -> ())) lens
+
+let t name insns lens =
+  match Vm.verify (spec insns) with
+  | Error d -> Printf.printf "%s: rejected: %s\n" name (Vm.diag_to_string d)
+  | Ok p -> show name p; run_both name p lens
+
+let () =
+  (* 1. join across guarded/unguarded paths reaching the same load:
+     only one path guarantees len >= 64 — the load must stay Checked. *)
+  t "join-guard" [
+    Vm.Len 0;
+    Vm.Jge (0, Imm 64, 2);        (* pc1: if len>=64 jump to pc3 *)
+    Vm.Jmp 1;                     (* pc2: unguarded path also reaches pc3 *)
+    Vm.Ldp (1, Imm 10);           (* pc3: must be Checked *)
+    Vm.Ret ] [0; 5; 64; 128];
+  (* 2. counter loop under guard, stride 2, 16 trips: offsets 0..30, guard len>=31 — NOT enough (need >=31? max off 30 -> need len>=31). Proven iff guard 31. *)
+  t "stride-edge" [
+    Vm.Len 0;
+    Vm.Jge (0, Imm 31, 2);
+    Vm.Ret;
+    Vm.Mov (1, Imm 0);
+    Vm.Loop (Imm 16, 16);
+    Vm.Ldp (2, Reg 1);
+    Vm.Add (1, Imm 2);
+    Vm.End;
+    Vm.Ret ] [0; 30; 31; 100];
+  (* 3. same but guard 30 — max offset 30 >= len possible: must be Checked, and faults at len=30? offsets 0,2,..30; len=30 -> off 30 faults *)
+  t "stride-under" [
+    Vm.Len 0;
+    Vm.Jge (0, Imm 30, 2);
+    Vm.Ret;
+    Vm.Mov (1, Imm 0);
+    Vm.Loop (Imm 16, 16);
+    Vm.Ldp (2, Reg 1);
+    Vm.Add (1, Imm 2);
+    Vm.End;
+    Vm.Ret ] [0; 30; 31];
+  (* 4. len-driven loop: classic byte scan, Loop (Reg len). *)
+  t "len-scan" [
+    Vm.Len 0;
+    Vm.Mov (1, Imm 0);
+    Vm.Loop (Reg 0, 65536);
+    Vm.Ldp (2, Reg 1);
+    Vm.Add (1, Imm 1);
+    Vm.End;
+    Vm.Ret ] [0; 1; 100];
+  (* 5. min_int immediates through arithmetic and guards *)
+  t "min-int" [
+    Vm.Mov (0, Imm min_int);
+    Vm.Add (0, Imm 1);
+    Vm.Jlt (0, Imm 5, 2);
+    Vm.Ret;
+    Vm.Ldp (1, Reg 0);
+    Vm.Ret ] [0; 10];
+  (* 6. decrementing counter via Sub — must widen to top, stay checked *)
+  t "dec-counter" [
+    Vm.Len 0;
+    Vm.Jge (0, Imm 64, 2);
+    Vm.Ret;
+    Vm.Mov (1, Imm 10);
+    Vm.Loop (Imm 16, 16);
+    Vm.Ldp (2, Reg 1);
+    Vm.Sub (1, Imm 1);
+    Vm.End;
+    Vm.Ret ] [0; 64];
+  (* 7. counter loop with count Reg bounded by guard on len: Loop (Reg len) with stp, scatter-like *)
+  t "scatter-guard" [
+    Vm.Len 0;
+    Vm.Jge (0, Imm 1, 2);
+    Vm.Ret;
+    Vm.Mov (1, Imm 0);
+    Vm.Loop (Reg 0, 65536);
+    Vm.Ldp (2, Reg 1);
+    Vm.Xor (2, Imm 0x5a);
+    Vm.Stp (Reg 1, Reg 2);
+    Vm.Add (1, Imm 1);
+    Vm.End;
+    Vm.Ret ] [0; 1; 7; 300];
+  (* 8. multiple-of reasoning: masked then scaled offset *)
+  t "mul-of" [
+    Vm.Len 0;
+    Vm.Jge (0, Imm 1024, 2);
+    Vm.Ret;
+    Vm.Blkno 1;
+    Vm.And (1, Imm 0xff);
+    Vm.Shl (1, Imm 2);   (* in [0, 1020], mult of 4 *)
+    Vm.Ldp (2, Reg 1);
+    Vm.Ret ] [1023; 1024; 2048];
+  (* 9. loop cap larger than count reg's concrete bound; add inside nested loop *)
+  t "nested" [
+    Vm.Len 0;
+    Vm.Jge (0, Imm 64, 2);
+    Vm.Ret;
+    Vm.Mov (1, Imm 0);
+    Vm.Loop (Imm 8, 8);
+    Vm.Loop (Imm 8, 8);
+    Vm.Ldp (2, Reg 1);
+    Vm.Add (1, Imm 1);
+    Vm.End;
+    Vm.End;
+    Vm.Ret ] [0; 63; 64; 100]
